@@ -1,0 +1,30 @@
+//! Baseline schedulers from the paper's evaluation (§6.1).
+//!
+//! All four baselines implement the same [`Scheduler`] trait as Eva so the
+//! simulator can drive any of them interchangeably:
+//!
+//! * [`NoPackingScheduler`] — one reservation-price instance per task; the
+//!   strategy of most existing cloud cluster managers and the paper's
+//!   normalization baseline.
+//! * [`StratusScheduler`] — runtime-binned packing that co-locates tasks
+//!   with similar finish times and avoids migration (Stratus, SoCC '18),
+//!   given perfect job-duration estimates as in the paper's comparison.
+//! * [`SynergyScheduler`] — best-fit packing minimizing fragmentation,
+//!   adapted to the cloud by launching the cheapest fitting type when
+//!   nothing has room, and enhanced to be interference-aware through
+//!   throughput-normalized reservation prices.
+//! * [`OwlScheduler`] — pair-wise co-location driven by an offline
+//!   interference profile (provided to it exclusively, as the paper does),
+//!   extended to rank pairs by TNRP-to-cost ratio.
+
+pub mod no_packing;
+pub mod owl;
+pub mod stratus;
+pub mod synergy;
+
+pub use no_packing::NoPackingScheduler;
+pub use owl::{OracleProfile, OwlScheduler};
+pub use stratus::StratusScheduler;
+pub use synergy::SynergyScheduler;
+
+pub use eva_core::Scheduler;

@@ -1,0 +1,445 @@
+//! The Stratus baseline (SoCC '18), adapted as in §6.1.
+//!
+//! Stratus packs tasks with *similar finish times* onto the same instance
+//! so instances empty out all at once and can be released promptly; it is
+//! deliberately conservative about migration. Following the paper's
+//! comparison setup, Stratus receives perfect job-duration estimates
+//! (`TaskSnapshot::remaining_hint`).
+//!
+//! Tasks are bucketed into exponential runtime bins (bin *b* holds
+//! remaining runtimes in `[2^b, 2^{b+1})` minutes). A pending task prefers
+//! an existing instance whose residents share its bin and have capacity;
+//! otherwise new instances are sized for whole same-bin groups. Running
+//! tasks migrate only during scale-in consolidation (when leftovers of a
+//! completed group no longer justify their instance); empty instances
+//! terminate.
+
+use std::collections::BTreeMap;
+
+use eva_core::{
+    reservation_price, Assignment, Plan, PlannedInstance, Scheduler, SchedulerContext, TaskSnapshot,
+};
+use eva_types::{InstanceId, ResourceVector, SimDuration};
+
+/// See the module docs.
+#[derive(Debug, Default)]
+pub struct StratusScheduler;
+
+impl StratusScheduler {
+    /// Builds the scheduler.
+    pub fn new() -> Self {
+        StratusScheduler
+    }
+
+    /// Exponential runtime bin of a remaining duration.
+    pub fn runtime_bin(remaining: SimDuration) -> i32 {
+        let minutes = (remaining.as_secs_f64() / 60.0).max(1.0);
+        minutes.log2().floor() as i32
+    }
+}
+
+impl Scheduler for StratusScheduler {
+    fn name(&self) -> &'static str {
+        "Stratus"
+    }
+
+    fn plan(&mut self, ctx: &SchedulerContext<'_>) -> Plan {
+        // Current usage and dominant runtime bin per instance.
+        let mut used: BTreeMap<InstanceId, ResourceVector> = BTreeMap::new();
+        let mut residents: BTreeMap<InstanceId, Vec<&TaskSnapshot>> = BTreeMap::new();
+        for inst in ctx.instances {
+            used.insert(inst.id, ResourceVector::ZERO);
+            residents.insert(inst.id, Vec::new());
+        }
+        for t in ctx.tasks {
+            if let Some(id) = t.assigned_to {
+                if let Some(inst) = ctx.instances.iter().find(|i| i.id == id) {
+                    if let Some(ty) = ctx.catalog.get(inst.type_id) {
+                        *used.entry(id).or_default() += ty.demand_of(&t.demand);
+                    }
+                    residents.entry(id).or_default().push(t);
+                }
+            }
+        }
+
+        // Scale-in consolidation (the source of Stratus's rare
+        // migrations): when a group has partially completed and the
+        // leftovers' reservation prices no longer cover the instance, the
+        // leftovers are re-placed and the instance released.
+        let mut evicted: Vec<&TaskSnapshot> = Vec::new();
+        for inst in ctx.instances {
+            let Some(ty) = ctx.catalog.get(inst.type_id) else {
+                continue;
+            };
+            let set = residents.get(&inst.id).cloned().unwrap_or_default();
+            if set.is_empty() {
+                continue;
+            }
+            let rp_sum: f64 = set
+                .iter()
+                .filter_map(|t| reservation_price(ctx.catalog, &t.demand))
+                .map(|(_, c)| c.as_dollars())
+                .sum();
+            if rp_sum + 1e-9 < ty.hourly_cost.as_dollars() {
+                evicted.extend(set);
+                residents.insert(inst.id, Vec::new());
+                used.insert(inst.id, ResourceVector::ZERO);
+            }
+        }
+
+        let mut assignments: Vec<Assignment> = Vec::new();
+        // Keep current placements.
+        for inst in ctx.instances {
+            let tasks: Vec<_> = residents
+                .get(&inst.id)
+                .map(|v| v.iter().map(|t| t.id).collect())
+                .unwrap_or_default();
+            if !tasks.is_empty() {
+                assignments.push(Assignment {
+                    instance: PlannedInstance::Existing(inst.id),
+                    tasks,
+                });
+            }
+        }
+
+        // Place pending tasks bin-first.
+        let mut extra_used: BTreeMap<InstanceId, ResourceVector> = BTreeMap::new();
+        let mut leftover_by_bin: BTreeMap<Option<i32>, Vec<&TaskSnapshot>> = BTreeMap::new();
+        let mut pool: Vec<&TaskSnapshot> = ctx.pending_tasks();
+        pool.extend(evicted);
+        for task in pool {
+            let bin = task.remaining_hint.map(Self::runtime_bin);
+            // Candidate instances: capacity for the task, ranked by
+            // (same-bin residents desc, spare capacity asc).
+            let mut best: Option<(InstanceId, usize)> = None;
+            for inst in ctx.instances {
+                let Some(ty) = ctx.catalog.get(inst.type_id) else {
+                    continue;
+                };
+                let demand = ty.demand_of(&task.demand);
+                let current = used.get(&inst.id).copied().unwrap_or(ResourceVector::ZERO)
+                    + extra_used
+                        .get(&inst.id)
+                        .copied()
+                        .unwrap_or(ResourceVector::ZERO);
+                let Some(total) = current.checked_add(&demand) else {
+                    continue;
+                };
+                if !total.fits_within(&ty.capacity) {
+                    continue;
+                }
+                let same_bin = residents
+                    .get(&inst.id)
+                    .map(|v| {
+                        v.iter()
+                            .filter(|r| match (bin, r.remaining_hint.map(Self::runtime_bin)) {
+                                (Some(a), Some(b)) => a == b,
+                                _ => false,
+                            })
+                            .count()
+                    })
+                    .unwrap_or(0);
+                // Stratus only co-locates when bins match (or the instance
+                // is one it just opened this round for the same bin).
+                let occupied = residents
+                    .get(&inst.id)
+                    .map(|v| !v.is_empty())
+                    .unwrap_or(false);
+                if occupied && same_bin == 0 {
+                    continue;
+                }
+                // An empty instance is only worth reusing when it is no
+                // more expensive than the task's reservation-price type —
+                // tiny tasks must not keep idle big boxes alive.
+                if !occupied {
+                    let rp = reservation_price(ctx.catalog, &task.demand)
+                        .map(|(_, c)| c)
+                        .unwrap_or_default();
+                    if ty.hourly_cost > rp {
+                        continue;
+                    }
+                }
+                if best.map_or(true, |(_, s)| same_bin > s) {
+                    best = Some((inst.id, same_bin));
+                }
+            }
+            match best {
+                Some((id, _)) => {
+                    // Append to the existing assignment for that instance.
+                    if let Some(ty) = ctx
+                        .instances
+                        .iter()
+                        .find(|i| i.id == id)
+                        .and_then(|i| ctx.catalog.get(i.type_id))
+                    {
+                        *extra_used.entry(id).or_default() += ty.demand_of(&task.demand);
+                    }
+                    if let Some(a) = assignments
+                        .iter_mut()
+                        .find(|a| matches!(a.instance, PlannedInstance::Existing(i) if i == id))
+                    {
+                        a.tasks.push(task.id);
+                    } else {
+                        assignments.push(Assignment {
+                            instance: PlannedInstance::Existing(id),
+                            tasks: vec![task.id],
+                        });
+                    }
+                }
+                None => leftover_by_bin.entry(bin).or_default().push(task),
+            }
+        }
+
+        // Scale-out: size new instances for whole same-bin groups rather
+        // than per task — Stratus's group-aware acquisition. For each bin,
+        // repeatedly pick the instance type minimizing cost per hosted
+        // task and open one instance for as many group members as fit.
+        for (_bin, mut group) in leftover_by_bin {
+            group.sort_by(|a, b| a.id.cmp(&b.id));
+            while !group.is_empty() {
+                let mut best: Option<(eva_types::InstanceTypeId, Vec<usize>, f64)> = None;
+                for ty in ctx.catalog.types() {
+                    if ty.hourly_cost.is_zero() {
+                        continue;
+                    }
+                    let mut fill = ResourceVector::ZERO;
+                    let mut members = Vec::new();
+                    for (idx, task) in group.iter().enumerate() {
+                        let d = ty.demand_of(&task.demand);
+                        if let Some(total) = fill.checked_add(&d) {
+                            if total.fits_within(&ty.capacity) {
+                                fill = total;
+                                members.push(idx);
+                            }
+                        }
+                    }
+                    if members.is_empty() {
+                        continue;
+                    }
+                    let per_task = ty.hourly_cost.as_dollars() / members.len() as f64;
+                    let better = match &best {
+                        None => true,
+                        Some((_, m, c)) => {
+                            per_task < c - 1e-12
+                                || ((per_task - c).abs() <= 1e-12 && members.len() > m.len())
+                        }
+                    };
+                    if better {
+                        best = Some((ty.id, members, per_task));
+                    }
+                }
+                let Some((ty, members, _)) = best else { break };
+                let ids: Vec<_> = members.iter().map(|i| group[*i].id).collect();
+                let mut keep = members.clone();
+                keep.sort_unstable_by(|a, b| b.cmp(a));
+                for idx in keep {
+                    group.remove(idx);
+                }
+                assignments.push(Assignment {
+                    instance: PlannedInstance::New(ty),
+                    tasks: ids,
+                });
+            }
+        }
+
+        let terminate = ctx
+            .instances
+            .iter()
+            .map(|i| i.id)
+            .filter(|id| {
+                !assignments
+                    .iter()
+                    .any(|a| matches!(a.instance, PlannedInstance::Existing(i) if i == *id))
+            })
+            .collect();
+        Plan {
+            assignments,
+            terminate,
+            full_reconfiguration: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eva_cloud::Catalog;
+    use eva_core::InstanceSnapshot;
+    use eva_types::{DemandSpec, JobId, SimTime, TaskId, WorkloadKind};
+
+    fn task(
+        job: u64,
+        gpu: u32,
+        cpu: u32,
+        ram_gb: u64,
+        assigned: Option<u64>,
+        remaining_mins: u64,
+    ) -> TaskSnapshot {
+        TaskSnapshot {
+            id: TaskId::new(JobId(job), 0),
+            workload: WorkloadKind(0),
+            demand: DemandSpec::uniform(ResourceVector::with_ram_gb(gpu, cpu, ram_gb)),
+            checkpoint_delay: SimDuration::from_secs(2),
+            launch_delay: SimDuration::from_secs(10),
+            gang_size: 1,
+            gang_coupled: false,
+            assigned_to: assigned.map(InstanceId),
+            remaining_hint: Some(SimDuration::from_mins(remaining_mins)),
+        }
+    }
+
+    #[test]
+    fn runtime_bins_are_exponential() {
+        let bin = |m: u64| StratusScheduler::runtime_bin(SimDuration::from_mins(m));
+        assert_eq!(bin(1), 0);
+        assert_eq!(bin(2), 1);
+        assert_eq!(bin(3), 1);
+        assert_eq!(bin(4), 2);
+        assert_eq!(bin(60), 5);
+        assert_eq!(bin(90), 6);
+        assert_eq!(bin(120), 6);
+    }
+
+    #[test]
+    fn same_bin_tasks_colocate() {
+        let catalog = Catalog::aws_eval_2025();
+        let ty = catalog.by_name("p3.8xlarge").unwrap().id;
+        // An efficient resident (its 20-vCPU demand prices it at the
+        // p3.8xlarge itself) with ~2h remaining; a pending task with ~1.7h
+        // (same bin 6) should join it.
+        let tasks = vec![
+            task(1, 1, 20, 24, Some(0), 120),
+            task(2, 1, 4, 24, None, 100),
+        ];
+        let instances = vec![InstanceSnapshot {
+            id: InstanceId(0),
+            type_id: ty,
+        }];
+        let ctx = SchedulerContext {
+            now: SimTime::ZERO,
+            catalog: &catalog,
+            tasks: &tasks,
+            instances: &instances,
+        };
+        let plan = StratusScheduler::new().plan(&ctx);
+        let joint = plan
+            .assignments
+            .iter()
+            .find(|a| matches!(a.instance, PlannedInstance::Existing(i) if i == InstanceId(0)))
+            .unwrap();
+        assert_eq!(joint.tasks.len(), 2);
+        assert_eq!(plan.new_instance_count(), 0);
+    }
+
+    #[test]
+    fn different_bin_tasks_do_not_colocate() {
+        let catalog = Catalog::aws_eval_2025();
+        let ty = catalog.by_name("p3.8xlarge").unwrap().id;
+        // Resident has 8 minutes left (bin 3); pending has 8 hours (bin 8).
+        let tasks = vec![task(1, 1, 20, 24, Some(0), 8), task(2, 1, 4, 24, None, 480)];
+        let instances = vec![InstanceSnapshot {
+            id: InstanceId(0),
+            type_id: ty,
+        }];
+        let ctx = SchedulerContext {
+            now: SimTime::ZERO,
+            catalog: &catalog,
+            tasks: &tasks,
+            instances: &instances,
+        };
+        let plan = StratusScheduler::new().plan(&ctx);
+        assert_eq!(plan.new_instance_count(), 1);
+    }
+
+    #[test]
+    fn capacity_is_respected_when_joining() {
+        let catalog = Catalog::aws_eval_2025();
+        let ty = catalog.by_name("p3.2xlarge").unwrap().id; // 1 GPU only.
+        let tasks = vec![task(1, 1, 4, 24, Some(0), 60), task(2, 1, 4, 24, None, 60)];
+        let instances = vec![InstanceSnapshot {
+            id: InstanceId(0),
+            type_id: ty,
+        }];
+        let ctx = SchedulerContext {
+            now: SimTime::ZERO,
+            catalog: &catalog,
+            tasks: &tasks,
+            instances: &instances,
+        };
+        let plan = StratusScheduler::new().plan(&ctx);
+        // No GPU room: must open a new instance despite matching bins.
+        assert_eq!(plan.new_instance_count(), 1);
+    }
+
+    #[test]
+    fn efficient_placements_never_migrate() {
+        let catalog = Catalog::aws_eval_2025();
+        let ty = catalog.by_name("p3.8xlarge").unwrap().id;
+        let tasks = vec![
+            task(1, 1, 20, 24, Some(0), 60),
+            task(2, 1, 20, 24, Some(1), 60),
+        ];
+        let instances = vec![
+            InstanceSnapshot {
+                id: InstanceId(0),
+                type_id: ty,
+            },
+            InstanceSnapshot {
+                id: InstanceId(1),
+                type_id: ty,
+            },
+        ];
+        let ctx = SchedulerContext {
+            now: SimTime::ZERO,
+            catalog: &catalog,
+            tasks: &tasks,
+            instances: &instances,
+        };
+        let plan = StratusScheduler::new().plan(&ctx);
+        assert!(plan.migrations(&tasks, false).is_empty());
+    }
+
+    #[test]
+    fn scale_in_consolidates_underfilled_boxes() {
+        let catalog = Catalog::aws_eval_2025();
+        let ty = catalog.by_name("p3.8xlarge").unwrap().id;
+        // A lone balanced 1-GPU task (RP $3.06) left on a $12.24 box after
+        // its group finished: Stratus scales in, re-placing it cheaply.
+        let tasks = vec![task(1, 1, 4, 24, Some(0), 60)];
+        let instances = vec![InstanceSnapshot {
+            id: InstanceId(0),
+            type_id: ty,
+        }];
+        let ctx = SchedulerContext {
+            now: SimTime::ZERO,
+            catalog: &catalog,
+            tasks: &tasks,
+            instances: &instances,
+        };
+        let plan = StratusScheduler::new().plan(&ctx);
+        assert_eq!(plan.terminate, vec![InstanceId(0)]);
+        assert_eq!(plan.migrations(&tasks, false).len(), 1);
+        let PlannedInstance::New(new_ty) = plan.assignments[0].instance else {
+            panic!()
+        };
+        assert_eq!(catalog.get(new_ty).unwrap().name, "p3.2xlarge");
+    }
+
+    #[test]
+    fn empty_instances_terminate() {
+        let catalog = Catalog::aws_eval_2025();
+        let ty = catalog.by_name("c7i.large").unwrap().id;
+        let instances = vec![InstanceSnapshot {
+            id: InstanceId(3),
+            type_id: ty,
+        }];
+        let ctx = SchedulerContext {
+            now: SimTime::ZERO,
+            catalog: &catalog,
+            tasks: &[],
+            instances: &instances,
+        };
+        let plan = StratusScheduler::new().plan(&ctx);
+        assert_eq!(plan.terminate, vec![InstanceId(3)]);
+    }
+}

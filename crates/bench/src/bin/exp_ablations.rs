@@ -1,0 +1,76 @@
+//! Design-choice ablations beyond the paper's figures.
+//!
+//! * **Partial refill** — Partial Reconfiguration placing reconsidered
+//!   tasks into kept instances' spare capacity (this repo's default
+//!   reading of §4.5) vs packing them exclusively into new instances.
+//! * **Default pairwise throughput `t`** — the paper fixes `t = 0.95`;
+//!   smaller values pack more conservatively (§4.3).
+//! * **Decision estimators** — online λ/p estimation vs pessimistic and
+//!   optimistic fixed priors.
+
+use eva_bench::{is_full_scale, save_json};
+use eva_core::EvaConfig;
+use eva_sim::{run_simulation, SchedulerKind, SimConfig};
+use eva_workloads::{AlibabaTraceConfig, DurationModelChoice};
+
+fn main() {
+    println!("== Ablations ==");
+    let mut tc = AlibabaTraceConfig::full(DurationModelChoice::Alibaba);
+    tc.num_jobs = if is_full_scale() { 6_274 } else { 1200 };
+    let trace = tc.generate(99);
+    let base = run_simulation(&SimConfig::new(trace.clone(), SchedulerKind::NoPacking));
+    let norm = |cost: f64| 100.0 * cost / base.total_cost_dollars;
+
+    let mut rows: Vec<(String, eva_sim::SimReport)> = Vec::new();
+    let mut run = |label: &str, cfg: EvaConfig| {
+        let r = run_simulation(&SimConfig::new(trace.clone(), SchedulerKind::Eva(cfg)));
+        println!(
+            "{label:<34} cost {:>6.1}%  t/i {:>4.2}  mig/task {:>4.2}  full {:>4.1}%",
+            norm(r.total_cost_dollars),
+            r.tasks_per_instance,
+            r.migrations_per_task,
+            100.0 * r.full_reconfig_rate
+        );
+        rows.push((label.to_string(), r));
+    };
+
+    println!("-- Partial Reconfiguration refill --");
+    run("Eva (refill kept instances)", EvaConfig::eva());
+    run(
+        "Eva (new instances only, §4.5 text)",
+        EvaConfig {
+            refill_existing: false,
+            ..EvaConfig::eva()
+        },
+    );
+
+    println!("-- Default pairwise throughput t --");
+    for t in [0.99, 0.95, 0.9, 0.8] {
+        run(
+            &format!("Eva (t = {t})"),
+            EvaConfig {
+                default_tput: t,
+                ..EvaConfig::eva()
+            },
+        );
+    }
+
+    println!("-- Decision estimator priors --");
+    run("Eva (online λ/p, defaults)", EvaConfig::eva());
+    run(
+        "Eva (long-horizon prior p = 0.01)",
+        EvaConfig {
+            initial_p: 0.01,
+            ..EvaConfig::eva()
+        },
+    );
+    run(
+        "Eva (short-horizon prior p = 0.9)",
+        EvaConfig {
+            initial_p: 0.9,
+            ..EvaConfig::eva()
+        },
+    );
+
+    save_json("ablations.json", &rows);
+}

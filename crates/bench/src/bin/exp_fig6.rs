@@ -1,0 +1,42 @@
+//! Figure 6: impact of workload composition (multi-GPU proportion).
+//!
+//! Converts a growing share of single-GPU jobs into 2/4/8-GPU jobs
+//! (ratio 5:4:1) and compares No-Packing, Stratus, Synergy, Eva w/o Full
+//! Reconfiguration, and Eva.
+
+use eva_bench::{is_full_scale, save_json};
+use eva_core::EvaConfig;
+use eva_sim::{run_simulation, SchedulerKind, SimConfig};
+use eva_workloads::{AlibabaTraceConfig, DurationModelChoice, MultiGpuMix};
+
+fn main() {
+    println!("== Figure 6: multi-GPU job proportion sweep ==");
+    let mut tc = AlibabaTraceConfig::full(DurationModelChoice::Alibaba);
+    tc.num_jobs = if is_full_scale() { 6_274 } else { 1000 };
+    let base_trace = tc.generate(6);
+    println!(
+        "{:<8} {:>10} {:>10} {:>12} {:>14} {:>8}",
+        "multi%", "Stratus", "Synergy", "Eva w/o Full", "Eva", "(vs NP)"
+    );
+    let mut all = Vec::new();
+    for pct in [0.0, 0.15, 0.3, 0.45, 0.6] {
+        let trace = MultiGpuMix::new(pct).apply(&base_trace, 60 + (pct * 100.0) as u64);
+        let run = |kind: SchedulerKind| run_simulation(&SimConfig::new(trace.clone(), kind));
+        let np = run(SchedulerKind::NoPacking);
+        let stratus = run(SchedulerKind::Stratus);
+        let synergy = run(SchedulerKind::Synergy);
+        let eva_nf = run(SchedulerKind::Eva(EvaConfig::without_full()));
+        let eva = run(SchedulerKind::Eva(EvaConfig::eva()));
+        let n = |r: &eva_sim::SimReport| 100.0 * r.total_cost_dollars / np.total_cost_dollars;
+        println!(
+            "{:<8.0} {:>9.1}% {:>9.1}% {:>11.1}% {:>13.1}%",
+            100.0 * pct,
+            n(&stratus),
+            n(&synergy),
+            n(&eva_nf),
+            n(&eva)
+        );
+        all.push((pct, np, stratus, synergy, eva_nf, eva));
+    }
+    save_json("fig6.json", &all);
+}

@@ -1,0 +1,38 @@
+//! Figure 8: impact of job arrival rate.
+//!
+//! Sweeps the Poisson arrival rate over 0.5–3 jobs/hr. Lower rates mean
+//! fewer co-resident jobs and therefore smaller packing benefits, but Eva
+//! should stay the cheapest packer throughout.
+
+use eva_bench::{is_full_scale, save_json, scheduler_set};
+use eva_sim::{run_simulation, SimConfig};
+use eva_workloads::{AlibabaTraceConfig, DurationModelChoice};
+
+fn main() {
+    println!("== Figure 8: arrival-rate sweep ==");
+    println!(
+        "{:<10} {:>10} {:>10} {:>10} {:>10}",
+        "jobs/hr", "Stratus", "Synergy", "Owl", "Eva"
+    );
+    let mut all = Vec::new();
+    for rate in [0.5, 1.0, 2.0, 3.0] {
+        let mut tc = AlibabaTraceConfig::full(DurationModelChoice::Alibaba);
+        tc.arrival_rate_per_hour = rate;
+        tc.num_jobs = if is_full_scale() { 6_274 } else { 700 };
+        let trace = tc.generate(80 + (rate * 10.0) as u64);
+        let mut reports = Vec::new();
+        for kind in scheduler_set() {
+            reports.push(run_simulation(&SimConfig::new(trace.clone(), kind)));
+        }
+        let np = reports[0].total_cost_dollars;
+        println!(
+            "{rate:<10} {:>9.1}% {:>9.1}% {:>9.1}% {:>9.1}%",
+            100.0 * reports[1].total_cost_dollars / np,
+            100.0 * reports[2].total_cost_dollars / np,
+            100.0 * reports[3].total_cost_dollars / np,
+            100.0 * reports[4].total_cost_dollars / np,
+        );
+        all.push((rate, reports));
+    }
+    save_json("fig8.json", &all);
+}

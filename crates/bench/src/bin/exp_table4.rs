@@ -1,0 +1,114 @@
+//! Table 4: provisioning-cost micro-benchmark.
+//!
+//! 30 trials of 200 tasks sampled from the Table 7 workloads. Compares the
+//! No-Packing cost, the Full Reconfiguration heuristic, and the exact
+//! branch-and-bound solver (Gurobi stand-in) under a time limit. Costs are
+//! normalized to the solver's best solution per trial, as in the paper.
+
+use std::time::{Duration, Instant};
+
+use eva_bench::is_full_scale;
+use eva_cloud::Catalog;
+use eva_core::{full_reconfiguration, ReservationPrices, TaskSnapshot, TnrpEvaluator, UnitTput};
+use eva_solver::{branch_and_bound, BnbConfig, Item, PackingProblem};
+use eva_types::{JobId, SimDuration, TaskId};
+use eva_workloads::WorkloadCatalog;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let trials = if is_full_scale() { 30 } else { 10 };
+    let tasks_per_trial = 200;
+    let time_limit = if is_full_scale() {
+        Duration::from_secs(1800)
+    } else {
+        Duration::from_secs(10)
+    };
+    println!("== Table 4: cost minimization micro-benchmark ({trials} trials × {tasks_per_trial} tasks, solver limit {time_limit:?}) ==");
+
+    let catalog = Catalog::aws_eval_2025();
+    let workloads = WorkloadCatalog::table7();
+    let pool: Vec<_> = workloads.iter().collect();
+
+    let mut np_ratio = Vec::new();
+    let mut fr_ratio = Vec::new();
+    let mut fr_runtime_ms = Vec::new();
+    let mut solver_timeouts = 0;
+    for trial in 0..trials {
+        let mut rng = StdRng::seed_from_u64(1000 + trial as u64);
+        let tasks: Vec<TaskSnapshot> = (0..tasks_per_trial)
+            .map(|i| {
+                let w = pool[rng.gen_range(0..pool.len())];
+                TaskSnapshot {
+                    id: TaskId::new(JobId(i as u64), 0),
+                    workload: w.kind,
+                    demand: w.demand.clone(),
+                    checkpoint_delay: SimDuration::ZERO,
+                    launch_delay: SimDuration::ZERO,
+                    gang_size: 1,
+                    gang_coupled: false,
+                    assigned_to: None,
+                    remaining_hint: None,
+                }
+            })
+            .collect();
+        let prices = ReservationPrices::compute(&catalog, tasks.iter());
+        let no_packing: f64 = tasks.iter().map(|t| prices.rp_dollars(t.id)).sum();
+
+        let eval = TnrpEvaluator::new(&UnitTput, &prices, true);
+        let t0 = Instant::now();
+        let fr = full_reconfiguration(&tasks, &catalog, &eval);
+        fr_runtime_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+
+        let items: Vec<Item> = tasks
+            .iter()
+            .enumerate()
+            .map(|(i, t)| Item {
+                id: i,
+                demand: t.demand.clone(),
+            })
+            .collect();
+        let problem = PackingProblem::new(items, catalog.clone());
+        let solution = branch_and_bound(
+            &problem,
+            BnbConfig {
+                time_limit,
+                ..Default::default()
+            },
+        );
+        if !solution.proven_optimal {
+            solver_timeouts += 1;
+        }
+        np_ratio.push(no_packing / solution.cost_dollars);
+        fr_ratio.push(fr.total_cost_dollars() / solution.cost_dollars);
+    }
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    let std = |v: &[f64]| {
+        let m = mean(v);
+        (v.iter().map(|x| (x - m).powi(2)).sum::<f64>() / v.len() as f64).sqrt()
+    };
+    println!(
+        "{:<16} {:>18} {:>12}",
+        "Scheduler", "Provisioning Cost", "Runtime"
+    );
+    println!(
+        "{:<16} {:>10.2} ± {:.2}x {:>10}",
+        "No-Packing",
+        mean(&np_ratio),
+        std(&np_ratio),
+        "—"
+    );
+    println!(
+        "{:<16} {:>10.2} ± {:.2}x {:>9.0}ms",
+        "Full Reconfig.",
+        mean(&fr_ratio),
+        std(&fr_ratio),
+        mean(&fr_runtime_ms)
+    );
+    println!(
+        "{:<16} {:>10}x {:>12} (timed out in {solver_timeouts}/{trials} trials)",
+        "ILP (B&B)",
+        "1.00",
+        format!("≤{time_limit:?}")
+    );
+}

@@ -1,0 +1,92 @@
+//! Experiment harness shared by every table/figure binary.
+//!
+//! Each `exp_*` binary in `src/bin/` regenerates one table or figure of
+//! the paper (see DESIGN.md's experiment index). Binaries print the same
+//! rows/series the paper reports and write machine-readable JSON to
+//! `results/`. Scales default to laptop-friendly sizes; set `EVA_FULL=1`
+//! to run the paper-sized configurations (e.g. the full 6,274-job trace).
+
+use std::path::PathBuf;
+
+use eva_core::EvaConfig;
+use eva_sim::{run_simulation, SchedulerKind, SimConfig, SimReport};
+use eva_workloads::Trace;
+
+/// True when `EVA_FULL=1` requests paper-scale experiments.
+pub fn is_full_scale() -> bool {
+    std::env::var("EVA_FULL").map(|v| v == "1").unwrap_or(false)
+}
+
+/// The five schedulers of §6.1 in the paper's reporting order.
+pub fn scheduler_set() -> Vec<SchedulerKind> {
+    vec![
+        SchedulerKind::NoPacking,
+        SchedulerKind::Stratus,
+        SchedulerKind::Synergy,
+        SchedulerKind::Owl,
+        SchedulerKind::Eva(EvaConfig::eva()),
+    ]
+}
+
+/// Runs one trace under several schedulers, printing paper-style rows
+/// (first scheduler is the normalization baseline) and returning reports.
+pub fn run_and_print(trace: &Trace, kinds: Vec<SchedulerKind>, header: &str) -> Vec<SimReport> {
+    println!("== {header} ==");
+    println!(
+        "   trace: {} jobs, arrival span {:.1}h",
+        trace.len(),
+        trace.stats().arrival_span_hours
+    );
+    let mut reports = Vec::new();
+    for kind in kinds {
+        let cfg = SimConfig::new(trace.clone(), kind);
+        let report = run_simulation(&cfg);
+        let baseline = reports.first();
+        println!("{}", report.table_row(baseline));
+        reports.push(report);
+    }
+    reports
+}
+
+/// The directory experiment outputs are written to.
+pub fn results_dir() -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("results");
+    std::fs::create_dir_all(&dir).ok();
+    dir
+}
+
+/// Writes a JSON artifact into `results/`.
+pub fn save_json<T: serde::Serialize>(name: &str, value: &T) {
+    let path = results_dir().join(name);
+    match serde_json::to_string_pretty(value) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write(&path, json) {
+                eprintln!("warning: could not write {}: {e}", path.display());
+            } else {
+                println!("   [saved {}]", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: serialization failed for {name}: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scheduler_set_matches_paper_order() {
+        let kinds = scheduler_set();
+        assert_eq!(kinds.len(), 5);
+        assert_eq!(kinds[0].label(), "No-Packing");
+        assert_eq!(kinds[4].label(), "Eva");
+    }
+
+    #[test]
+    fn results_dir_is_creatable() {
+        let dir = results_dir();
+        assert!(dir.exists());
+    }
+}

@@ -1,0 +1,434 @@
+//! The simulated cloud provider: instance lifecycle and billing.
+//!
+//! An instance moves through `Acquiring → SettingUp → Running → Terminated`.
+//! Billing is per-second (EC2 Linux semantics) and starts the moment
+//! acquisition completes — i.e. setup time is *billed but unusable*, which
+//! is exactly the "provisioned but idle" waste the paper charges against
+//! reconfiguration (§2.3).
+
+use std::collections::BTreeMap;
+
+use rand::Rng;
+
+use eva_types::{Cost, EvaError, InstanceId, InstanceTypeId, Result, SimDuration, SimTime};
+
+use crate::catalog::{Catalog, InstanceType};
+use crate::delays::{DelayModel, DelaySample};
+use crate::zones::ZoneSet;
+
+/// Lifecycle state of a provisioned instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InstanceState {
+    /// The cloud is still acquiring capacity; not yet billed.
+    Acquiring,
+    /// Acquired and billed, but still installing images / mounting storage.
+    SettingUp,
+    /// Ready to run tasks.
+    Running,
+    /// Terminated; billing stopped.
+    Terminated,
+}
+
+/// A provisioned cloud instance.
+#[derive(Debug, Clone)]
+pub struct Instance {
+    /// Unique id.
+    pub id: InstanceId,
+    /// Catalog type.
+    pub type_id: InstanceTypeId,
+    /// Zone the instance was placed in.
+    pub zone: String,
+    /// When the provision request was issued.
+    pub requested_at: SimTime,
+    /// When acquisition completes (billing starts).
+    pub billed_from: SimTime,
+    /// When setup completes (instance usable).
+    pub ready_at: SimTime,
+    /// Termination time, if terminated.
+    pub terminated_at: Option<SimTime>,
+}
+
+impl Instance {
+    /// The lifecycle state at time `now`.
+    pub fn state(&self, now: SimTime) -> InstanceState {
+        if let Some(t) = self.terminated_at {
+            if now >= t {
+                return InstanceState::Terminated;
+            }
+        }
+        if now < self.billed_from {
+            InstanceState::Acquiring
+        } else if now < self.ready_at {
+            InstanceState::SettingUp
+        } else {
+            InstanceState::Running
+        }
+    }
+
+    /// Billed uptime accumulated by `now`.
+    pub fn uptime(&self, now: SimTime) -> SimDuration {
+        let end = match self.terminated_at {
+            Some(t) if t < now => t,
+            _ => now,
+        };
+        end.duration_since(self.billed_from)
+    }
+}
+
+/// A provisioning request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProvisionRequest {
+    /// The type to provision.
+    pub type_id: InstanceTypeId,
+    /// When the request is issued.
+    pub at: SimTime,
+}
+
+/// The simulated cloud: owns the catalog, zones, delay model, and all
+/// instances ever provisioned, and computes the total bill.
+///
+/// # Examples
+///
+/// ```
+/// use eva_cloud::{Catalog, CloudProvider, DelayModel, FidelityMode, ProvisionRequest};
+/// use eva_types::SimTime;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let catalog = Catalog::aws_eval_2025();
+/// let ty = catalog.by_name("c7i.xlarge").unwrap().id;
+/// let mut cloud = CloudProvider::new(catalog, DelayModel::table1(FidelityMode::Nominal));
+/// let mut rng = StdRng::seed_from_u64(0);
+///
+/// let id = cloud
+///     .provision(ProvisionRequest { type_id: ty, at: SimTime::ZERO }, &mut rng)
+///     .unwrap();
+/// let ready = cloud.instance(id).unwrap().ready_at;
+/// assert_eq!(ready.duration_since(SimTime::ZERO).as_secs(), 19 + 190);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CloudProvider {
+    catalog: Catalog,
+    delays: DelayModel,
+    zones: ZoneSet,
+    instances: BTreeMap<InstanceId, Instance>,
+    next_id: u64,
+    launches: u64,
+}
+
+impl CloudProvider {
+    /// Builds a provider over a catalog with a single unlimited zone.
+    pub fn new(catalog: Catalog, delays: DelayModel) -> Self {
+        CloudProvider::with_zones(catalog, delays, ZoneSet::single_unlimited())
+    }
+
+    /// Builds a provider with explicit zones.
+    pub fn with_zones(catalog: Catalog, delays: DelayModel, zones: ZoneSet) -> Self {
+        CloudProvider {
+            catalog,
+            delays,
+            zones,
+            instances: BTreeMap::new(),
+            next_id: 0,
+            launches: 0,
+        }
+    }
+
+    /// The catalog in use.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The delay model in use.
+    pub fn delay_model(&self) -> &DelayModel {
+        &self.delays
+    }
+
+    /// Total instances ever launched (Table 10's "Instances Launched").
+    pub fn launch_count(&self) -> u64 {
+        self.launches
+    }
+
+    /// Provisions a new instance, sampling acquisition/setup delays and
+    /// retrying across zones if needed.
+    pub fn provision<R: Rng + ?Sized>(
+        &mut self,
+        req: ProvisionRequest,
+        rng: &mut R,
+    ) -> Result<InstanceId> {
+        let ty = self
+            .catalog
+            .get(req.type_id)
+            .ok_or(EvaError::UnknownInstanceType(req.type_id))?
+            .id;
+        let zone = self.zones.allocate(ty)?;
+        let DelaySample { acquisition, setup } = self.delays.sample(rng);
+        let id = InstanceId(self.next_id);
+        self.next_id += 1;
+        self.launches += 1;
+        let billed_from = req.at + acquisition;
+        self.instances.insert(
+            id,
+            Instance {
+                id,
+                type_id: ty,
+                zone,
+                requested_at: req.at,
+                billed_from,
+                ready_at: billed_from + setup,
+                terminated_at: None,
+            },
+        );
+        Ok(id)
+    }
+
+    /// Terminates an instance at `at`. Idempotent for already-terminated
+    /// instances (keeps the earlier termination time).
+    pub fn terminate(&mut self, id: InstanceId, at: SimTime) -> Result<()> {
+        let (ty, zone, newly_terminated) = {
+            let inst = self
+                .instances
+                .get_mut(&id)
+                .ok_or(EvaError::UnknownInstance(id))?;
+            if inst.terminated_at.is_some() {
+                (inst.type_id, inst.zone.clone(), false)
+            } else {
+                inst.terminated_at = Some(at.max(inst.requested_at));
+                (inst.type_id, inst.zone.clone(), true)
+            }
+        };
+        if newly_terminated {
+            self.zones.release(ty, &zone);
+        }
+        Ok(())
+    }
+
+    /// Looks up an instance.
+    pub fn instance(&self, id: InstanceId) -> Option<&Instance> {
+        self.instances.get(&id)
+    }
+
+    /// The catalog type of an instance.
+    pub fn instance_type(&self, id: InstanceId) -> Option<&InstanceType> {
+        self.instances
+            .get(&id)
+            .and_then(|i| self.catalog.get(i.type_id))
+    }
+
+    /// Iterates over all instances ever provisioned.
+    pub fn instances(&self) -> impl Iterator<Item = &Instance> {
+        self.instances.values()
+    }
+
+    /// Instances alive (not terminated) at `now`.
+    pub fn live_instances(&self, now: SimTime) -> impl Iterator<Item = &Instance> {
+        self.instances
+            .values()
+            .filter(move |i| i.state(now) != InstanceState::Terminated)
+    }
+
+    /// The bill for one instance up to `now`: per-second billing of uptime.
+    pub fn instance_bill(&self, id: InstanceId, now: SimTime) -> Result<Cost> {
+        let inst = self
+            .instances
+            .get(&id)
+            .ok_or(EvaError::UnknownInstance(id))?;
+        let ty = self
+            .catalog
+            .get(inst.type_id)
+            .ok_or(EvaError::UnknownInstanceType(inst.type_id))?;
+        Ok(ty.hourly_cost.for_hours(inst.uptime(now).as_hours_f64()))
+    }
+
+    /// The total bill across all instances up to `now` — the paper's
+    /// primary "Total Cost" metric.
+    pub fn total_bill(&self, now: SimTime) -> Cost {
+        self.instances
+            .keys()
+            .map(|id| self.instance_bill(*id, now).unwrap_or(Cost::ZERO))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::delays::FidelityMode;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn nominal_cloud() -> (CloudProvider, StdRng) {
+        (
+            CloudProvider::new(
+                Catalog::aws_eval_2025(),
+                DelayModel::table1(FidelityMode::Nominal),
+            ),
+            StdRng::seed_from_u64(7),
+        )
+    }
+
+    #[test]
+    fn lifecycle_states_progress() {
+        let (mut cloud, mut rng) = nominal_cloud();
+        let ty = cloud.catalog().by_name("p3.2xlarge").unwrap().id;
+        let id = cloud
+            .provision(
+                ProvisionRequest {
+                    type_id: ty,
+                    at: SimTime::from_secs(100),
+                },
+                &mut rng,
+            )
+            .unwrap();
+        let inst = cloud.instance(id).unwrap().clone();
+        assert_eq!(
+            inst.state(SimTime::from_secs(100)),
+            InstanceState::Acquiring
+        );
+        assert_eq!(
+            inst.state(SimTime::from_secs(118)),
+            InstanceState::Acquiring
+        );
+        assert_eq!(
+            inst.state(SimTime::from_secs(119)),
+            InstanceState::SettingUp
+        );
+        assert_eq!(
+            inst.state(SimTime::from_secs(308)),
+            InstanceState::SettingUp
+        );
+        assert_eq!(inst.state(SimTime::from_secs(309)), InstanceState::Running);
+        cloud.terminate(id, SimTime::from_secs(400)).unwrap();
+        let inst = cloud.instance(id).unwrap();
+        assert_eq!(
+            inst.state(SimTime::from_secs(400)),
+            InstanceState::Terminated
+        );
+    }
+
+    #[test]
+    fn billing_starts_at_acquisition_not_request() {
+        let (mut cloud, mut rng) = nominal_cloud();
+        let ty = cloud.catalog().by_name("p3.2xlarge").unwrap().id;
+        let id = cloud
+            .provision(
+                ProvisionRequest {
+                    type_id: ty,
+                    at: SimTime::ZERO,
+                },
+                &mut rng,
+            )
+            .unwrap();
+        // One hour after billing starts (19s acquisition).
+        let now = SimTime::from_secs(19 + 3600);
+        let bill = cloud.instance_bill(id, now).unwrap();
+        assert_eq!(bill, Cost::from_dollars(3.06));
+    }
+
+    #[test]
+    fn billing_stops_at_termination() {
+        let (mut cloud, mut rng) = nominal_cloud();
+        let ty = cloud.catalog().by_name("c7i.2xlarge").unwrap().id;
+        let id = cloud
+            .provision(
+                ProvisionRequest {
+                    type_id: ty,
+                    at: SimTime::ZERO,
+                },
+                &mut rng,
+            )
+            .unwrap();
+        cloud.terminate(id, SimTime::from_secs(19 + 1800)).unwrap();
+        // Much later, the bill is still half an hour.
+        let bill = cloud
+            .instance_bill(id, SimTime::from_hours_f64(100.0))
+            .unwrap();
+        assert_eq!(bill, Cost::from_dollars(0.357 / 2.0));
+        // Terminating again keeps the original time.
+        cloud.terminate(id, SimTime::from_hours_f64(50.0)).unwrap();
+        let bill2 = cloud
+            .instance_bill(id, SimTime::from_hours_f64(100.0))
+            .unwrap();
+        assert_eq!(bill, bill2);
+    }
+
+    #[test]
+    fn total_bill_sums_instances() {
+        let (mut cloud, mut rng) = nominal_cloud();
+        let a = cloud.catalog().by_name("c7i.large").unwrap().id;
+        let b = cloud.catalog().by_name("r7i.large").unwrap().id;
+        for ty in [a, b] {
+            cloud
+                .provision(
+                    ProvisionRequest {
+                        type_id: ty,
+                        at: SimTime::ZERO,
+                    },
+                    &mut rng,
+                )
+                .unwrap();
+        }
+        let now = SimTime::from_secs(19 + 3600);
+        let total = cloud.total_bill(now);
+        assert_eq!(total, Cost::from_dollars(0.08925 + 0.1323));
+        assert_eq!(cloud.launch_count(), 2);
+    }
+
+    #[test]
+    fn unknown_type_is_rejected() {
+        let (mut cloud, mut rng) = nominal_cloud();
+        let err = cloud
+            .provision(
+                ProvisionRequest {
+                    type_id: InstanceTypeId(99),
+                    at: SimTime::ZERO,
+                },
+                &mut rng,
+            )
+            .unwrap_err();
+        assert!(matches!(err, EvaError::UnknownInstanceType(_)));
+    }
+
+    #[test]
+    fn live_instances_excludes_terminated() {
+        let (mut cloud, mut rng) = nominal_cloud();
+        let ty = cloud.catalog().by_name("c7i.large").unwrap().id;
+        let a = cloud
+            .provision(
+                ProvisionRequest {
+                    type_id: ty,
+                    at: SimTime::ZERO,
+                },
+                &mut rng,
+            )
+            .unwrap();
+        let _b = cloud
+            .provision(
+                ProvisionRequest {
+                    type_id: ty,
+                    at: SimTime::ZERO,
+                },
+                &mut rng,
+            )
+            .unwrap();
+        cloud.terminate(a, SimTime::from_secs(500)).unwrap();
+        let live: Vec<_> = cloud.live_instances(SimTime::from_secs(1000)).collect();
+        assert_eq!(live.len(), 1);
+    }
+
+    #[test]
+    fn uptime_of_acquiring_instance_is_zero() {
+        let (mut cloud, mut rng) = nominal_cloud();
+        let ty = cloud.catalog().by_name("c7i.large").unwrap().id;
+        let id = cloud
+            .provision(
+                ProvisionRequest {
+                    type_id: ty,
+                    at: SimTime::from_secs(50),
+                },
+                &mut rng,
+            )
+            .unwrap();
+        let inst = cloud.instance(id).unwrap();
+        assert_eq!(inst.uptime(SimTime::from_secs(60)), SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,119 @@
+//! Global storage stub (the S3 bucket of §5).
+//!
+//! Every worker in the paper mounts a shared bucket holding datasets and
+//! checkpoints. The task-runtime crate uses this in-memory stand-in for
+//! checkpoint/restore during migrations; the simulator only models its
+//! latency through the per-workload checkpoint delays.
+
+use std::collections::BTreeMap;
+
+/// An in-memory key → blob store with basic usage accounting.
+///
+/// # Examples
+///
+/// ```
+/// use eva_cloud::GlobalStorage;
+///
+/// let mut s3 = GlobalStorage::new();
+/// s3.put("ckpt/job-1/t0", vec![1, 2, 3]);
+/// assert_eq!(s3.get("ckpt/job-1/t0"), Some(&[1u8, 2, 3][..]));
+/// assert_eq!(s3.total_bytes(), 3);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct GlobalStorage {
+    objects: BTreeMap<String, Vec<u8>>,
+    puts: u64,
+    gets: u64,
+}
+
+impl GlobalStorage {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        GlobalStorage::default()
+    }
+
+    /// Writes (or overwrites) an object.
+    pub fn put(&mut self, key: &str, bytes: Vec<u8>) {
+        self.puts += 1;
+        self.objects.insert(key.to_string(), bytes);
+    }
+
+    /// Reads an object.
+    pub fn get(&mut self, key: &str) -> Option<&[u8]> {
+        self.gets += 1;
+        self.objects.get(key).map(|v| v.as_slice())
+    }
+
+    /// Deletes an object; returns whether it existed.
+    pub fn delete(&mut self, key: &str) -> bool {
+        self.objects.remove(key).is_some()
+    }
+
+    /// Lists keys under a prefix.
+    pub fn list(&self, prefix: &str) -> Vec<&str> {
+        self.objects
+            .range(prefix.to_string()..)
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .map(|(k, _)| k.as_str())
+            .collect()
+    }
+
+    /// Number of stored objects.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// True when the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// Total stored bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.objects.values().map(|v| v.len() as u64).sum()
+    }
+
+    /// `(put, get)` operation counters.
+    pub fn op_counts(&self) -> (u64, u64) {
+        (self.puts, self.gets)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_delete_cycle() {
+        let mut s = GlobalStorage::new();
+        assert!(s.is_empty());
+        s.put("a", vec![0; 10]);
+        s.put("a", vec![0; 4]); // Overwrite shrinks.
+        assert_eq!(s.total_bytes(), 4);
+        assert!(s.get("a").is_some());
+        assert!(s.delete("a"));
+        assert!(!s.delete("a"));
+        assert!(s.get("a").is_none());
+    }
+
+    #[test]
+    fn list_by_prefix() {
+        let mut s = GlobalStorage::new();
+        s.put("ckpt/j1/t0", vec![1]);
+        s.put("ckpt/j1/t1", vec![2]);
+        s.put("ckpt/j2/t0", vec![3]);
+        s.put("data/imagenet", vec![4]);
+        assert_eq!(s.list("ckpt/j1/"), vec!["ckpt/j1/t0", "ckpt/j1/t1"]);
+        assert_eq!(s.list("ckpt/").len(), 3);
+        assert_eq!(s.list("zzz").len(), 0);
+    }
+
+    #[test]
+    fn op_counters_track_usage() {
+        let mut s = GlobalStorage::new();
+        s.put("k", vec![]);
+        s.get("k");
+        s.get("missing");
+        assert_eq!(s.op_counts(), (1, 2));
+    }
+}

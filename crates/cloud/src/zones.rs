@@ -1,0 +1,198 @@
+//! Availability zones with bounded per-type capacity.
+//!
+//! The paper's Provisioner retries in other availability zones when the
+//! default zone cannot supply an instance type (§6.1). This module models a
+//! region as an ordered list of zones, each with optional per-type instance
+//! quotas, and implements that retry loop.
+
+use std::collections::HashMap;
+
+use eva_types::{EvaError, InstanceTypeId, Result};
+
+/// Capacity configuration for one availability zone.
+#[derive(Debug, Clone, Default)]
+pub struct ZoneConfig {
+    /// Zone name, e.g. `us-east-1a`.
+    pub name: String,
+    /// Maximum concurrently running instances per type. Types absent from
+    /// the map are unlimited.
+    pub quotas: HashMap<InstanceTypeId, u32>,
+}
+
+impl ZoneConfig {
+    /// An unlimited zone.
+    pub fn unlimited(name: &str) -> Self {
+        ZoneConfig {
+            name: name.to_string(),
+            quotas: HashMap::new(),
+        }
+    }
+
+    /// Sets a quota for an instance type (builder style).
+    pub fn with_quota(mut self, ty: InstanceTypeId, limit: u32) -> Self {
+        self.quotas.insert(ty, limit);
+        self
+    }
+}
+
+/// Live per-zone usage counters.
+#[derive(Debug, Clone, Default)]
+struct ZoneUsage {
+    in_use: HashMap<InstanceTypeId, u32>,
+}
+
+/// An ordered set of availability zones with allocation and release.
+///
+/// # Examples
+///
+/// ```
+/// use eva_cloud::{ZoneConfig, ZoneSet};
+/// use eva_types::InstanceTypeId;
+///
+/// let ty = InstanceTypeId(0);
+/// let mut zones = ZoneSet::new(vec![
+///     ZoneConfig::unlimited("us-east-1a").with_quota(ty, 1),
+///     ZoneConfig::unlimited("us-east-1b"),
+/// ]);
+/// // First allocation lands in the default zone, the second falls over.
+/// assert_eq!(zones.allocate(ty).unwrap(), "us-east-1a");
+/// assert_eq!(zones.allocate(ty).unwrap(), "us-east-1b");
+/// ```
+#[derive(Debug, Clone)]
+pub struct ZoneSet {
+    configs: Vec<ZoneConfig>,
+    usage: Vec<ZoneUsage>,
+    /// Total failed placement attempts (for telemetry).
+    retries: u64,
+}
+
+impl ZoneSet {
+    /// Builds a zone set; the first zone is the default.
+    pub fn new(configs: Vec<ZoneConfig>) -> Self {
+        let usage = configs.iter().map(|_| ZoneUsage::default()).collect();
+        ZoneSet {
+            configs,
+            usage,
+            retries: 0,
+        }
+    }
+
+    /// A single unlimited zone — the common simulation setup.
+    pub fn single_unlimited() -> Self {
+        ZoneSet::new(vec![ZoneConfig::unlimited("us-east-1a")])
+    }
+
+    /// Number of zones.
+    pub fn len(&self) -> usize {
+        self.configs.len()
+    }
+
+    /// True when there are no zones.
+    pub fn is_empty(&self) -> bool {
+        self.configs.is_empty()
+    }
+
+    /// Cumulative count of within-region retries caused by exhausted zones.
+    pub fn retry_count(&self) -> u64 {
+        self.retries
+    }
+
+    /// Tries the default zone first, then each subsequent zone, reproducing
+    /// the Provisioner retry behaviour. Returns the name of the zone that
+    /// accepted the instance.
+    pub fn allocate(&mut self, ty: InstanceTypeId) -> Result<String> {
+        for (idx, cfg) in self.configs.iter().enumerate() {
+            let used = self.usage[idx].in_use.get(&ty).copied().unwrap_or(0);
+            let quota = cfg.quotas.get(&ty).copied();
+            let has_room = quota.map_or(true, |q| used < q);
+            if has_room {
+                *self.usage[idx].in_use.entry(ty).or_insert(0) += 1;
+                return Ok(cfg.name.clone());
+            }
+            self.retries += 1;
+        }
+        Err(EvaError::ProvisioningFailed {
+            instance_type: ty,
+            reason: "all availability zones exhausted".into(),
+        })
+    }
+
+    /// Releases one instance of `ty` previously placed in `zone`.
+    pub fn release(&mut self, ty: InstanceTypeId, zone: &str) {
+        if let Some(idx) = self.configs.iter().position(|c| c.name == zone) {
+            if let Some(count) = self.usage[idx].in_use.get_mut(&ty) {
+                *count = count.saturating_sub(1);
+            }
+        }
+    }
+
+    /// Currently running instances of `ty` across all zones.
+    pub fn in_use(&self, ty: InstanceTypeId) -> u32 {
+        self.usage
+            .iter()
+            .map(|u| u.in_use.get(&ty).copied().unwrap_or(0))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_zone_always_allocates() {
+        let mut zones = ZoneSet::single_unlimited();
+        let ty = InstanceTypeId(3);
+        for _ in 0..100 {
+            assert!(zones.allocate(ty).is_ok());
+        }
+        assert_eq!(zones.in_use(ty), 100);
+        assert_eq!(zones.retry_count(), 0);
+    }
+
+    #[test]
+    fn quota_exhaustion_falls_over_to_next_zone() {
+        let ty = InstanceTypeId(0);
+        let mut zones = ZoneSet::new(vec![
+            ZoneConfig::unlimited("a").with_quota(ty, 2),
+            ZoneConfig::unlimited("b").with_quota(ty, 1),
+        ]);
+        assert_eq!(zones.allocate(ty).unwrap(), "a");
+        assert_eq!(zones.allocate(ty).unwrap(), "a");
+        assert_eq!(zones.allocate(ty).unwrap(), "b");
+        let err = zones.allocate(ty).unwrap_err();
+        assert!(matches!(err, EvaError::ProvisioningFailed { .. }));
+        assert!(zones.retry_count() >= 1);
+    }
+
+    #[test]
+    fn release_frees_quota() {
+        let ty = InstanceTypeId(0);
+        let mut zones = ZoneSet::new(vec![ZoneConfig::unlimited("a").with_quota(ty, 1)]);
+        let zone = zones.allocate(ty).unwrap();
+        assert!(zones.allocate(ty).is_err());
+        zones.release(ty, &zone);
+        assert!(zones.allocate(ty).is_ok());
+    }
+
+    #[test]
+    fn release_of_unknown_zone_is_a_no_op() {
+        let ty = InstanceTypeId(0);
+        let mut zones = ZoneSet::single_unlimited();
+        zones.release(ty, "nonexistent");
+        assert_eq!(zones.in_use(ty), 0);
+    }
+
+    #[test]
+    fn quotas_are_per_type() {
+        let a = InstanceTypeId(0);
+        let b = InstanceTypeId(1);
+        let mut zones = ZoneSet::new(vec![ZoneConfig::unlimited("z").with_quota(a, 1)]);
+        assert!(zones.allocate(a).is_ok());
+        assert!(zones.allocate(a).is_err());
+        // Type b is unconstrained.
+        for _ in 0..10 {
+            assert!(zones.allocate(b).is_ok());
+        }
+    }
+}

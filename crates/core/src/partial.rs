@@ -1,0 +1,382 @@
+//! Partial Reconfiguration (§4.5).
+//!
+//! Instead of re-deriving the whole cluster, Partial Reconfiguration
+//! reconsiders only:
+//!
+//! * tasks from recently submitted jobs not yet assigned anywhere, and
+//! * tasks on instances that are no longer cost-efficient (the instance's
+//!   set TNRP dropped below its hourly cost — job completions or newly
+//!   learned interference can cause this),
+//!
+//! packing that subset with Algorithm 1 into *new* instances while the
+//! rest of the cluster stays untouched. Instances left empty are
+//! terminated. An optional `refill_existing` mode (ablation; off in the
+//! faithful configuration) first tries to place subset tasks into spare
+//! capacity on kept instances.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use eva_cloud::Catalog;
+use eva_types::{InstanceId, ResourceVector, TaskId};
+
+use crate::packing::{full_reconfiguration, PackedConfig};
+use crate::plan::{InstanceSnapshot, TaskSnapshot};
+use crate::reservation::TnrpEvaluator;
+
+/// The outcome of Partial Reconfiguration.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PartialOutcome {
+    /// Existing instances kept untouched, with their task ids.
+    pub kept: Vec<(InstanceId, Vec<TaskId>)>,
+    /// Newly packed instances for the reconsidered subset.
+    pub packed: PackedConfig,
+    /// Instances to terminate (now empty).
+    pub terminate: Vec<InstanceId>,
+    /// Tasks that were reconsidered (telemetry).
+    pub reconsidered: Vec<TaskId>,
+}
+
+impl PartialOutcome {
+    /// Instantaneous provisioning saving `S_P` in dollars: kept instances'
+    /// `TNRP − C` plus the packed instances' savings.
+    pub fn total_saving_dollars(
+        &self,
+        tasks: &[TaskSnapshot],
+        catalog: &Catalog,
+        eval: &TnrpEvaluator<'_>,
+        instance_types: &BTreeMap<InstanceId, eva_types::InstanceTypeId>,
+    ) -> f64 {
+        let mut saving = self.packed.total_saving_dollars();
+        for (id, task_ids) in &self.kept {
+            let Some(type_id) = instance_types.get(id) else {
+                continue;
+            };
+            let Some(ty) = catalog.get(*type_id) else {
+                continue;
+            };
+            let set: Vec<&TaskSnapshot> = task_ids
+                .iter()
+                .filter_map(|tid| tasks.iter().find(|t| t.id == *tid))
+                .collect();
+            saving += eval.tnrp_set(&set) - ty.hourly_cost.as_dollars();
+        }
+        saving
+    }
+}
+
+/// Runs Partial Reconfiguration.
+///
+/// `refill_existing` enables the ablation where subset tasks may also fill
+/// spare capacity on kept instances (cheapest-instance-first) when doing so
+/// keeps the instance cost-efficient.
+pub fn partial_reconfiguration(
+    tasks: &[TaskSnapshot],
+    instances: &[InstanceSnapshot],
+    catalog: &Catalog,
+    eval: &TnrpEvaluator<'_>,
+    refill_existing: bool,
+) -> PartialOutcome {
+    // Group current assignments.
+    let mut on_instance: BTreeMap<InstanceId, Vec<&TaskSnapshot>> = BTreeMap::new();
+    for inst in instances {
+        on_instance.entry(inst.id).or_default();
+    }
+    let mut subset: Vec<&TaskSnapshot> = Vec::new();
+    for t in tasks {
+        match t.assigned_to {
+            Some(id) if on_instance.contains_key(&id) => on_instance.get_mut(&id).unwrap().push(t),
+            // Unassigned, or assigned to an instance the context no longer
+            // lists (e.g. being drained): reconsider.
+            _ => subset.push(t),
+        }
+    }
+
+    // Instances that stopped being cost-efficient surrender their tasks.
+    let mut kept: Vec<(InstanceId, Vec<&TaskSnapshot>)> = Vec::new();
+    let mut terminate: Vec<InstanceId> = Vec::new();
+    for inst in instances {
+        let set = on_instance.remove(&inst.id).unwrap_or_default();
+        if set.is_empty() {
+            terminate.push(inst.id);
+            continue;
+        }
+        let ty = match catalog.get(inst.type_id) {
+            Some(ty) => ty,
+            None => {
+                // Unknown type: treat as inefficient so tasks escape.
+                subset.extend(set);
+                terminate.push(inst.id);
+                continue;
+            }
+        };
+        if eval.is_cost_efficient(&set, ty.hourly_cost) {
+            kept.push((inst.id, set));
+        } else {
+            subset.extend(set);
+            terminate.push(inst.id);
+        }
+    }
+
+    let reconsidered: Vec<TaskId> = subset.iter().map(|t| t.id).collect();
+
+    // Optional ablation: try to refill kept instances' spare capacity.
+    let mut refilled: BTreeSet<TaskId> = BTreeSet::new();
+    if refill_existing && !subset.is_empty() {
+        // Visit kept instances by descending hourly cost, mirroring
+        // Algorithm 1's type ordering.
+        let mut order: Vec<usize> = (0..kept.len()).collect();
+        order.sort_by(|a, b| {
+            let ca = catalog
+                .get(
+                    instances
+                        .iter()
+                        .find(|i| i.id == kept[*a].0)
+                        .unwrap()
+                        .type_id,
+                )
+                .map(|t| t.hourly_cost)
+                .unwrap_or_default();
+            let cb = catalog
+                .get(
+                    instances
+                        .iter()
+                        .find(|i| i.id == kept[*b].0)
+                        .unwrap()
+                        .type_id,
+                )
+                .map(|t| t.hourly_cost)
+                .unwrap_or_default();
+            cb.cmp(&ca)
+        });
+        for slot in order {
+            let (inst_id, set) = &mut kept[slot];
+            let Some(snap) = instances.iter().find(|i| i.id == *inst_id) else {
+                continue;
+            };
+            let Some(ty) = catalog.get(snap.type_id) else {
+                continue;
+            };
+            let mut used = set
+                .iter()
+                .fold(ResourceVector::ZERO, |acc, t| acc + ty.demand_of(&t.demand));
+            loop {
+                // Pick the candidate maximizing the refilled set's TNRP.
+                let mut best: Option<(usize, f64)> = None;
+                for (idx, task) in subset.iter().enumerate() {
+                    if refilled.contains(&task.id) {
+                        continue;
+                    }
+                    let demand = ty.demand_of(&task.demand);
+                    let Some(total) = used.checked_add(&demand) else {
+                        continue;
+                    };
+                    if !total.fits_within(&ty.capacity) {
+                        continue;
+                    }
+                    let mut candidate = set.clone();
+                    candidate.push(task);
+                    let tnrp = eval.tnrp_set(&candidate);
+                    if tnrp >= eval.tnrp_set(set)
+                        && tnrp + 1e-9 >= ty.hourly_cost.as_dollars()
+                        && best.map_or(true, |(_, b)| tnrp > b)
+                    {
+                        best = Some((idx, tnrp));
+                    }
+                }
+                let Some((idx, _)) = best else { break };
+                let task = subset[idx];
+                refilled.insert(task.id);
+                used = used
+                    .checked_add(&ty.demand_of(&task.demand))
+                    .unwrap_or(used);
+                set.push(task);
+            }
+        }
+        subset.retain(|t| !refilled.contains(&t.id));
+    }
+
+    // Pack the remaining subset into new instances with Algorithm 1.
+    let subset_owned: Vec<TaskSnapshot> = subset.iter().map(|t| (*t).clone()).collect();
+    let packed = full_reconfiguration(&subset_owned, catalog, eval);
+
+    PartialOutcome {
+        kept: kept
+            .into_iter()
+            .map(|(id, set)| (id, set.iter().map(|t| t.id).collect()))
+            .collect(),
+        packed,
+        terminate,
+        reconsidered,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reservation::{ReservationPrices, UnitTput};
+    use eva_interference::ThroughputTable;
+    use eva_types::{DemandSpec, InstanceTypeId, JobId, SimDuration, WorkloadKind};
+
+    fn t(job: u64, gpu: u32, cpu: u32, ram_gb: u64, assigned: Option<u64>) -> TaskSnapshot {
+        TaskSnapshot {
+            id: TaskId::new(JobId(job), 0),
+            workload: WorkloadKind((job % 8) as u32),
+            demand: DemandSpec::uniform(ResourceVector::with_ram_gb(gpu, cpu, ram_gb)),
+            checkpoint_delay: SimDuration::from_secs(2),
+            launch_delay: SimDuration::from_secs(10),
+            gang_size: 1,
+            gang_coupled: false,
+            assigned_to: assigned.map(InstanceId),
+            remaining_hint: None,
+        }
+    }
+
+    fn instance(id: u64, catalog: &Catalog, name: &str) -> InstanceSnapshot {
+        InstanceSnapshot {
+            id: InstanceId(id),
+            type_id: catalog.by_name(name).unwrap().id,
+        }
+    }
+
+    #[test]
+    fn new_tasks_go_to_new_instances_only() {
+        let catalog = Catalog::table3_example();
+        // One efficient existing instance (τ1 on it1 has RP 12 ≥ 12).
+        let tasks = vec![t(1, 2, 8, 24, Some(0)), t(2, 1, 4, 10, None)];
+        let instances = vec![instance(0, &catalog, "it1")];
+        let prices = ReservationPrices::compute(&catalog, tasks.iter());
+        let eval = TnrpEvaluator::new(&UnitTput, &prices, true);
+        let out = partial_reconfiguration(&tasks, &instances, &catalog, &eval, false);
+        assert_eq!(
+            out.kept,
+            vec![(InstanceId(0), vec![TaskId::new(JobId(1), 0)])]
+        );
+        assert_eq!(out.reconsidered, vec![TaskId::new(JobId(2), 0)]);
+        assert_eq!(out.packed.instances.len(), 1);
+        assert_eq!(
+            catalog.get(out.packed.instances[0].type_id).unwrap().name,
+            "it2"
+        );
+        assert!(out.terminate.is_empty());
+    }
+
+    #[test]
+    fn inefficient_instances_surrender_their_tasks() {
+        let catalog = Catalog::table3_example();
+        // τ4 (RP 0.4) alone on an it1 ($12): wildly inefficient.
+        let tasks = vec![t(4, 0, 4, 12, Some(0))];
+        let instances = vec![instance(0, &catalog, "it1")];
+        let prices = ReservationPrices::compute(&catalog, tasks.iter());
+        let eval = TnrpEvaluator::new(&UnitTput, &prices, true);
+        let out = partial_reconfiguration(&tasks, &instances, &catalog, &eval, false);
+        assert!(out.kept.is_empty());
+        assert_eq!(out.terminate, vec![InstanceId(0)]);
+        assert_eq!(out.reconsidered, vec![TaskId::new(JobId(4), 0)]);
+        // Task repacked onto its reservation-price type.
+        assert_eq!(
+            catalog.get(out.packed.instances[0].type_id).unwrap().name,
+            "it4"
+        );
+    }
+
+    #[test]
+    fn empty_instances_are_terminated() {
+        let catalog = Catalog::table3_example();
+        let tasks: Vec<TaskSnapshot> = vec![];
+        let instances = vec![instance(0, &catalog, "it2")];
+        let prices = ReservationPrices::compute(&catalog, tasks.iter());
+        let eval = TnrpEvaluator::new(&UnitTput, &prices, true);
+        let out = partial_reconfiguration(&tasks, &instances, &catalog, &eval, false);
+        assert_eq!(out.terminate, vec![InstanceId(0)]);
+        assert!(out.packed.instances.is_empty());
+    }
+
+    #[test]
+    fn interference_drop_triggers_reconsideration() {
+        let catalog = Catalog::table3_example();
+        // Two $3-RP tasks packed on one it2-priced... it2 only fits one;
+        // host both on it1 ($12): RP sum 6 < 12, but pretend they were
+        // placed there by an earlier full reconfig along with others that
+        // completed. Now the instance is inefficient.
+        let tasks = vec![t(1, 1, 4, 10, Some(0)), t(2, 1, 4, 10, Some(0))];
+        let instances = vec![instance(0, &catalog, "it1")];
+        let prices = ReservationPrices::compute(&catalog, tasks.iter());
+        let eval = TnrpEvaluator::new(&UnitTput, &prices, true);
+        let out = partial_reconfiguration(&tasks, &instances, &catalog, &eval, false);
+        assert_eq!(out.terminate, vec![InstanceId(0)]);
+        assert_eq!(out.reconsidered.len(), 2);
+        // Each lands on its own it2.
+        assert_eq!(out.packed.instances.len(), 2);
+    }
+
+    #[test]
+    fn refill_existing_uses_spare_capacity() {
+        let catalog = Catalog::table3_example();
+        // τ1 on it1 leaves 2 GPU / 8 CPU / 220 GB spare; a new τ2 fits.
+        let tasks = vec![t(1, 2, 8, 24, Some(0)), t(2, 1, 4, 10, None)];
+        let instances = vec![instance(0, &catalog, "it1")];
+        let prices = ReservationPrices::compute(&catalog, tasks.iter());
+        let eval = TnrpEvaluator::new(&UnitTput, &prices, true);
+        let out = partial_reconfiguration(&tasks, &instances, &catalog, &eval, true);
+        assert_eq!(
+            out.kept,
+            vec![(
+                InstanceId(0),
+                vec![TaskId::new(JobId(1), 0), TaskId::new(JobId(2), 0)]
+            )]
+        );
+        assert!(out.packed.instances.is_empty());
+    }
+
+    #[test]
+    fn refill_respects_capacity() {
+        let catalog = Catalog::table3_example();
+        // it2 (1 GPU, 4 CPU) fully used by τ1's clone; τ2 cannot refill.
+        let tasks = vec![t(1, 1, 4, 10, Some(0)), t(2, 1, 4, 10, None)];
+        let instances = vec![instance(0, &catalog, "it2")];
+        let prices = ReservationPrices::compute(&catalog, tasks.iter());
+        let eval = TnrpEvaluator::new(&UnitTput, &prices, true);
+        let out = partial_reconfiguration(&tasks, &instances, &catalog, &eval, true);
+        assert_eq!(out.kept[0].1.len(), 1);
+        assert_eq!(out.packed.instances.len(), 1);
+    }
+
+    #[test]
+    fn saving_accounts_kept_and_packed() {
+        let catalog = Catalog::table3_example();
+        let tasks = vec![
+            t(1, 2, 8, 24, Some(0)),
+            t(2, 1, 4, 10, Some(0)),
+            t(3, 0, 6, 20, None),
+        ];
+        let instances = vec![instance(0, &catalog, "it1")];
+        let prices = ReservationPrices::compute(&catalog, tasks.iter());
+        let eval = TnrpEvaluator::new(&UnitTput, &prices, true);
+        let out = partial_reconfiguration(&tasks, &instances, &catalog, &eval, false);
+        let types: BTreeMap<InstanceId, InstanceTypeId> =
+            instances.iter().map(|i| (i.id, i.type_id)).collect();
+        // Kept it1 holds τ1 + τ2: RP 15 − 12 = 3; τ3 on it3: 0.8 − 0.8 = 0.
+        let s = out.total_saving_dollars(&tasks, &catalog, &eval, &types);
+        assert!((s - 3.0).abs() < 1e-9, "saving {s}");
+    }
+
+    #[test]
+    fn gang_aware_eviction_with_learned_interference() {
+        let catalog = Catalog::table3_example();
+        let mut tasks = vec![t(1, 1, 4, 10, Some(0)), t(2, 1, 4, 10, Some(0))];
+        tasks[0].workload = WorkloadKind(0);
+        tasks[1].workload = WorkloadKind(1);
+        let instances = vec![instance(0, &catalog, "it1")];
+        let prices = ReservationPrices::compute(&catalog, tasks.iter());
+        let mut table = ThroughputTable::new(0.95);
+        // Terrible interference learned online → instance inefficient even
+        // though RP sum (6) was already below it1's cost; with tput the set
+        // TNRP drops further.
+        table.record(WorkloadKind(0), &[WorkloadKind(1)], 0.5);
+        table.record(WorkloadKind(1), &[WorkloadKind(0)], 0.5);
+        let eval = TnrpEvaluator::new(&table, &prices, true);
+        let out = partial_reconfiguration(&tasks, &instances, &catalog, &eval, false);
+        assert_eq!(out.terminate, vec![InstanceId(0)]);
+        assert_eq!(out.packed.instances.len(), 2);
+    }
+}

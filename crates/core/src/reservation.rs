@@ -1,0 +1,340 @@
+//! Reservation price and throughput-normalized reservation price (§4.2–4.4).
+
+use std::collections::HashMap;
+
+use eva_cloud::Catalog;
+use eva_interference::ThroughputTable;
+use eva_types::{Cost, DemandSpec, InstanceTypeId, TaskId, WorkloadKind};
+
+use crate::plan::TaskSnapshot;
+
+/// Estimates the normalized throughput of a workload co-located with a
+/// multiset of other workloads. Implemented by Eva's learned
+/// [`ThroughputTable`], by oracles wrapping ground-truth interference (for
+/// the Owl baseline), and by [`UnitTput`] for interference-oblivious
+/// scheduling (Eva-RP).
+pub trait TputEstimator {
+    /// `tput(τ, T)` — normalized throughput of `task` when co-located with
+    /// `others` on the same instance.
+    fn estimate(&self, task: WorkloadKind, others: &[WorkloadKind]) -> f64;
+}
+
+impl TputEstimator for ThroughputTable {
+    fn estimate(&self, task: WorkloadKind, others: &[WorkloadKind]) -> f64 {
+        ThroughputTable::estimate(self, task, others)
+    }
+}
+
+/// An estimator that ignores interference entirely (always 1.0). Turns
+/// TNRP back into plain RP — the Eva-RP ablation of §6.4.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct UnitTput;
+
+impl TputEstimator for UnitTput {
+    fn estimate(&self, _task: WorkloadKind, _others: &[WorkloadKind]) -> f64 {
+        1.0
+    }
+}
+
+/// The reservation price of a demand: the hourly cost of the cheapest
+/// instance type that can host it standalone (§4.2). Returns the type too.
+///
+/// # Examples
+///
+/// ```
+/// use eva_cloud::Catalog;
+/// use eva_core::reservation_price;
+/// use eva_types::{DemandSpec, ResourceVector};
+///
+/// let catalog = Catalog::table3_example();
+/// // Table 3's τ1 demands [2, 8, 24 GB]; only it1 ($12/hr) fits.
+/// let d = DemandSpec::uniform(ResourceVector::with_ram_gb(2, 8, 24));
+/// let (ty, rp) = reservation_price(&catalog, &d).unwrap();
+/// assert_eq!(catalog.get(ty).unwrap().name, "it1");
+/// assert_eq!(rp.as_dollars(), 12.0);
+/// ```
+pub fn reservation_price(catalog: &Catalog, demand: &DemandSpec) -> Option<(InstanceTypeId, Cost)> {
+    catalog.cheapest_fit(demand).map(|t| (t.id, t.hourly_cost))
+}
+
+/// Precomputed reservation prices for a task set.
+#[derive(Debug, Clone, Default)]
+pub struct ReservationPrices {
+    prices: HashMap<TaskId, Cost>,
+    unschedulable: Vec<TaskId>,
+}
+
+impl ReservationPrices {
+    /// Computes the reservation price of every task; tasks no instance
+    /// type can host are collected separately.
+    pub fn compute<'a>(
+        catalog: &Catalog,
+        tasks: impl IntoIterator<Item = &'a TaskSnapshot>,
+    ) -> Self {
+        let mut prices = HashMap::new();
+        let mut unschedulable = Vec::new();
+        for t in tasks {
+            match reservation_price(catalog, &t.demand) {
+                Some((_, rp)) => {
+                    prices.insert(t.id, rp);
+                }
+                None => unschedulable.push(t.id),
+            }
+        }
+        ReservationPrices {
+            prices,
+            unschedulable,
+        }
+    }
+
+    /// `RP(τ)` in dollars (0.0 for unknown tasks).
+    pub fn rp_dollars(&self, task: TaskId) -> f64 {
+        self.prices
+            .get(&task)
+            .map(|c| c.as_dollars())
+            .unwrap_or(0.0)
+    }
+
+    /// `RP(τ)` as exact money, if known.
+    pub fn rp(&self, task: TaskId) -> Option<Cost> {
+        self.prices.get(&task).copied()
+    }
+
+    /// Tasks that no instance type can host.
+    pub fn unschedulable(&self) -> &[TaskId] {
+        &self.unschedulable
+    }
+
+    /// Number of priced tasks.
+    pub fn len(&self) -> usize {
+        self.prices.len()
+    }
+
+    /// True when no task was priced.
+    pub fn is_empty(&self) -> bool {
+        self.prices.is_empty()
+    }
+}
+
+/// Evaluates throughput-normalized reservation prices for task sets.
+///
+/// For a single-task job: `TNRP(τ, T) = tput(τ, T) × RP(τ)` (§4.3).
+///
+/// For a task of a gang-coupled job `j` (when `multi_task_aware`):
+/// `TNRP(τ, T) = RP(τ) − Σ_{τ'∈j} (1 − tput(τ, T)) × RP(τ')` (§4.4) — the
+/// whole job's degradation is charged at the instance causing it. With the
+/// paper's identical-sibling jobs this is
+/// `RP(τ) × (1 − gang_size × (1 − tput))`, which can go negative and
+/// thereby veto the assignment in Algorithm 1's line 9 check.
+pub struct TnrpEvaluator<'a> {
+    tput: &'a dyn TputEstimator,
+    prices: &'a ReservationPrices,
+    multi_task_aware: bool,
+}
+
+impl<'a> TnrpEvaluator<'a> {
+    /// Builds an evaluator.
+    pub fn new(
+        tput: &'a dyn TputEstimator,
+        prices: &'a ReservationPrices,
+        multi_task_aware: bool,
+    ) -> Self {
+        TnrpEvaluator {
+            tput,
+            prices,
+            multi_task_aware,
+        }
+    }
+
+    /// The throughput a task retains inside `set` (its co-located others
+    /// are every *other* member of the set).
+    pub fn tput_in_set(&self, task: &TaskSnapshot, set: &[&TaskSnapshot]) -> f64 {
+        let others: Vec<WorkloadKind> = set
+            .iter()
+            .filter(|t| t.id != task.id)
+            .map(|t| t.workload)
+            .collect();
+        self.tput.estimate(task.workload, &others)
+    }
+
+    /// `TNRP(τ, T)` in dollars (negative values allowed, §4.4).
+    pub fn tnrp_task(&self, task: &TaskSnapshot, set: &[&TaskSnapshot]) -> f64 {
+        let rp = self.prices.rp_dollars(task.id);
+        let tput = self.tput_in_set(task, set);
+        let gang = if self.multi_task_aware && task.gang_coupled {
+            f64::from(task.gang_size)
+        } else {
+            1.0
+        };
+        rp * (1.0 - gang * (1.0 - tput))
+    }
+
+    /// `TNRP(T) = Σ_{τ∈T} TNRP(τ, T)` in dollars.
+    pub fn tnrp_set(&self, set: &[&TaskSnapshot]) -> f64 {
+        set.iter().map(|t| self.tnrp_task(t, set)).sum()
+    }
+
+    /// Whether assigning `set` to an instance of hourly cost `cost` is
+    /// cost-efficient: `TNRP(T) ≥ C` (with a small epsilon so exact-cover
+    /// assignments like the paper's `it3` example pass).
+    pub fn is_cost_efficient(&self, set: &[&TaskSnapshot], cost: Cost) -> bool {
+        self.tnrp_set(set) + 1e-9 >= cost.as_dollars()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eva_types::{JobId, ResourceVector, SimDuration};
+
+    fn task(job: u64, demand: ResourceVector, workload: u32) -> TaskSnapshot {
+        task_gang(job, demand, workload, 1, false)
+    }
+
+    fn task_gang(
+        job: u64,
+        demand: ResourceVector,
+        workload: u32,
+        gang_size: u32,
+        gang_coupled: bool,
+    ) -> TaskSnapshot {
+        TaskSnapshot {
+            id: TaskId::new(JobId(job), 0),
+            workload: WorkloadKind(workload),
+            demand: DemandSpec::uniform(demand),
+            checkpoint_delay: SimDuration::from_secs(2),
+            launch_delay: SimDuration::from_secs(10),
+            gang_size,
+            gang_coupled,
+            assigned_to: None,
+            remaining_hint: None,
+        }
+    }
+
+    fn table3_tasks() -> Vec<TaskSnapshot> {
+        vec![
+            task(1, ResourceVector::with_ram_gb(2, 8, 24), 0),
+            task(2, ResourceVector::with_ram_gb(1, 4, 10), 1),
+            task(3, ResourceVector::with_ram_gb(0, 6, 20), 2),
+            task(4, ResourceVector::with_ram_gb(0, 4, 12), 3),
+        ]
+    }
+
+    #[test]
+    fn table3_reservation_prices() {
+        let catalog = Catalog::table3_example();
+        let tasks = table3_tasks();
+        let prices = ReservationPrices::compute(&catalog, tasks.iter());
+        let expect = [12.0, 3.0, 0.8, 0.4];
+        for (t, rp) in tasks.iter().zip(expect) {
+            assert_eq!(prices.rp_dollars(t.id), rp);
+        }
+        assert!(prices.unschedulable().is_empty());
+    }
+
+    #[test]
+    fn unschedulable_tasks_are_reported() {
+        let catalog = Catalog::table3_example();
+        let huge = task(9, ResourceVector::with_ram_gb(8, 64, 999), 0);
+        let prices = ReservationPrices::compute(&catalog, std::iter::once(&huge));
+        assert_eq!(prices.unschedulable(), &[huge.id]);
+        assert_eq!(prices.rp_dollars(huge.id), 0.0);
+    }
+
+    #[test]
+    fn paper_tnrp_example_cost_efficient_case() {
+        // §4.3: co-locating τ1 (tput 0.8) and τ2 (tput 0.9) on it1:
+        // 12×0.8 + 3×0.9 = 12.3 > 12 → cost-efficient.
+        let catalog = Catalog::table3_example();
+        let tasks = table3_tasks();
+        let prices = ReservationPrices::compute(&catalog, tasks.iter());
+        let mut table = ThroughputTable::new(0.95);
+        table.record(WorkloadKind(0), &[WorkloadKind(1)], 0.8);
+        table.record(WorkloadKind(1), &[WorkloadKind(0)], 0.9);
+        let eval = TnrpEvaluator::new(&table, &prices, true);
+        let set = [&tasks[0], &tasks[1]];
+        assert!((eval.tnrp_set(&set) - 12.3).abs() < 1e-9);
+        assert!(eval.is_cost_efficient(&set, Cost::from_dollars(12.0)));
+    }
+
+    #[test]
+    fn paper_tnrp_example_inefficient_case() {
+        // §4.3: tputs 0.7/0.8 give 12×0.7 + 3×0.8 = 10.8 < 12.
+        let catalog = Catalog::table3_example();
+        let tasks = table3_tasks();
+        let prices = ReservationPrices::compute(&catalog, tasks.iter());
+        let mut table = ThroughputTable::new(0.95);
+        table.record(WorkloadKind(0), &[WorkloadKind(1)], 0.7);
+        table.record(WorkloadKind(1), &[WorkloadKind(0)], 0.8);
+        let eval = TnrpEvaluator::new(&table, &prices, true);
+        let set = [&tasks[0], &tasks[1]];
+        assert!((eval.tnrp_set(&set) - 10.8).abs() < 1e-9);
+        assert!(!eval.is_cost_efficient(&set, Cost::from_dollars(12.0)));
+    }
+
+    #[test]
+    fn exact_cover_passes_cost_efficiency() {
+        // The paper's it3 walkthrough: RP equals the instance cost exactly.
+        let catalog = Catalog::table3_example();
+        let tasks = table3_tasks();
+        let prices = ReservationPrices::compute(&catalog, tasks.iter());
+        let table = ThroughputTable::new(0.95);
+        let eval = TnrpEvaluator::new(&table, &prices, true);
+        let set = [&tasks[2]];
+        assert!(eval.is_cost_efficient(&set, Cost::from_dollars(0.8)));
+    }
+
+    #[test]
+    fn gang_coupling_multiplies_penalty() {
+        let catalog = Catalog::table3_example();
+        let solo = task_gang(1, ResourceVector::with_ram_gb(1, 4, 10), 0, 1, false);
+        let gang = task_gang(2, ResourceVector::with_ram_gb(1, 4, 10), 0, 4, true);
+        let other = task(3, ResourceVector::with_ram_gb(1, 4, 10), 1);
+        let all = vec![solo.clone(), gang.clone(), other.clone()];
+        let prices = ReservationPrices::compute(&catalog, all.iter());
+        let mut table = ThroughputTable::new(0.95);
+        table.record(WorkloadKind(0), &[WorkloadKind(1)], 0.9);
+        let eval = TnrpEvaluator::new(&table, &prices, true);
+        // Independent task: 3 × 0.9 = 2.7.
+        assert!((eval.tnrp_task(&solo, &[&solo, &other]) - 2.7).abs() < 1e-9);
+        // Gang of 4: 3 × (1 − 4×0.1) = 1.8 — whole-job damage charged here.
+        assert!((eval.tnrp_task(&gang, &[&gang, &other]) - 1.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gang_penalty_can_go_negative() {
+        let catalog = Catalog::table3_example();
+        let gang = task_gang(1, ResourceVector::with_ram_gb(1, 4, 10), 0, 4, true);
+        let other = task(2, ResourceVector::with_ram_gb(1, 4, 10), 1);
+        let all = vec![gang.clone(), other.clone()];
+        let prices = ReservationPrices::compute(&catalog, all.iter());
+        let mut table = ThroughputTable::new(0.95);
+        table.record(WorkloadKind(0), &[WorkloadKind(1)], 0.6);
+        let eval = TnrpEvaluator::new(&table, &prices, true);
+        // 3 × (1 − 4×0.4) = −1.8.
+        assert!(eval.tnrp_task(&gang, &[&gang, &other]) < 0.0);
+    }
+
+    #[test]
+    fn eva_single_mode_ignores_gang_size() {
+        let catalog = Catalog::table3_example();
+        let gang = task_gang(1, ResourceVector::with_ram_gb(1, 4, 10), 0, 4, true);
+        let other = task(2, ResourceVector::with_ram_gb(1, 4, 10), 1);
+        let all = vec![gang.clone(), other.clone()];
+        let prices = ReservationPrices::compute(&catalog, all.iter());
+        let mut table = ThroughputTable::new(0.95);
+        table.record(WorkloadKind(0), &[WorkloadKind(1)], 0.9);
+        let eval = TnrpEvaluator::new(&table, &prices, false);
+        assert!((eval.tnrp_task(&gang, &[&gang, &other]) - 2.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unit_tput_reduces_tnrp_to_rp() {
+        let catalog = Catalog::table3_example();
+        let tasks = table3_tasks();
+        let prices = ReservationPrices::compute(&catalog, tasks.iter());
+        let eval = TnrpEvaluator::new(&UnitTput, &prices, true);
+        let set: Vec<&TaskSnapshot> = tasks.iter().collect();
+        assert!((eval.tnrp_set(&set) - 16.2).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,561 @@
+//! The Eva scheduler: ensemble of Full and Partial Reconfiguration.
+//!
+//! Each round the scheduler (1) updates its interference table from the
+//! round's throughput observations, (2) computes both candidate
+//! configurations, (3) *concretizes* them against the live cluster —
+//! mapping abstract packed instances onto existing instances of the same
+//! type with maximal task overlap so that unchanged assignments migrate
+//! nothing — and (4) picks one via the Equation 1 criterion.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use eva_interference::ThroughputMonitor;
+use eva_types::{InstanceId, InstanceTypeId, JobId, TaskId};
+
+use crate::config::{EvaConfig, ReconfigMode};
+use crate::decision::{DecisionInputs, EventRateEstimator, ReconfigDecision};
+use crate::packing::{full_reconfiguration, PackedConfig};
+use crate::partial::partial_reconfiguration;
+use crate::plan::{Assignment, JobObservation, Plan, PlannedInstance, Scheduler, SchedulerContext};
+use crate::reservation::{ReservationPrices, TnrpEvaluator, TputEstimator, UnitTput};
+
+/// The Eva scheduler (§4).
+///
+/// # Examples
+///
+/// ```
+/// use eva_cloud::Catalog;
+/// use eva_core::{EvaConfig, EvaScheduler, Scheduler, SchedulerContext};
+/// use eva_types::SimTime;
+///
+/// let mut eva = EvaScheduler::new(EvaConfig::eva());
+/// let catalog = Catalog::aws_eval_2025();
+/// let ctx = SchedulerContext { now: SimTime::ZERO, catalog: &catalog, tasks: &[], instances: &[] };
+/// let plan = eva.plan(&ctx);
+/// assert!(plan.assignments.is_empty());
+/// ```
+pub struct EvaScheduler {
+    cfg: EvaConfig,
+    monitor: ThroughputMonitor,
+    estimator: EventRateEstimator,
+    prev_jobs: BTreeSet<JobId>,
+    full_adopted: u64,
+    partial_adopted: u64,
+}
+
+impl EvaScheduler {
+    /// Builds an Eva scheduler.
+    pub fn new(cfg: EvaConfig) -> Self {
+        let monitor = ThroughputMonitor::with_default_tput(cfg.default_tput);
+        let estimator = EventRateEstimator::new(cfg.initial_lambda, cfg.initial_p);
+        EvaScheduler {
+            cfg,
+            monitor,
+            estimator,
+            prev_jobs: BTreeSet::new(),
+            full_adopted: 0,
+            partial_adopted: 0,
+        }
+    }
+
+    /// The learned co-location table (read access, e.g. for inspection).
+    pub fn monitor(&self) -> &ThroughputMonitor {
+        &self.monitor
+    }
+
+    /// `(full, partial)` adoption counts — Figure 5a's proportion metric.
+    pub fn adoption_counts(&self) -> (u64, u64) {
+        (self.full_adopted, self.partial_adopted)
+    }
+
+    /// Fraction of rounds that adopted Full Reconfiguration.
+    pub fn full_adoption_rate(&self) -> f64 {
+        let total = self.full_adopted + self.partial_adopted;
+        if total == 0 {
+            0.0
+        } else {
+            self.full_adopted as f64 / total as f64
+        }
+    }
+
+    /// Turns an abstract packed configuration into a concrete plan by
+    /// reusing existing instances: each packed instance grabs the unused
+    /// live instance of the same type with the largest task overlap.
+    fn concretize(
+        packed: &PackedConfig,
+        kept: Vec<(InstanceId, Vec<TaskId>)>,
+        ctx: &SchedulerContext<'_>,
+        reusable: &[InstanceId],
+    ) -> Plan {
+        let mut current_on: BTreeMap<InstanceId, BTreeSet<TaskId>> = BTreeMap::new();
+        let mut type_of: BTreeMap<InstanceId, InstanceTypeId> = BTreeMap::new();
+        for inst in ctx.instances {
+            type_of.insert(inst.id, inst.type_id);
+            current_on.entry(inst.id).or_default();
+        }
+        for t in ctx.tasks {
+            if let Some(id) = t.assigned_to {
+                current_on.entry(id).or_default().insert(t.id);
+            }
+        }
+        let mut available: BTreeSet<InstanceId> = reusable.iter().copied().collect();
+        let mut assignments: Vec<Assignment> = kept
+            .into_iter()
+            .map(|(id, tasks)| Assignment {
+                instance: PlannedInstance::Existing(id),
+                tasks,
+            })
+            .collect();
+
+        for inst in &packed.instances {
+            let want: BTreeSet<TaskId> = inst.tasks.iter().copied().collect();
+            let best = available
+                .iter()
+                .filter(|id| type_of.get(id) == Some(&inst.type_id))
+                .map(|id| {
+                    let overlap = current_on
+                        .get(id)
+                        .map(|cur| cur.intersection(&want).count())
+                        .unwrap_or(0);
+                    (*id, overlap)
+                })
+                .max_by_key(|(id, overlap)| (*overlap, std::cmp::Reverse(*id)));
+            let target = match best {
+                Some((id, overlap)) if overlap > 0 => {
+                    available.remove(&id);
+                    PlannedInstance::Existing(id)
+                }
+                _ => PlannedInstance::New(inst.type_id),
+            };
+            assignments.push(Assignment {
+                instance: target,
+                tasks: inst.tasks.clone(),
+            });
+        }
+
+        // Anything live and unclaimed is terminated once drained.
+        let used: BTreeSet<InstanceId> = assignments
+            .iter()
+            .filter_map(|a| match a.instance {
+                PlannedInstance::Existing(id) => Some(id),
+                PlannedInstance::New(_) => None,
+            })
+            .collect();
+        let terminate: Vec<InstanceId> = ctx
+            .instances
+            .iter()
+            .map(|i| i.id)
+            .filter(|id| !used.contains(id))
+            .collect();
+
+        Plan {
+            assignments,
+            terminate,
+            full_reconfiguration: false,
+        }
+    }
+
+    /// Migration cost `M` of adopting `plan` (dollars): each moved task's
+    /// checkpoint+launch delay billed at the destination's hourly rate
+    /// (the paper computes `M` from "task migration delays and the cost of
+    /// the involved instances"). First placements cost the same under both
+    /// candidate plans and are excluded.
+    fn migration_cost_dollars(&self, plan: &Plan, ctx: &SchedulerContext<'_>) -> f64 {
+        let type_cost = |instance: &PlannedInstance| -> f64 {
+            let type_id = match instance {
+                PlannedInstance::Existing(id) => ctx
+                    .instances
+                    .iter()
+                    .find(|i| i.id == *id)
+                    .map(|i| i.type_id),
+                PlannedInstance::New(ty) => Some(*ty),
+            };
+            type_id
+                .and_then(|ty| ctx.catalog.get(ty))
+                .map(|t| t.hourly_cost.as_dollars())
+                .unwrap_or(0.0)
+        };
+        let mut cost = 0.0;
+        for a in &plan.assignments {
+            let dest_cost = type_cost(&a.instance);
+            for tid in &a.tasks {
+                let Some(snap) = ctx.tasks.iter().find(|t| t.id == *tid) else {
+                    continue;
+                };
+                let moved = match (&a.instance, snap.assigned_to) {
+                    (PlannedInstance::Existing(target), Some(cur)) => *target != cur,
+                    (PlannedInstance::New(_), Some(_)) => true,
+                    (_, None) => false,
+                };
+                if moved {
+                    cost += snap.migration_delay().as_hours_f64() * dest_cost;
+                }
+            }
+        }
+        cost
+    }
+}
+
+impl Scheduler for EvaScheduler {
+    fn name(&self) -> &'static str {
+        match (self.cfg.use_tnrp, self.cfg.multi_task_aware, self.cfg.mode) {
+            (false, _, _) => "Eva-RP",
+            (true, false, _) => "Eva-Single",
+            (true, true, ReconfigMode::FullOnly) => "Eva-FullOnly",
+            (true, true, ReconfigMode::PartialOnly) => "Eva-PartialOnly",
+            (true, true, ReconfigMode::Ensemble) => "Eva",
+        }
+    }
+
+    fn plan(&mut self, ctx: &SchedulerContext<'_>) -> Plan {
+        // Count job arrival/completion events since the last round.
+        let jobs_now: BTreeSet<JobId> = ctx.tasks.iter().map(|t| t.id.job).collect();
+        let arrivals = jobs_now.difference(&self.prev_jobs).count() as u64;
+        let completions = self.prev_jobs.difference(&jobs_now).count() as u64;
+        let events = arrivals + completions;
+        self.prev_jobs = jobs_now;
+
+        let prices = ReservationPrices::compute(ctx.catalog, ctx.tasks.iter());
+        let unit = UnitTput;
+        let tput: &dyn TputEstimator = if self.cfg.use_tnrp {
+            self.monitor.table()
+        } else {
+            &unit
+        };
+        let eval = TnrpEvaluator::new(tput, &prices, self.cfg.multi_task_aware);
+
+        // Candidate 1: Full Reconfiguration over every task.
+        let full_packed = full_reconfiguration(ctx.tasks, ctx.catalog, &eval);
+        let all_ids: Vec<InstanceId> = ctx.instances.iter().map(|i| i.id).collect();
+        let mut full_plan = Self::concretize(&full_packed, Vec::new(), ctx, &all_ids);
+        full_plan.full_reconfiguration = true;
+
+        // Candidate 2: Partial Reconfiguration.
+        let partial_out = partial_reconfiguration(
+            ctx.tasks,
+            ctx.instances,
+            ctx.catalog,
+            &eval,
+            self.cfg.refill_existing,
+        );
+        let partial_plan = Self::concretize(
+            &partial_out.packed,
+            partial_out.kept.clone(),
+            ctx,
+            &partial_out.terminate,
+        );
+
+        // Savings and migration costs.
+        let s_f = full_packed.total_saving_dollars();
+        let instance_types: BTreeMap<InstanceId, InstanceTypeId> =
+            ctx.instances.iter().map(|i| (i.id, i.type_id)).collect();
+        let s_p = partial_out.total_saving_dollars(ctx.tasks, ctx.catalog, &eval, &instance_types);
+        let m_f = self.migration_cost_dollars(&full_plan, ctx);
+        let m_p = self.migration_cost_dollars(&partial_plan, ctx);
+
+        let decision = match self.cfg.mode {
+            ReconfigMode::FullOnly => ReconfigDecision::Full,
+            ReconfigMode::PartialOnly => ReconfigDecision::Partial,
+            ReconfigMode::Ensemble => DecisionInputs {
+                full_saving: s_f,
+                full_migration_cost: m_f,
+                partial_saving: s_p,
+                partial_migration_cost: m_p,
+                estimated_duration_hours: self.estimator.estimated_duration_hours(),
+            }
+            .decide(),
+        };
+        if std::env::var_os("EVA_DEBUG_DECISION").is_some() {
+            eprintln!(
+                "t={:.2}h tasks={} S_F={s_f:.2} S_P={s_p:.2} M_F={m_f:.2} M_P={m_p:.2} D={:.2}h -> {decision:?}",
+                ctx.now.as_hours_f64(),
+                ctx.tasks.len(),
+                self.estimator.estimated_duration_hours(),
+            );
+        }
+
+        // A Full adoption that actually changes something counts as a
+        // "triggered" event for the p estimator.
+        let full_changes = !full_plan.migrations(ctx.tasks, false).is_empty()
+            || full_plan.new_instance_count() > 0
+            || !full_plan.terminate.is_empty();
+        let triggered = decision == ReconfigDecision::Full && full_changes;
+        self.estimator.record_events(events, triggered, ctx.now);
+
+        match decision {
+            ReconfigDecision::Full => {
+                self.full_adopted += 1;
+                full_plan
+            }
+            ReconfigDecision::Partial => {
+                self.partial_adopted += 1;
+                partial_plan
+            }
+        }
+    }
+
+    fn observe(&mut self, observations: &[JobObservation]) {
+        for obs in observations {
+            if obs.gang_coupled && obs.contexts.len() > 1 {
+                self.monitor
+                    .observe_multi_task(obs.job, &obs.contexts, obs.observed_tput);
+            } else {
+                for ctx in &obs.contexts {
+                    self.monitor
+                        .observe_single_task(ctx.clone(), obs.observed_tput);
+                }
+            }
+        }
+    }
+}
+
+/// Helper shared with tests and the simulator: collect the task ids per
+/// planned instance from a plan.
+pub fn plan_assignment_map(plan: &Plan) -> BTreeMap<TaskId, PlannedInstance> {
+    let mut map = BTreeMap::new();
+    for a in &plan.assignments {
+        for t in &a.tasks {
+            map.insert(*t, a.instance);
+        }
+    }
+    map
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{InstanceSnapshot, TaskSnapshot};
+    use eva_cloud::Catalog;
+    use eva_interference::TaskContext;
+    use eva_types::{DemandSpec, ResourceVector, SimDuration, SimTime, WorkloadKind};
+
+    fn task(job: u64, gpu: u32, cpu: u32, ram_gb: u64, assigned: Option<u64>) -> TaskSnapshot {
+        TaskSnapshot {
+            id: TaskId::new(JobId(job), 0),
+            workload: WorkloadKind((job % 8) as u32),
+            demand: DemandSpec::uniform(ResourceVector::with_ram_gb(gpu, cpu, ram_gb)),
+            checkpoint_delay: SimDuration::from_secs(2),
+            launch_delay: SimDuration::from_secs(10),
+            gang_size: 1,
+            gang_coupled: false,
+            assigned_to: assigned.map(InstanceId),
+            remaining_hint: None,
+        }
+    }
+
+    fn ctx_with<'a>(
+        catalog: &'a Catalog,
+        tasks: &'a [TaskSnapshot],
+        instances: &'a [InstanceSnapshot],
+        now_hours: f64,
+    ) -> SchedulerContext<'a> {
+        SchedulerContext {
+            now: SimTime::from_hours_f64(now_hours),
+            catalog,
+            tasks,
+            instances,
+        }
+    }
+
+    #[test]
+    fn empty_cluster_produces_empty_plan() {
+        let catalog = Catalog::aws_eval_2025();
+        let mut eva = EvaScheduler::new(EvaConfig::eva());
+        let plan = eva.plan(&ctx_with(&catalog, &[], &[], 0.0));
+        assert!(plan.assignments.is_empty());
+        assert!(plan.terminate.is_empty());
+    }
+
+    #[test]
+    fn first_round_places_all_tasks() {
+        let catalog = Catalog::table3_example();
+        let tasks = vec![
+            task(1, 2, 8, 24, None),
+            task(2, 1, 4, 10, None),
+            task(3, 0, 6, 20, None),
+            task(4, 0, 4, 12, None),
+        ];
+        let mut eva = EvaScheduler::new(EvaConfig::eva());
+        let plan = eva.plan(&ctx_with(&catalog, &tasks, &[], 0.0));
+        let placed: usize = plan.assignments.iter().map(|a| a.tasks.len()).sum();
+        assert_eq!(placed, 4);
+        // All on new instances (no live cluster to reuse).
+        assert_eq!(plan.new_instance_count(), plan.assignments.len());
+    }
+
+    #[test]
+    fn stable_cluster_keeps_assignments() {
+        // Once the cluster matches the packed shape, replanning the same
+        // tasks should migrate nothing.
+        let catalog = Catalog::table3_example();
+        let tasks_round1 = vec![task(1, 2, 8, 24, None), task(2, 1, 4, 10, None)];
+        let mut eva = EvaScheduler::new(EvaConfig::eva());
+        let plan1 = eva.plan(&ctx_with(&catalog, &tasks_round1, &[], 0.0));
+        assert_eq!(plan1.new_instance_count(), plan1.assignments.len());
+
+        // Materialize the plan: both tasks ended up somewhere; mirror it.
+        let mut tasks_round2 = tasks_round1.clone();
+        let mut instances = Vec::new();
+        for (idx, a) in plan1.assignments.iter().enumerate() {
+            let id = InstanceId(idx as u64);
+            let PlannedInstance::New(ty) = a.instance else {
+                panic!()
+            };
+            instances.push(InstanceSnapshot { id, type_id: ty });
+            for tid in &a.tasks {
+                tasks_round2
+                    .iter_mut()
+                    .find(|t| t.id == *tid)
+                    .unwrap()
+                    .assigned_to = Some(id);
+            }
+        }
+        let plan2 = eva.plan(&ctx_with(&catalog, &tasks_round2, &instances, 0.1));
+        assert!(plan2.migrations(&tasks_round2, false).is_empty());
+        assert!(plan2.terminate.is_empty());
+        assert_eq!(plan2.new_instance_count(), 0);
+    }
+
+    #[test]
+    fn job_completion_triggers_cleanup() {
+        let catalog = Catalog::table3_example();
+        // τ4 alone on an expensive it1 after its co-residents completed.
+        let tasks = vec![task(4, 0, 4, 12, Some(0))];
+        let instances = vec![InstanceSnapshot {
+            id: InstanceId(0),
+            type_id: catalog.by_name("it1").unwrap().id,
+        }];
+        let mut eva = EvaScheduler::new(EvaConfig::eva());
+        let plan = eva.plan(&ctx_with(&catalog, &tasks, &instances, 1.0));
+        // Whatever branch wins, τ4 must not stay alone on it1.
+        let map = plan_assignment_map(&plan);
+        let target = map.get(&TaskId::new(JobId(4), 0)).unwrap();
+        match target {
+            PlannedInstance::New(ty) => {
+                assert_eq!(catalog.get(*ty).unwrap().name, "it4");
+            }
+            PlannedInstance::Existing(id) => panic!("should not stay on {id}"),
+        }
+        assert_eq!(plan.terminate, vec![InstanceId(0)]);
+    }
+
+    #[test]
+    fn full_only_mode_always_full() {
+        let catalog = Catalog::table3_example();
+        let tasks = vec![task(1, 1, 4, 10, None)];
+        let mut eva = EvaScheduler::new(EvaConfig::without_partial());
+        let plan = eva.plan(&ctx_with(&catalog, &tasks, &[], 0.0));
+        assert!(plan.full_reconfiguration);
+        assert_eq!(eva.adoption_counts(), (1, 0));
+    }
+
+    #[test]
+    fn partial_only_mode_never_full() {
+        let catalog = Catalog::table3_example();
+        let tasks = vec![task(1, 1, 4, 10, None)];
+        let mut eva = EvaScheduler::new(EvaConfig::without_full());
+        let plan = eva.plan(&ctx_with(&catalog, &tasks, &[], 0.0));
+        assert!(!plan.full_reconfiguration);
+        assert_eq!(eva.adoption_counts(), (0, 1));
+        assert_eq!(eva.full_adoption_rate(), 0.0);
+    }
+
+    #[test]
+    fn observations_feed_the_table() {
+        let mut eva = EvaScheduler::new(EvaConfig::eva());
+        let obs = JobObservation {
+            job: JobId(1),
+            gang_coupled: false,
+            observed_tput: 0.8,
+            contexts: vec![TaskContext::new(
+                TaskId::new(JobId(1), 0),
+                WorkloadKind(0),
+                vec![WorkloadKind(1)],
+            )],
+        };
+        eva.observe(&[obs]);
+        assert_eq!(
+            eva.monitor()
+                .table()
+                .recorded(WorkloadKind(0), &[WorkloadKind(1)]),
+            Some(0.8)
+        );
+    }
+
+    #[test]
+    fn gang_observations_use_attribution() {
+        let mut eva = EvaScheduler::new(EvaConfig::eva());
+        let obs = JobObservation {
+            job: JobId(1),
+            gang_coupled: true,
+            observed_tput: 0.7,
+            contexts: vec![
+                TaskContext::new(TaskId::new(JobId(1), 0), WorkloadKind(0), vec![]),
+                TaskContext::new(
+                    TaskId::new(JobId(1), 1),
+                    WorkloadKind(0),
+                    vec![WorkloadKind(2)],
+                ),
+            ],
+        };
+        eva.observe(&[obs]);
+        // Attributed to the co-located task only.
+        assert_eq!(
+            eva.monitor()
+                .table()
+                .recorded(WorkloadKind(0), &[WorkloadKind(2)]),
+            Some(0.7)
+        );
+    }
+
+    #[test]
+    fn severe_learned_interference_reverts_to_no_packing() {
+        // §6.4: in extreme cases Eva refrains from co-locating entirely.
+        let catalog = Catalog::table3_example();
+        let mut eva = EvaScheduler::new(EvaConfig::eva());
+        // Teach the table that everything destroys everything (tput 0.1).
+        for a in 0..8u32 {
+            for b in 0..8u32 {
+                eva.monitor.observe_single_task(
+                    TaskContext::new(
+                        TaskId::new(JobId(99), a),
+                        WorkloadKind(a),
+                        vec![WorkloadKind(b)],
+                    ),
+                    0.1,
+                );
+            }
+        }
+        let tasks = vec![task(1, 1, 4, 10, None), task(2, 1, 4, 10, None)];
+        let plan = eva.plan(&ctx_with(&catalog, &tasks, &[], 0.0));
+        // Two singleton instances.
+        assert_eq!(plan.assignments.len(), 2);
+        for a in &plan.assignments {
+            assert_eq!(a.tasks.len(), 1);
+        }
+    }
+
+    #[test]
+    fn eva_rp_ignores_learned_interference() {
+        let catalog = Catalog::table3_example();
+        let mut eva = EvaScheduler::new(EvaConfig::eva_rp());
+        for a in 0..8u32 {
+            for b in 0..8u32 {
+                eva.monitor.observe_single_task(
+                    TaskContext::new(
+                        TaskId::new(JobId(99), a),
+                        WorkloadKind(a),
+                        vec![WorkloadKind(b)],
+                    ),
+                    0.1,
+                );
+            }
+        }
+        let tasks = vec![task(1, 2, 8, 24, None), task(2, 1, 4, 10, None)];
+        let plan = eva.plan(&ctx_with(&catalog, &tasks, &[], 0.0));
+        // RP-only packing still co-locates them on one it1.
+        assert_eq!(plan.assignments.len(), 1);
+        assert_eq!(plan.assignments[0].tasks.len(), 2);
+        assert_eq!(eva.name(), "Eva-RP");
+    }
+}

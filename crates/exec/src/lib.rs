@@ -1,0 +1,34 @@
+//! Live task runtime: the master–worker execution substrate (§5).
+//!
+//! The paper's implementation runs a master that manages cloud instances
+//! and per-instance workers that launch tasks as Docker containers and
+//! report throughput over gRPC. This crate reproduces that control plane
+//! in-process so the scheduler can be exercised end-to-end on a laptop:
+//!
+//! * [`Master`] — registers workers, routes commands, aggregates
+//!   throughput reports, and drives checkpoint/migrate cycles;
+//! * [`Worker`] — one thread per simulated instance, executing tasks as
+//!   [`Container`]s (threads standing in for Docker containers);
+//! * [`EvaIterator`] — the lightweight iterator wrapper user code loops
+//!   over; it meters throughput over a sliding window and implements
+//!   cooperative checkpoint/stop, mirroring the paper's `EvaIterator`
+//!   API; and
+//! * a checkpoint store on [`eva_cloud::GlobalStorage`] standing in for
+//!   the shared S3 bucket.
+//!
+//! Communication uses crossbeam channels in place of gRPC; the message
+//! protocol (launch / checkpoint / report / finish) has the same shape.
+
+pub mod container;
+pub mod iterator;
+pub mod master;
+pub mod messages;
+pub mod worker;
+
+pub use container::{Container, TaskProgram};
+pub use iterator::{EvaIterator, IteratorControl};
+pub use master::{Master, TaskHandle};
+pub use messages::{MasterToWorker, TaskExit, WorkerToMaster};
+pub use worker::Worker;
+
+pub use bytes;

@@ -1,0 +1,349 @@
+//! The master: instance/worker registry, task routing, and migrations.
+//!
+//! The master mirrors the paper's centralized control plane: it launches a
+//! worker per instance, routes task launches, polls throughput, and drives
+//! the checkpoint → store → relaunch cycle of a migration with checkpoints
+//! kept in the shared [`GlobalStorage`] (the S3 stand-in).
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+use eva_cloud::GlobalStorage;
+use eva_types::{EvaError, InstanceId, Result, TaskId};
+
+use crate::messages::{MasterToWorker, TaskExit, WorkerToMaster};
+use crate::worker::{ProgramFactory, Worker};
+
+/// Tracked status of a task.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TaskStatus {
+    /// Launched on the given instance.
+    Running(InstanceId),
+    /// Checkpointed and awaiting relaunch.
+    Checkpointed,
+    /// Finished all iterations.
+    Finished,
+}
+
+/// Book-keeping entry for a submitted task.
+#[derive(Debug, Clone)]
+pub struct TaskHandle {
+    /// Current status.
+    pub status: TaskStatus,
+    /// Total iterations the task runs.
+    pub total_iterations: u64,
+    /// Last reported completed iterations.
+    pub completed: u64,
+}
+
+/// The centralized master.
+pub struct Master {
+    workers: HashMap<InstanceId, Worker>,
+    reports_tx: Sender<WorkerToMaster>,
+    reports_rx: Receiver<WorkerToMaster>,
+    storage: Mutex<GlobalStorage>,
+    tasks: Mutex<HashMap<TaskId, TaskHandle>>,
+}
+
+impl Default for Master {
+    fn default() -> Self {
+        Master::new()
+    }
+}
+
+impl Master {
+    /// Creates an empty master.
+    pub fn new() -> Self {
+        let (reports_tx, reports_rx) = unbounded();
+        Master {
+            workers: HashMap::new(),
+            reports_tx,
+            reports_rx,
+            storage: Mutex::new(GlobalStorage::new()),
+            tasks: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Registers an instance by spawning its worker.
+    pub fn register_instance(&mut self, instance: InstanceId, factory: ProgramFactory) {
+        let worker = Worker::spawn(instance, self.reports_tx.clone(), factory);
+        self.workers.insert(instance, worker);
+    }
+
+    /// Number of registered workers.
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Launches a task on an instance.
+    pub fn launch_task(
+        &self,
+        instance: InstanceId,
+        task: TaskId,
+        total_iterations: u64,
+    ) -> Result<()> {
+        let worker = self
+            .workers
+            .get(&instance)
+            .ok_or(EvaError::UnknownInstance(instance))?;
+        self.tasks.lock().insert(
+            task,
+            TaskHandle {
+                status: TaskStatus::Running(instance),
+                total_iterations,
+                completed: 0,
+            },
+        );
+        worker.send(MasterToWorker::LaunchTask {
+            task,
+            total_iterations,
+            checkpoint: None,
+        });
+        Ok(())
+    }
+
+    /// Current handle for a task.
+    pub fn task_handle(&self, task: TaskId) -> Option<TaskHandle> {
+        self.tasks.lock().get(&task).cloned()
+    }
+
+    /// Asks every worker for throughput reports.
+    pub fn poll_throughput(&self) {
+        for worker in self.workers.values() {
+            worker.send(MasterToWorker::ReportThroughput);
+        }
+    }
+
+    /// Migrates a task: checkpoint on the source, stash the blob in global
+    /// storage, relaunch on the destination from the checkpoint. Blocks
+    /// until the relaunch is issued or `timeout` expires.
+    pub fn migrate_task(&self, task: TaskId, to: InstanceId, timeout: Duration) -> Result<()> {
+        let from = match self.tasks.lock().get(&task) {
+            Some(TaskHandle {
+                status: TaskStatus::Running(i),
+                ..
+            }) => *i,
+            _ => {
+                return Err(EvaError::InvalidInput(format!(
+                    "task {task} is not running"
+                )))
+            }
+        };
+        let source = self
+            .workers
+            .get(&from)
+            .ok_or(EvaError::UnknownInstance(from))?;
+        source.send(MasterToWorker::CheckpointTask(task));
+
+        // Wait for the checkpointed exit, processing other reports as they
+        // stream in.
+        let deadline = std::time::Instant::now() + timeout;
+        let blob: Bytes = loop {
+            let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+            if remaining.is_zero() {
+                return Err(EvaError::InvalidInput(format!(
+                    "timed out waiting for checkpoint of {task}"
+                )));
+            }
+            match self.reports_rx.recv_timeout(remaining) {
+                Ok(report) => {
+                    if let WorkerToMaster::TaskExited {
+                        task: t,
+                        exit: TaskExit::Checkpointed,
+                        checkpoint: Some(blob),
+                        completed,
+                        ..
+                    } = &report
+                    {
+                        if *t == task {
+                            let blob = blob.clone();
+                            let completed = *completed;
+                            let mut tasks = self.tasks.lock();
+                            if let Some(h) = tasks.get_mut(&task) {
+                                h.status = TaskStatus::Checkpointed;
+                                h.completed = completed;
+                            }
+                            break blob;
+                        }
+                    }
+                    self.apply_report(report);
+                }
+                Err(_) => {
+                    return Err(EvaError::InvalidInput(format!(
+                        "timed out waiting for checkpoint of {task}"
+                    )))
+                }
+            }
+        };
+
+        // Store the checkpoint in global storage (workers mount it).
+        let key = format!("ckpt/{task}");
+        self.storage.lock().put(&key, blob.to_vec());
+
+        let dest = self.workers.get(&to).ok_or(EvaError::UnknownInstance(to))?;
+        let total = self
+            .tasks
+            .lock()
+            .get(&task)
+            .map(|h| h.total_iterations)
+            .unwrap_or(0);
+        let stored = self
+            .storage
+            .lock()
+            .get(&key)
+            .map(Bytes::copy_from_slice)
+            .unwrap_or_default();
+        dest.send(MasterToWorker::LaunchTask {
+            task,
+            total_iterations: total,
+            checkpoint: Some(stored),
+        });
+        if let Some(h) = self.tasks.lock().get_mut(&task) {
+            h.status = TaskStatus::Running(to);
+        }
+        Ok(())
+    }
+
+    /// Processes all queued worker reports without blocking; returns them.
+    pub fn drain_reports(&self) -> Vec<WorkerToMaster> {
+        let mut out = Vec::new();
+        while let Ok(report) = self.reports_rx.try_recv() {
+            self.apply_report(report.clone());
+            out.push(report);
+        }
+        out
+    }
+
+    /// Blocks for the next report (test/demo helper).
+    pub fn recv_report(&self, timeout: Duration) -> Option<WorkerToMaster> {
+        match self.reports_rx.recv_timeout(timeout) {
+            Ok(report) => {
+                self.apply_report(report.clone());
+                Some(report)
+            }
+            Err(_) => None,
+        }
+    }
+
+    fn apply_report(&self, report: WorkerToMaster) {
+        match report {
+            WorkerToMaster::TaskExited {
+                task,
+                exit,
+                completed,
+                ..
+            } => {
+                let mut tasks = self.tasks.lock();
+                if let Some(h) = tasks.get_mut(&task) {
+                    h.completed = completed;
+                    h.status = match exit {
+                        TaskExit::Finished => TaskStatus::Finished,
+                        TaskExit::Checkpointed => TaskStatus::Checkpointed,
+                        TaskExit::Stopped => TaskStatus::Checkpointed,
+                    };
+                }
+            }
+            WorkerToMaster::Throughput {
+                task, completed, ..
+            } => {
+                let mut tasks = self.tasks.lock();
+                if let Some(h) = tasks.get_mut(&task) {
+                    h.completed = completed;
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Shuts every worker down.
+    pub fn shutdown(mut self) {
+        for (_, worker) in self.workers.drain() {
+            worker.shutdown();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::container::TaskProgram;
+    use eva_types::JobId;
+
+    struct Fast;
+    impl TaskProgram for Fast {
+        fn step(&mut self, _: u64) {}
+    }
+
+    struct Slow;
+    impl TaskProgram for Slow {
+        fn step(&mut self, _: u64) {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    #[test]
+    fn launch_runs_to_finish() {
+        let mut master = Master::new();
+        master.register_instance(InstanceId(0), Box::new(|_| Box::new(Fast)));
+        let task = TaskId::new(JobId(1), 0);
+        master.launch_task(InstanceId(0), task, 100).unwrap();
+        // Wait for the exit report.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while std::time::Instant::now() < deadline {
+            master.drain_reports();
+            if master.task_handle(task).unwrap().status == TaskStatus::Finished {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let h = master.task_handle(task).unwrap();
+        assert_eq!(h.status, TaskStatus::Finished);
+        assert_eq!(h.completed, 100);
+        master.shutdown();
+    }
+
+    #[test]
+    fn migration_checkpoints_and_resumes() {
+        let mut master = Master::new();
+        master.register_instance(InstanceId(0), Box::new(|_| Box::new(Slow)));
+        master.register_instance(InstanceId(1), Box::new(|_| Box::new(Slow)));
+        let task = TaskId::new(JobId(2), 0);
+        master.launch_task(InstanceId(0), task, 1_000_000).unwrap();
+        std::thread::sleep(Duration::from_millis(20));
+        master
+            .migrate_task(task, InstanceId(1), Duration::from_secs(5))
+            .unwrap();
+        let h = master.task_handle(task).unwrap();
+        assert_eq!(h.status, TaskStatus::Running(InstanceId(1)));
+        assert!(h.completed > 0);
+        master.shutdown();
+    }
+
+    #[test]
+    fn launching_on_unknown_instance_fails() {
+        let master = Master::new();
+        let err = master
+            .launch_task(InstanceId(9), TaskId::new(JobId(1), 0), 10)
+            .unwrap_err();
+        assert!(matches!(err, EvaError::UnknownInstance(_)));
+    }
+
+    #[test]
+    fn migrating_idle_task_fails() {
+        let mut master = Master::new();
+        master.register_instance(InstanceId(0), Box::new(|_| Box::new(Fast)));
+        let err = master
+            .migrate_task(
+                TaskId::new(JobId(5), 0),
+                InstanceId(0),
+                Duration::from_secs(1),
+            )
+            .unwrap_err();
+        assert!(matches!(err, EvaError::InvalidInput(_)));
+        master.shutdown();
+    }
+}

@@ -1,0 +1,100 @@
+//! The master↔worker message protocol (crossbeam stand-in for gRPC).
+
+use bytes::Bytes;
+
+use eva_types::{InstanceId, TaskId};
+
+/// Why a task's container exited.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TaskExit {
+    /// All work completed.
+    Finished,
+    /// Checkpointed on request; payload stored in global storage.
+    Checkpointed,
+    /// Stopped on request without a checkpoint.
+    Stopped,
+}
+
+/// Commands the master sends to a worker.
+#[derive(Debug, Clone)]
+pub enum MasterToWorker {
+    /// Launch a task, optionally resuming from a checkpoint blob.
+    LaunchTask {
+        /// The task to launch.
+        task: TaskId,
+        /// Total iterations the task must complete.
+        total_iterations: u64,
+        /// Checkpoint to resume from, if any.
+        checkpoint: Option<Bytes>,
+    },
+    /// Checkpoint a running task (it will exit with a checkpoint blob).
+    CheckpointTask(TaskId),
+    /// Report the throughput of all running tasks.
+    ReportThroughput,
+    /// Shut the worker down.
+    Shutdown,
+}
+
+/// Reports a worker sends to the master.
+#[derive(Debug, Clone)]
+pub enum WorkerToMaster {
+    /// A task started (or resumed) execution.
+    TaskStarted {
+        /// The worker's instance.
+        instance: InstanceId,
+        /// The task.
+        task: TaskId,
+    },
+    /// Windowed throughput of one task (iterations per second).
+    Throughput {
+        /// The worker's instance.
+        instance: InstanceId,
+        /// The task.
+        task: TaskId,
+        /// Iterations per second over the recent window.
+        iters_per_sec: f64,
+        /// Total completed iterations.
+        completed: u64,
+    },
+    /// A task's container exited.
+    TaskExited {
+        /// The worker's instance.
+        instance: InstanceId,
+        /// The task.
+        task: TaskId,
+        /// Exit reason.
+        exit: TaskExit,
+        /// Checkpoint blob for `TaskExit::Checkpointed`.
+        checkpoint: Option<Bytes>,
+        /// Completed iterations at exit.
+        completed: u64,
+    },
+    /// The worker has shut down.
+    WorkerStopped(InstanceId),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eva_types::JobId;
+
+    #[test]
+    fn messages_are_cloneable_and_debuggable() {
+        let m = MasterToWorker::LaunchTask {
+            task: TaskId::new(JobId(1), 0),
+            total_iterations: 100,
+            checkpoint: Some(Bytes::from_static(b"ckpt")),
+        };
+        let m2 = m.clone();
+        assert!(format!("{m2:?}").contains("LaunchTask"));
+
+        let r = WorkerToMaster::TaskExited {
+            instance: InstanceId(1),
+            task: TaskId::new(JobId(1), 0),
+            exit: TaskExit::Checkpointed,
+            checkpoint: None,
+            completed: 42,
+        };
+        assert!(format!("{r:?}").contains("Checkpointed"));
+    }
+}

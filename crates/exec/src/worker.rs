@@ -1,0 +1,257 @@
+//! Per-instance worker agents.
+//!
+//! One worker runs per cloud instance (the paper launches it during
+//! instance setup). It receives commands from the master, manages the
+//! instance's containers, and streams throughput reports back.
+
+use std::collections::HashMap;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+use eva_types::{InstanceId, TaskId};
+
+use crate::container::{Container, ContainerExit, TaskProgram};
+use crate::messages::{MasterToWorker, WorkerToMaster};
+
+/// Factory producing the program a task runs (the stand-in for pulling
+/// the task's Docker image).
+pub type ProgramFactory = Box<dyn Fn(TaskId) -> Box<dyn TaskProgram> + Send>;
+
+/// A worker agent bound to one instance.
+pub struct Worker {
+    instance: InstanceId,
+    commands: Sender<MasterToWorker>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl Worker {
+    /// Spawns a worker thread for `instance`, reporting to `reports`.
+    pub fn spawn(
+        instance: InstanceId,
+        reports: Sender<WorkerToMaster>,
+        factory: ProgramFactory,
+    ) -> Self {
+        let (cmd_tx, cmd_rx) = unbounded::<MasterToWorker>();
+        let handle = std::thread::spawn(move || {
+            worker_loop(instance, cmd_rx, reports, factory);
+        });
+        Worker {
+            instance,
+            commands: cmd_tx,
+            handle: Some(handle),
+        }
+    }
+
+    /// The instance this worker serves.
+    pub fn instance(&self) -> InstanceId {
+        self.instance
+    }
+
+    /// Sends a command to the worker.
+    pub fn send(&self, cmd: MasterToWorker) {
+        let _ = self.commands.send(cmd);
+    }
+
+    /// Requests shutdown and waits for the worker thread.
+    pub fn shutdown(mut self) {
+        let _ = self.commands.send(MasterToWorker::Shutdown);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Worker {
+    fn drop(&mut self) {
+        let _ = self.commands.send(MasterToWorker::Shutdown);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(
+    instance: InstanceId,
+    commands: Receiver<MasterToWorker>,
+    reports: Sender<WorkerToMaster>,
+    factory: ProgramFactory,
+) {
+    let (exit_tx, exit_rx) = unbounded::<ContainerExit>();
+    let mut containers: HashMap<TaskId, Container> = HashMap::new();
+    loop {
+        crossbeam::channel::select! {
+            recv(commands) -> cmd => {
+                match cmd {
+                    Ok(MasterToWorker::LaunchTask { task, total_iterations, checkpoint }) => {
+                        let program = factory(task);
+                        let container = Container::launch(
+                            task,
+                            total_iterations,
+                            program,
+                            checkpoint,
+                            exit_tx.clone(),
+                        );
+                        containers.insert(task, container);
+                        let _ = reports.send(WorkerToMaster::TaskStarted { instance, task });
+                    }
+                    Ok(MasterToWorker::CheckpointTask(task)) => {
+                        if let Some(c) = containers.get(&task) {
+                            c.request_checkpoint();
+                        }
+                    }
+                    Ok(MasterToWorker::ReportThroughput) => {
+                        for (task, c) in &containers {
+                            let _ = reports.send(WorkerToMaster::Throughput {
+                                instance,
+                                task: *task,
+                                // Window metering lives in the iterator;
+                                // completed count is the robust signal the
+                                // master aggregates here.
+                                iters_per_sec: 0.0,
+                                completed: c.control().iterations(),
+                            });
+                        }
+                    }
+                    Ok(MasterToWorker::Shutdown) | Err(_) => {
+                        for (_, c) in containers.drain() {
+                            c.request_stop();
+                            c.join();
+                        }
+                        // Drain any final exits without blocking.
+                        while let Ok(exit) = exit_rx.try_recv() {
+                            let _ = reports.send(WorkerToMaster::TaskExited {
+                                instance,
+                                task: exit.task,
+                                exit: exit.exit,
+                                checkpoint: exit.checkpoint,
+                                completed: exit.completed,
+                            });
+                        }
+                        let _ = reports.send(WorkerToMaster::WorkerStopped(instance));
+                        return;
+                    }
+                }
+            }
+            recv(exit_rx) -> exit => {
+                if let Ok(exit) = exit {
+                    if let Some(c) = containers.remove(&exit.task) {
+                        c.join();
+                    }
+                    let _ = reports.send(WorkerToMaster::TaskExited {
+                        instance,
+                        task: exit.task,
+                        exit: exit.exit,
+                        checkpoint: exit.checkpoint,
+                        completed: exit.completed,
+                    });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::messages::TaskExit;
+    use eva_types::JobId;
+
+    struct Noop;
+    impl TaskProgram for Noop {
+        fn step(&mut self, _: u64) {}
+    }
+
+    fn factory() -> ProgramFactory {
+        Box::new(|_| Box::new(Noop))
+    }
+
+    #[test]
+    fn worker_launches_and_reports_completion() {
+        let (report_tx, report_rx) = unbounded();
+        let worker = Worker::spawn(InstanceId(1), report_tx, factory());
+        let task = TaskId::new(JobId(1), 0);
+        worker.send(MasterToWorker::LaunchTask {
+            task,
+            total_iterations: 50,
+            checkpoint: None,
+        });
+        let started = report_rx.recv().unwrap();
+        assert!(matches!(started, WorkerToMaster::TaskStarted { .. }));
+        let exited = report_rx.recv().unwrap();
+        match exited {
+            WorkerToMaster::TaskExited {
+                exit, completed, ..
+            } => {
+                assert_eq!(exit, TaskExit::Finished);
+                assert_eq!(completed, 50);
+            }
+            other => panic!("unexpected report {other:?}"),
+        }
+        worker.shutdown();
+        let stopped = report_rx.recv().unwrap();
+        assert!(matches!(
+            stopped,
+            WorkerToMaster::WorkerStopped(InstanceId(1))
+        ));
+    }
+
+    #[test]
+    fn worker_checkpoints_on_command() {
+        struct Slow;
+        impl TaskProgram for Slow {
+            fn step(&mut self, _: u64) {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+        }
+        let (report_tx, report_rx) = unbounded();
+        let worker = Worker::spawn(InstanceId(2), report_tx, Box::new(|_| Box::new(Slow)));
+        let task = TaskId::new(JobId(2), 0);
+        worker.send(MasterToWorker::LaunchTask {
+            task,
+            total_iterations: 1_000_000,
+            checkpoint: None,
+        });
+        let _started = report_rx.recv().unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        worker.send(MasterToWorker::CheckpointTask(task));
+        let exited = report_rx.recv().unwrap();
+        match exited {
+            WorkerToMaster::TaskExited {
+                exit, checkpoint, ..
+            } => {
+                assert_eq!(exit, TaskExit::Checkpointed);
+                assert!(checkpoint.is_some());
+            }
+            other => panic!("unexpected report {other:?}"),
+        }
+        worker.shutdown();
+    }
+
+    #[test]
+    fn throughput_reports_cover_running_tasks() {
+        struct Slow;
+        impl TaskProgram for Slow {
+            fn step(&mut self, _: u64) {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+        }
+        let (report_tx, report_rx) = unbounded();
+        let worker = Worker::spawn(InstanceId(3), report_tx, Box::new(|_| Box::new(Slow)));
+        let task = TaskId::new(JobId(3), 0);
+        worker.send(MasterToWorker::LaunchTask {
+            task,
+            total_iterations: 1_000_000,
+            checkpoint: None,
+        });
+        let _started = report_rx.recv().unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        worker.send(MasterToWorker::ReportThroughput);
+        let report = report_rx.recv().unwrap();
+        match report {
+            WorkerToMaster::Throughput { completed, .. } => assert!(completed > 0),
+            other => panic!("unexpected report {other:?}"),
+        }
+        worker.shutdown();
+    }
+}

@@ -1,0 +1,242 @@
+//! The co-location throughput table (§4.3).
+
+use std::collections::HashMap;
+
+use eva_types::WorkloadKind;
+
+/// Key of one table entry: a workload plus the sorted multiset of workloads
+/// co-located with it.
+///
+/// # Examples
+///
+/// ```
+/// use eva_interference::ColocationKey;
+/// use eva_types::WorkloadKind;
+///
+/// let a = ColocationKey::new(WorkloadKind(0), &[WorkloadKind(2), WorkloadKind(1)]);
+/// let b = ColocationKey::new(WorkloadKind(0), &[WorkloadKind(1), WorkloadKind(2)]);
+/// assert_eq!(a, b); // Order of co-located tasks is irrelevant.
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ColocationKey {
+    /// The observed workload.
+    pub task: WorkloadKind,
+    /// Sorted workloads sharing the instance.
+    pub others: Vec<WorkloadKind>,
+}
+
+impl ColocationKey {
+    /// Builds a key, sorting the co-located multiset.
+    pub fn new(task: WorkloadKind, others: &[WorkloadKind]) -> Self {
+        let mut others = others.to_vec();
+        others.sort();
+        ColocationKey { task, others }
+    }
+
+    /// True when the task runs alone.
+    pub fn is_solo(&self) -> bool {
+        self.others.is_empty()
+    }
+}
+
+/// The co-location throughput table.
+///
+/// Lookups fall back from exact recorded groups, to products of recorded
+/// pairwise entries, to the default `t` for never-seen pairs. Recording an
+/// observation stores the exact group entry and, for pairs, the pairwise
+/// entry used by the product estimator.
+///
+/// # Examples
+///
+/// ```
+/// use eva_interference::ThroughputTable;
+/// use eva_types::WorkloadKind;
+///
+/// let (a, b, c) = (WorkloadKind(0), WorkloadKind(1), WorkloadKind(2));
+/// let mut table = ThroughputTable::new(0.95);
+/// // Nothing recorded: pairwise default applies multiplicatively.
+/// assert!((table.estimate(a, &[b, c]) - 0.95 * 0.95).abs() < 1e-12);
+/// table.record(a, &[b], 0.9);
+/// assert!((table.estimate(a, &[b, c]) - 0.9 * 0.95).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ThroughputTable {
+    default_tput: f64,
+    exact: HashMap<ColocationKey, f64>,
+    pairwise: HashMap<(WorkloadKind, WorkloadKind), f64>,
+}
+
+impl ThroughputTable {
+    /// Builds an empty table with the given default pairwise throughput
+    /// (`t` in the paper; 0.95 in all experiments).
+    pub fn new(default_tput: f64) -> Self {
+        ThroughputTable {
+            default_tput: default_tput.clamp(0.0, 1.0),
+            exact: HashMap::new(),
+            pairwise: HashMap::new(),
+        }
+    }
+
+    /// The default pairwise throughput.
+    pub fn default_tput(&self) -> f64 {
+        self.default_tput
+    }
+
+    /// Number of recorded exact group entries.
+    pub fn len(&self) -> usize {
+        self.exact.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.exact.is_empty()
+    }
+
+    /// Exact recorded throughput for a group, if the group was observed.
+    pub fn recorded(&self, task: WorkloadKind, others: &[WorkloadKind]) -> Option<f64> {
+        if others.is_empty() {
+            return Some(1.0);
+        }
+        self.exact.get(&ColocationKey::new(task, others)).copied()
+    }
+
+    /// Recorded pairwise throughput, if observed.
+    pub fn recorded_pairwise(&self, task: WorkloadKind, other: WorkloadKind) -> Option<f64> {
+        self.pairwise.get(&(task, other)).copied()
+    }
+
+    /// Pairwise throughput with the default fallback.
+    pub fn pairwise_or_default(&self, task: WorkloadKind, other: WorkloadKind) -> f64 {
+        self.recorded_pairwise(task, other)
+            .unwrap_or(self.default_tput)
+    }
+
+    /// The scheduler-facing estimate `tput(τ, T)`:
+    ///
+    /// 1. a task running alone has throughput 1.0;
+    /// 2. a previously observed group returns its recorded value;
+    /// 3. otherwise the product of pairwise throughputs, defaulting unknown
+    ///    pairs to `t`.
+    pub fn estimate(&self, task: WorkloadKind, others: &[WorkloadKind]) -> f64 {
+        if others.is_empty() {
+            return 1.0;
+        }
+        if let Some(v) = self.recorded(task, others) {
+            return v;
+        }
+        others
+            .iter()
+            .map(|o| self.pairwise_or_default(task, *o))
+            .product::<f64>()
+            .clamp(0.0, 1.0)
+    }
+
+    /// Records an observed throughput for a group. Pair observations also
+    /// update the pairwise estimator. Values are clamped to `[0, 1]`.
+    pub fn record(&mut self, task: WorkloadKind, others: &[WorkloadKind], tput: f64) {
+        if others.is_empty() {
+            // Solo throughput is 1.0 by definition of normalization;
+            // nothing to learn.
+            return;
+        }
+        let tput = tput.clamp(0.0, 1.0);
+        let key = ColocationKey::new(task, others);
+        if key.others.len() == 1 {
+            self.pairwise.insert((task, key.others[0]), tput);
+        }
+        self.exact.insert(key, tput);
+    }
+
+    /// Removes every recorded entry (used by tests and ablations).
+    pub fn clear(&mut self) {
+        self.exact.clear();
+        self.pairwise.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: WorkloadKind = WorkloadKind(0);
+    const B: WorkloadKind = WorkloadKind(1);
+    const C: WorkloadKind = WorkloadKind(2);
+
+    #[test]
+    fn solo_tasks_have_unit_throughput() {
+        let table = ThroughputTable::new(0.95);
+        assert_eq!(table.estimate(A, &[]), 1.0);
+        assert_eq!(table.recorded(A, &[]), Some(1.0));
+    }
+
+    #[test]
+    fn unknown_pairs_use_default() {
+        let table = ThroughputTable::new(0.9);
+        assert_eq!(table.estimate(A, &[B]), 0.9);
+        assert!((table.estimate(A, &[B, C]) - 0.81).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exact_entries_win_over_products() {
+        let mut table = ThroughputTable::new(0.95);
+        table.record(A, &[B], 0.8);
+        table.record(A, &[C], 0.9);
+        // Exact group entry beats 0.8 × 0.9.
+        table.record(A, &[B, C], 0.85);
+        assert_eq!(table.estimate(A, &[B, C]), 0.85);
+        assert_eq!(table.estimate(A, &[C, B]), 0.85);
+    }
+
+    #[test]
+    fn pairwise_products_compose() {
+        let mut table = ThroughputTable::new(0.95);
+        table.record(A, &[B], 0.8);
+        // A with {B, C}: recorded pair 0.8 × default 0.95.
+        assert!((table.estimate(A, &[B, C]) - 0.76).abs() < 1e-12);
+    }
+
+    #[test]
+    fn records_are_directional() {
+        let mut table = ThroughputTable::new(0.95);
+        table.record(A, &[B], 0.7);
+        assert_eq!(table.recorded_pairwise(A, B), Some(0.7));
+        assert_eq!(table.recorded_pairwise(B, A), None);
+        assert_eq!(table.estimate(B, &[A]), 0.95);
+    }
+
+    #[test]
+    fn key_is_order_insensitive_multiset() {
+        let k1 = ColocationKey::new(A, &[C, B, B]);
+        let k2 = ColocationKey::new(A, &[B, C, B]);
+        let k3 = ColocationKey::new(A, &[B, C]);
+        assert_eq!(k1, k2);
+        assert_ne!(k1, k3); // Multiplicity matters.
+    }
+
+    #[test]
+    fn values_clamp_to_unit_interval() {
+        let mut table = ThroughputTable::new(0.95);
+        table.record(A, &[B], 1.7);
+        assert_eq!(table.estimate(A, &[B]), 1.0);
+        table.record(A, &[B], -0.5);
+        assert_eq!(table.estimate(A, &[B]), 0.0);
+    }
+
+    #[test]
+    fn solo_observations_are_ignored() {
+        let mut table = ThroughputTable::new(0.95);
+        table.record(A, &[], 0.5);
+        assert!(table.is_empty());
+        assert_eq!(table.estimate(A, &[]), 1.0);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut table = ThroughputTable::new(0.95);
+        table.record(A, &[B], 0.8);
+        assert_eq!(table.len(), 1);
+        table.clear();
+        assert!(table.is_empty());
+        assert_eq!(table.estimate(A, &[B]), 0.95);
+    }
+}

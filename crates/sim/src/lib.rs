@@ -1,0 +1,24 @@
+//! High-fidelity discrete-event simulator (§5).
+//!
+//! The simulator reproduces the paper's evaluation environment: it reads a
+//! workload trace, notifies the scheduler of job arrivals, executes the
+//! scheduler's plans against a simulated cloud (launch/terminate instances,
+//! launch/checkpoint/migrate tasks, all with the measured Table 1 delays),
+//! applies ground-truth co-location interference (Figure 1) to task
+//! throughput, and feeds the scheduler only *observed* throughput — the
+//! scheduler never sees the ground-truth interference model.
+//!
+//! Job progress integrates throughput over time exactly: throughput is
+//! piecewise-constant between events, so completion times are computed in
+//! closed form and re-derived whenever any co-location changes.
+//!
+//! [`SimConfig`] + [`run_simulation`] form the experiment entry point used
+//! by every table/figure binary in `eva-bench`.
+
+pub mod metrics;
+pub mod runner;
+pub mod state;
+
+pub use metrics::{CdfPoint, SimReport};
+pub use runner::{run_simulation, InterferenceSpec, SchedulerKind, SimConfig};
+pub use state::{JobProgress, TaskState};

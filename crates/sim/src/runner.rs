@@ -1,0 +1,989 @@
+//! The discrete-event simulation loop.
+
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use eva_baselines::{
+    NoPackingScheduler, OracleProfile, OwlScheduler, StratusScheduler, SynergyScheduler,
+};
+use eva_cloud::{Catalog, CloudProvider, DelayModel, FidelityMode, ProvisionRequest};
+use eva_core::{
+    EvaConfig, EvaScheduler, InstanceSnapshot, JobObservation, Plan, PlannedInstance, Scheduler,
+    SchedulerContext, TaskSnapshot,
+};
+use eva_interference::TaskContext;
+use eva_types::{InstanceId, JobId, SimDuration, SimTime, TaskId, WorkloadKind};
+use eva_workloads::{InterferenceModel, Trace, WorkloadCatalog};
+
+use crate::metrics::{empirical_cdf, SimReport};
+use crate::state::{JobProgress, TaskRuntime, TaskState};
+
+/// Which scheduler drives the run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SchedulerKind {
+    /// One reservation-price instance per task.
+    NoPacking,
+    /// Runtime-binned packing with perfect duration estimates.
+    Stratus,
+    /// Interference-aware best-fit packing.
+    Synergy,
+    /// Pair-profile scheduling (receives the ground-truth profile).
+    Owl,
+    /// Eva with the given configuration.
+    Eva(EvaConfig),
+}
+
+impl SchedulerKind {
+    /// Display name used in reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SchedulerKind::NoPacking => "No-Packing",
+            SchedulerKind::Stratus => "Stratus",
+            SchedulerKind::Synergy => "Synergy",
+            SchedulerKind::Owl => "Owl",
+            SchedulerKind::Eva(_) => "Eva",
+        }
+    }
+}
+
+/// Ground-truth interference specification.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum InterferenceSpec {
+    /// The measured Figure 1 matrix.
+    Measured,
+    /// Uniform pairwise throughput (the §6.4 sweep).
+    Uniform(f64),
+}
+
+/// One simulation experiment.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// The job trace.
+    pub trace: Trace,
+    /// The scheduler under test.
+    pub scheduler: SchedulerKind,
+    /// RNG seed (delays).
+    pub seed: u64,
+    /// Scheduling period (the paper uses 5 minutes).
+    pub round_period: SimDuration,
+    /// Delay-model fidelity (Table 12 contrasts these).
+    pub fidelity: FidelityMode,
+    /// Ground-truth interference.
+    pub interference: InterferenceSpec,
+    /// Multiplier on per-task checkpoint/launch delays (Figure 5).
+    pub migration_delay_scale: f64,
+}
+
+impl SimConfig {
+    /// Defaults matching the paper's main experiments.
+    pub fn new(trace: Trace, scheduler: SchedulerKind) -> Self {
+        SimConfig {
+            trace,
+            scheduler,
+            seed: 42,
+            round_period: SimDuration::from_mins(5),
+            fidelity: FidelityMode::Stochastic,
+            interference: InterferenceSpec::Measured,
+            migration_delay_scale: 1.0,
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Event {
+    Arrival(usize),
+    TaskReady { task: TaskId, generation: u64 },
+    JobDone { job: JobId, generation: u64 },
+    Round,
+}
+
+impl Event {
+    /// Same-timestamp dispatch priority: readiness and completions resolve
+    /// before arrivals, arrivals before the round that schedules them.
+    fn priority(&self) -> u8 {
+        match self {
+            Event::TaskReady { .. } => 0,
+            Event::JobDone { .. } => 1,
+            Event::Arrival(_) => 2,
+            Event::Round => 3,
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Entry {
+    at: SimTime,
+    prio: u8,
+    seq: u64,
+    event: Event,
+}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.prio, self.seq).cmp(&(other.at, other.prio, other.seq))
+    }
+}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+struct Simulation {
+    catalog: Catalog,
+    cloud: CloudProvider,
+    rng: StdRng,
+    interference: InterferenceModel,
+    scheduler: Box<dyn Scheduler>,
+    round_period: SimDuration,
+    migration_delay_scale: f64,
+
+    jobs: BTreeMap<JobId, JobProgress>,
+    tasks: BTreeMap<TaskId, TaskRuntime>,
+    task_gen: BTreeMap<TaskId, u64>,
+    on_instance: BTreeMap<InstanceId, BTreeSet<TaskId>>,
+    busy_until: BTreeMap<InstanceId, SimTime>,
+    draining: BTreeSet<InstanceId>,
+
+    events: BinaryHeap<Reverse<Entry>>,
+    seq: u64,
+    now: SimTime,
+    round_pending: bool,
+    arrivals_remaining: usize,
+
+    // Metric accumulators (time integrals in hours).
+    task_running_hours: f64,
+    alloc_integral: [f64; 3],
+    capacity_integral: [f64; 3],
+    migration_count: u64,
+    total_tasks: usize,
+    rounds: u64,
+    full_rounds: u64,
+}
+
+impl Simulation {
+    fn push(&mut self, at: SimTime, event: Event) {
+        self.seq += 1;
+        let prio = event.priority();
+        self.events.push(Reverse(Entry {
+            at,
+            prio,
+            seq: self.seq,
+            event,
+        }));
+    }
+
+    fn schedule_round(&mut self, at: SimTime) {
+        if !self.round_pending {
+            self.round_pending = true;
+            self.push(at, Event::Round);
+        }
+    }
+
+    /// The ground-truth throughput of a running task given its co-located
+    /// running neighbours.
+    fn task_tput(&self, task: &TaskRuntime, workload: WorkloadKind) -> f64 {
+        let Some(inst) = task.assigned_to else {
+            return 0.0;
+        };
+        if !task.is_running() {
+            return 0.0;
+        }
+        let others: Vec<WorkloadKind> = self
+            .on_instance
+            .get(&inst)
+            .map(|set| {
+                set.iter()
+                    .filter(|tid| **tid != task.id)
+                    .filter_map(|tid| self.tasks.get(tid))
+                    .filter(|t| t.is_running())
+                    .filter_map(|t| self.workload_of(t.id))
+                    .collect()
+            })
+            .unwrap_or_default();
+        self.interference.throughput(workload, &others)
+    }
+
+    fn workload_of(&self, task: TaskId) -> Option<WorkloadKind> {
+        self.jobs
+            .get(&task.job)
+            .and_then(|j| j.spec.task(task))
+            .map(|t| t.workload)
+    }
+
+    /// Effective job throughput: gang-coupled jobs run at the minimum of
+    /// their tasks (0 unless all run); single tasks at their own rate.
+    fn job_tput(&self, job: &JobProgress) -> f64 {
+        let mut min_tput = f64::INFINITY;
+        for spec in &job.spec.tasks {
+            let Some(rt) = self.tasks.get(&spec.id) else {
+                return 0.0;
+            };
+            if !rt.is_running() {
+                return 0.0;
+            }
+            min_tput = min_tput.min(self.task_tput(rt, spec.workload));
+        }
+        if min_tput.is_finite() {
+            min_tput
+        } else {
+            0.0
+        }
+    }
+
+    /// Advances all integrals and job progress to `t`.
+    fn advance_to(&mut self, t: SimTime) {
+        let dt_hours = t.duration_since(self.now).as_hours_f64();
+        if dt_hours > 0.0 {
+            // Job progress.
+            let tputs: Vec<(JobId, f64)> = self
+                .jobs
+                .iter()
+                .filter(|(_, j)| !j.is_done())
+                .map(|(id, j)| (*id, self.job_tput(j)))
+                .collect();
+            for (id, tput) in tputs {
+                if let Some(j) = self.jobs.get_mut(&id) {
+                    j.advance(dt_hours, tput);
+                }
+            }
+            // Allocation integrals.
+            let mut alloc = [0.0f64; 3];
+            let mut cap = [0.0f64; 3];
+            let mut running_tasks = 0usize;
+            for inst in self.cloud.live_instances(self.now) {
+                let Some(ty) = self.catalog.get(inst.type_id) else {
+                    continue;
+                };
+                cap[0] += f64::from(ty.capacity.gpu);
+                cap[1] += f64::from(ty.capacity.cpu);
+                cap[2] += ty.capacity.ram_mb as f64;
+                if let Some(set) = self.on_instance.get(&inst.id) {
+                    for tid in set {
+                        let Some(job) = self.jobs.get(&tid.job) else {
+                            continue;
+                        };
+                        let Some(spec) = job.spec.task(*tid) else {
+                            continue;
+                        };
+                        let d = ty.demand_of(&spec.demand);
+                        alloc[0] += f64::from(d.gpu);
+                        alloc[1] += f64::from(d.cpu);
+                        alloc[2] += d.ram_mb as f64;
+                        if self.tasks.get(tid).map(|t| t.is_running()).unwrap_or(false) {
+                            running_tasks += 1;
+                        }
+                    }
+                }
+            }
+            for r in 0..3 {
+                self.alloc_integral[r] += alloc[r] * dt_hours;
+                self.capacity_integral[r] += cap[r] * dt_hours;
+            }
+            self.task_running_hours += running_tasks as f64 * dt_hours;
+        }
+        self.now = t;
+    }
+
+    /// Re-derives every active job's completion event.
+    fn recompute_completions(&mut self) {
+        let jobs: Vec<JobId> = self
+            .jobs
+            .iter()
+            .filter(|(_, j)| !j.is_done())
+            .map(|(id, _)| *id)
+            .collect();
+        for id in jobs {
+            let tput = self.job_tput(&self.jobs[&id]);
+            let job = self.jobs.get_mut(&id).unwrap();
+            job.completion_generation += 1;
+            let generation = job.completion_generation;
+            if let Some(eta) = job.eta_hours(tput) {
+                let at = self.now + SimDuration::from_hours_f64(eta);
+                self.push(
+                    at,
+                    Event::JobDone {
+                        job: id,
+                        generation,
+                    },
+                );
+            }
+        }
+    }
+
+    fn instance_ready_at(&self, id: InstanceId) -> SimTime {
+        self.cloud
+            .instance(id)
+            .map(|i| i.ready_at)
+            .unwrap_or(self.now)
+    }
+
+    /// Moves (or first-places) a task onto `dest`.
+    fn transfer_task(&mut self, tid: TaskId, dest: InstanceId) {
+        let Some(job) = self.jobs.get(&tid.job) else {
+            return;
+        };
+        let Some(spec) = job.spec.task(tid) else {
+            return;
+        };
+        let checkpoint = spec.checkpoint_delay.scale(self.migration_delay_scale);
+        let launch = spec.launch_delay.scale(self.migration_delay_scale);
+
+        let Some(rt) = self.tasks.get_mut(&tid) else {
+            return;
+        };
+        let was_running = rt.is_running();
+        let had_instance = rt.assigned_to.is_some();
+        let old = rt.assigned_to;
+
+        if let Some(old_id) = old {
+            if old_id == dest {
+                return;
+            }
+            if let Some(set) = self.on_instance.get_mut(&old_id) {
+                set.remove(&tid);
+            }
+            if was_running {
+                let busy = self.now + checkpoint;
+                let entry = self.busy_until.entry(old_id).or_insert(busy);
+                *entry = (*entry).max(busy);
+            }
+        }
+
+        let gen = {
+            let g = self.task_gen.entry(tid).or_insert(0);
+            *g += 1;
+            *g
+        };
+        let depart = if was_running {
+            self.now + checkpoint
+        } else {
+            self.now
+        };
+        let ready = depart.max(self.instance_ready_at(dest)) + launch;
+
+        let rt = self.tasks.get_mut(&tid).unwrap();
+        rt.assigned_to = Some(dest);
+        rt.state = TaskState::InTransit {
+            generation: gen,
+            ready_at: ready,
+        };
+        if had_instance {
+            rt.migrations += 1;
+            self.migration_count += 1;
+        }
+        self.on_instance.entry(dest).or_default().insert(tid);
+        self.push(
+            ready,
+            Event::TaskReady {
+                task: tid,
+                generation: gen,
+            },
+        );
+    }
+
+    /// Terminates drained instances whose departures have finished.
+    fn try_terminations(&mut self) {
+        let candidates: Vec<InstanceId> = self.draining.iter().copied().collect();
+        for id in candidates {
+            let empty = self
+                .on_instance
+                .get(&id)
+                .map(|s| s.is_empty())
+                .unwrap_or(true);
+            if empty {
+                let busy = self.busy_until.get(&id).copied().unwrap_or(self.now);
+                let _ = self.cloud.terminate(id, busy.max(self.now));
+                self.draining.remove(&id);
+                self.on_instance.remove(&id);
+                self.busy_until.remove(&id);
+            }
+        }
+    }
+
+    /// Builds the scheduler-facing observations for the current instant.
+    fn build_observations(&self) -> Vec<JobObservation> {
+        let mut obs = Vec::new();
+        for (id, job) in &self.jobs {
+            if job.is_done() {
+                continue;
+            }
+            let mut contexts = Vec::new();
+            let mut any_running = false;
+            for spec in &job.spec.tasks {
+                let Some(rt) = self.tasks.get(&spec.id) else {
+                    continue;
+                };
+                if !rt.is_running() {
+                    continue;
+                }
+                any_running = true;
+                let others: Vec<WorkloadKind> = rt
+                    .assigned_to
+                    .and_then(|i| self.on_instance.get(&i))
+                    .map(|set| {
+                        set.iter()
+                            .filter(|t| **t != spec.id)
+                            .filter_map(|t| self.tasks.get(t))
+                            .filter(|t| t.is_running())
+                            .filter_map(|t| self.workload_of(t.id))
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                contexts.push(TaskContext::new(spec.id, spec.workload, others));
+            }
+            if !any_running {
+                continue;
+            }
+            let observed = if job.spec.gang_coupled {
+                self.job_tput(job)
+            } else {
+                // Single-task jobs report the task's own throughput.
+                job.spec
+                    .tasks
+                    .first()
+                    .and_then(|s| {
+                        self.tasks
+                            .get(&s.id)
+                            .map(|rt| self.task_tput(rt, s.workload))
+                    })
+                    .unwrap_or(0.0)
+            };
+            obs.push(JobObservation {
+                job: *id,
+                gang_coupled: job.spec.gang_coupled,
+                observed_tput: observed,
+                contexts,
+            });
+        }
+        obs
+    }
+
+    /// Builds the scheduler context snapshot.
+    fn build_snapshot(&self) -> (Vec<TaskSnapshot>, Vec<InstanceSnapshot>) {
+        let mut tasks = Vec::new();
+        for job in self.jobs.values() {
+            if job.is_done() {
+                continue;
+            }
+            for spec in &job.spec.tasks {
+                let Some(rt) = self.tasks.get(&spec.id) else {
+                    continue;
+                };
+                tasks.push(TaskSnapshot {
+                    id: spec.id,
+                    workload: spec.workload,
+                    demand: spec.demand.clone(),
+                    checkpoint_delay: spec.checkpoint_delay.scale(self.migration_delay_scale),
+                    launch_delay: spec.launch_delay.scale(self.migration_delay_scale),
+                    gang_size: job.spec.num_tasks() as u32,
+                    gang_coupled: job.spec.gang_coupled,
+                    assigned_to: rt.assigned_to,
+                    remaining_hint: Some(job.remaining_hint()),
+                });
+            }
+        }
+        let instances: Vec<InstanceSnapshot> = self
+            .cloud
+            .live_instances(self.now)
+            .filter(|i| !self.draining.contains(&i.id))
+            .map(|i| InstanceSnapshot {
+                id: i.id,
+                type_id: i.type_id,
+            })
+            .collect();
+        (tasks, instances)
+    }
+
+    /// Executes a plan: provisions new instances, transfers tasks, marks
+    /// terminations.
+    fn execute_plan(&mut self, plan: &Plan) {
+        let mut target: BTreeMap<TaskId, InstanceId> = BTreeMap::new();
+        for a in &plan.assignments {
+            let inst = match a.instance {
+                PlannedInstance::Existing(id) => id,
+                PlannedInstance::New(ty) => {
+                    match self.cloud.provision(
+                        ProvisionRequest {
+                            type_id: ty,
+                            at: self.now,
+                        },
+                        &mut self.rng,
+                    ) {
+                        Ok(id) => {
+                            self.on_instance.entry(id).or_default();
+                            id
+                        }
+                        Err(_) => continue,
+                    }
+                }
+            };
+            for tid in &a.tasks {
+                target.insert(*tid, inst);
+            }
+        }
+        let moves: Vec<(TaskId, InstanceId)> = target
+            .iter()
+            .filter(|(tid, dest)| {
+                self.tasks
+                    .get(tid)
+                    .map(|rt| rt.assigned_to != Some(**dest))
+                    .unwrap_or(false)
+            })
+            .map(|(t, d)| (*t, *d))
+            .collect();
+        for (tid, dest) in moves {
+            self.transfer_task(tid, dest);
+        }
+        for id in &plan.terminate {
+            // Defensive: never drain an instance the plan also assigns to.
+            let assigned_here = plan
+                .assignments
+                .iter()
+                .any(|a| matches!(a.instance, PlannedInstance::Existing(i) if i == *id));
+            if !assigned_here {
+                self.draining.insert(*id);
+            }
+        }
+        self.try_terminations();
+    }
+
+    fn handle_round(&mut self) {
+        self.round_pending = false;
+        let observations = self.build_observations();
+        self.scheduler.observe(&observations);
+        let (tasks, instances) = self.build_snapshot();
+        let ctx = SchedulerContext {
+            now: self.now,
+            catalog: &self.catalog,
+            tasks: &tasks,
+            instances: &instances,
+        };
+        let plan = self.scheduler.plan(&ctx);
+        self.rounds += 1;
+        if self.rounds % 50 == 0 && std::env::var_os("EVA_SIM_TRACE_STATE").is_some() {
+            let live: Vec<_> = self.cloud.live_instances(self.now).collect();
+            let rate: f64 = live
+                .iter()
+                .filter_map(|i| self.catalog.get(i.type_id))
+                .map(|t| t.hourly_cost.as_dollars())
+                .sum();
+            let running = self.tasks.values().filter(|t| t.is_running()).count();
+            let transit = self
+                .tasks
+                .values()
+                .filter(|t| matches!(t.state, TaskState::InTransit { .. }))
+                .count();
+            eprintln!(
+                "round {:>5} t={:>7.2}h tasks r{running}/x{transit} inst {} rate ${rate:.0}/h",
+                self.rounds,
+                self.now.as_hours_f64(),
+                live.len()
+            );
+        }
+        if plan.full_reconfiguration {
+            self.full_rounds += 1;
+        }
+        self.execute_plan(&plan);
+        self.recompute_completions();
+
+        let active = self.jobs.values().any(|j| !j.is_done());
+        if active {
+            self.schedule_round(self.now + self.round_period);
+        } else if self.arrivals_remaining == 0 {
+            // Final cleanup: drain everything still alive.
+            let live: Vec<InstanceId> = self.cloud.live_instances(self.now).map(|i| i.id).collect();
+            self.draining.extend(live);
+            self.try_terminations();
+        }
+    }
+}
+
+/// Runs one simulation experiment end to end.
+///
+/// Jobs whose tasks fit no catalog instance type are dropped up front with
+/// a warning (the paper likewise removes them from the trace, §6.1);
+/// otherwise they could never complete and the simulation would not
+/// terminate.
+pub fn run_simulation(cfg: &SimConfig) -> SimReport {
+    let catalog = Catalog::aws_eval_2025();
+    let workloads = WorkloadCatalog::table7();
+    let feasible: Vec<_> = cfg
+        .trace
+        .jobs()
+        .iter()
+        .filter(|job| {
+            let ok = job
+                .tasks
+                .iter()
+                .all(|t| catalog.cheapest_fit(&t.demand).is_some());
+            if !ok {
+                eprintln!("warning: dropping unschedulable {}", job.id);
+            }
+            ok
+        })
+        .cloned()
+        .collect();
+    let trace = Trace::new(feasible);
+    let cfg = SimConfig {
+        trace,
+        ..cfg.clone()
+    };
+    let cfg = &cfg;
+    let interference = match cfg.interference {
+        InterferenceSpec::Measured => InterferenceModel::measured(&workloads),
+        InterferenceSpec::Uniform(t) => InterferenceModel::uniform(&workloads, t),
+    };
+    let scheduler: Box<dyn Scheduler> = match &cfg.scheduler {
+        SchedulerKind::NoPacking => Box::new(NoPackingScheduler::new()),
+        SchedulerKind::Stratus => Box::new(StratusScheduler::new()),
+        SchedulerKind::Synergy => Box::new(SynergyScheduler::new()),
+        SchedulerKind::Owl => {
+            // Owl receives the ground-truth pairwise profile exclusively.
+            let kinds: Vec<WorkloadKind> = workloads.iter().map(|w| w.kind).collect();
+            let model = interference.clone();
+            let profile = OracleProfile::from_fn(&kinds, |a, b| model.pairwise(a, b));
+            Box::new(OwlScheduler::new(profile))
+        }
+        SchedulerKind::Eva(cfg) => Box::new(EvaScheduler::new(cfg.clone())),
+    };
+    let delays = DelayModel::table1(cfg.fidelity);
+    let cloud = CloudProvider::new(catalog.clone(), delays);
+
+    let mut sim = Simulation {
+        catalog,
+        cloud,
+        rng: StdRng::seed_from_u64(cfg.seed),
+        interference,
+        scheduler,
+        round_period: cfg.round_period,
+        migration_delay_scale: cfg.migration_delay_scale,
+        jobs: BTreeMap::new(),
+        tasks: BTreeMap::new(),
+        task_gen: BTreeMap::new(),
+        on_instance: BTreeMap::new(),
+        busy_until: BTreeMap::new(),
+        draining: BTreeSet::new(),
+        events: BinaryHeap::new(),
+        seq: 0,
+        now: SimTime::ZERO,
+        round_pending: false,
+        arrivals_remaining: cfg.trace.len(),
+        task_running_hours: 0.0,
+        alloc_integral: [0.0; 3],
+        capacity_integral: [0.0; 3],
+        migration_count: 0,
+        total_tasks: cfg.trace.jobs().iter().map(|j| j.num_tasks()).sum(),
+        rounds: 0,
+        full_rounds: 0,
+    };
+
+    for (idx, job) in cfg.trace.jobs().iter().enumerate() {
+        sim.push(job.arrival, Event::Arrival(idx));
+    }
+
+    while let Some(Reverse(entry)) = sim.events.pop() {
+        sim.advance_to(entry.at);
+        match entry.event {
+            Event::Arrival(idx) => {
+                let spec = cfg.trace.jobs()[idx].clone();
+                sim.arrivals_remaining -= 1;
+                for t in &spec.tasks {
+                    sim.tasks.insert(t.id, TaskRuntime::new(t.id));
+                }
+                sim.jobs.insert(spec.id, JobProgress::new(spec));
+                sim.schedule_round(sim.now);
+            }
+            Event::TaskReady { task, generation } => {
+                let matches = sim
+                    .tasks
+                    .get(&task)
+                    .map(|rt| {
+                        matches!(rt.state, TaskState::InTransit { generation: g, .. } if g == generation)
+                    })
+                    .unwrap_or(false);
+                if matches {
+                    sim.tasks.get_mut(&task).unwrap().state = TaskState::Running;
+                    sim.recompute_completions();
+                }
+            }
+            Event::JobDone { job, generation } => {
+                let valid = sim
+                    .jobs
+                    .get(&job)
+                    .map(|j| !j.is_done() && j.completion_generation == generation)
+                    .unwrap_or(false);
+                if valid {
+                    let task_ids: Vec<TaskId> = {
+                        let j = sim.jobs.get_mut(&job).unwrap();
+                        debug_assert!(j.remaining_hours < 1e-6, "early completion event");
+                        j.completed_at = Some(sim.now);
+                        j.spec.tasks.iter().map(|t| t.id).collect()
+                    };
+                    for tid in task_ids {
+                        if let Some(rt) = sim.tasks.get_mut(&tid) {
+                            rt.state = TaskState::Done;
+                            if let Some(inst) = rt.assigned_to.take() {
+                                if let Some(set) = sim.on_instance.get_mut(&inst) {
+                                    set.remove(&tid);
+                                }
+                            }
+                        }
+                    }
+                    sim.try_terminations();
+                    sim.recompute_completions();
+                    // A round will clean up the freed instances.
+                    sim.schedule_round(sim.now + sim.round_period);
+                }
+            }
+            Event::Round => sim.handle_round(),
+        }
+    }
+
+    // Safety: nothing should remain live.
+    let leftovers: Vec<InstanceId> = sim.cloud.live_instances(sim.now).map(|i| i.id).collect();
+    for id in leftovers {
+        let _ = sim.cloud.terminate(id, sim.now);
+    }
+
+    let end = sim
+        .cloud
+        .instances()
+        .filter_map(|i| i.terminated_at)
+        .max()
+        .unwrap_or(sim.now)
+        .max(sim.now);
+
+    let completed: Vec<&JobProgress> = sim.jobs.values().filter(|j| j.is_done()).collect();
+    let n = completed.len().max(1) as f64;
+    let avg_jct_hours = completed.iter().filter_map(|j| j.jct_hours()).sum::<f64>() / n;
+    let avg_idle_hours = completed.iter().map(|j| j.idle_hours).sum::<f64>() / n;
+    let avg_norm_tput = completed.iter().map(|j| j.mean_tput()).sum::<f64>() / n;
+
+    let uptimes: Vec<f64> = sim
+        .cloud
+        .instances()
+        .map(|i| i.uptime(end).as_hours_f64())
+        .collect();
+    let billed_hours: f64 = uptimes.iter().sum();
+
+    let alloc = |r: usize| {
+        if sim.capacity_integral[r] <= 0.0 {
+            0.0
+        } else {
+            sim.alloc_integral[r] / sim.capacity_integral[r]
+        }
+    };
+
+    let first_arrival = cfg
+        .trace
+        .jobs()
+        .first()
+        .map(|j| j.arrival)
+        .unwrap_or(SimTime::ZERO);
+
+    SimReport {
+        scheduler: sim.scheduler.name().to_string(),
+        jobs_completed: completed.len(),
+        total_cost_dollars: sim.cloud.total_bill(end).as_dollars(),
+        instances_launched: sim.cloud.launch_count(),
+        migrations_per_task: sim.migration_count as f64 / sim.total_tasks.max(1) as f64,
+        avg_jct_hours,
+        avg_idle_hours,
+        avg_norm_tput,
+        tasks_per_instance: if billed_hours > 0.0 {
+            sim.task_running_hours / billed_hours
+        } else {
+            0.0
+        },
+        gpu_alloc: alloc(0),
+        cpu_alloc: alloc(1),
+        ram_alloc: alloc(2),
+        uptime_cdf: empirical_cdf(uptimes, 100),
+        full_reconfig_rate: if sim.rounds > 0 {
+            sim.full_rounds as f64 / sim.rounds as f64
+        } else {
+            0.0
+        },
+        makespan_hours: end.duration_since(first_arrival).as_hours_f64(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eva_workloads::SyntheticTraceConfig;
+
+    fn tiny_trace(jobs: usize) -> Trace {
+        let cfg = SyntheticTraceConfig {
+            num_jobs: jobs,
+            mean_interarrival: SimDuration::from_mins(10),
+            duration: eva_workloads::UniformHours::new(0.2, 0.6),
+            single_task_only: false,
+        };
+        cfg.generate(99)
+    }
+
+    fn run(kind: SchedulerKind, jobs: usize) -> SimReport {
+        let mut cfg = SimConfig::new(tiny_trace(jobs), kind);
+        cfg.fidelity = FidelityMode::Nominal;
+        run_simulation(&cfg)
+    }
+
+    #[test]
+    fn all_jobs_complete_under_every_scheduler() {
+        for kind in [
+            SchedulerKind::NoPacking,
+            SchedulerKind::Stratus,
+            SchedulerKind::Synergy,
+            SchedulerKind::Owl,
+            SchedulerKind::Eva(EvaConfig::eva()),
+        ] {
+            let label = kind.label();
+            let report = run(kind, 10);
+            assert_eq!(report.jobs_completed, 10, "{label}");
+            assert!(report.total_cost_dollars > 0.0, "{label}");
+            assert!(report.avg_jct_hours > 0.0, "{label}");
+        }
+    }
+
+    #[test]
+    fn no_packing_has_no_migrations_or_colocation() {
+        let report = run(SchedulerKind::NoPacking, 8);
+        assert_eq!(report.migrations_per_task, 0.0);
+        // Setup time means the ratio dips below 1 task per billed hour.
+        assert!(report.tasks_per_instance <= 1.0 + 1e-9);
+        assert!(report.avg_norm_tput > 0.999, "no co-location, no slowdown");
+    }
+
+    #[test]
+    fn packing_schedulers_cut_cost_versus_no_packing() {
+        // A dense trace with enough concurrency for packing to matter.
+        let cfg = SyntheticTraceConfig {
+            num_jobs: 40,
+            mean_interarrival: SimDuration::from_mins(4),
+            duration: eva_workloads::UniformHours::new(1.0, 2.0),
+            single_task_only: false,
+        };
+        let trace = cfg.generate(123);
+        let mut base_cfg = SimConfig::new(trace.clone(), SchedulerKind::NoPacking);
+        base_cfg.fidelity = FidelityMode::Nominal;
+        let mut eva_cfg = SimConfig::new(trace, SchedulerKind::Eva(EvaConfig::eva()));
+        eva_cfg.fidelity = FidelityMode::Nominal;
+        let base = run_simulation(&base_cfg);
+        let eva = run_simulation(&eva_cfg);
+        assert!(
+            eva.total_cost_dollars < base.total_cost_dollars,
+            "Eva {} vs No-Packing {}",
+            eva.total_cost_dollars,
+            base.total_cost_dollars
+        );
+        assert!(eva.tasks_per_instance > base.tasks_per_instance);
+    }
+
+    #[test]
+    fn jct_reflects_interference_for_packers() {
+        let base = run(SchedulerKind::NoPacking, 12);
+        let eva = run(SchedulerKind::Eva(EvaConfig::eva()), 12);
+        // Packing can only slow jobs down (never below ground truth).
+        assert!(eva.avg_jct_hours + 1e-9 >= base.avg_jct_hours * 0.99);
+        assert!(eva.avg_norm_tput <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn uptime_cdf_is_well_formed() {
+        let report = run(SchedulerKind::Stratus, 10);
+        assert!(!report.uptime_cdf.is_empty());
+        assert!(report.uptime_cdf.last().unwrap().density == 1.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = SimConfig::new(tiny_trace(8), SchedulerKind::Eva(EvaConfig::eva()));
+        let a = run_simulation(&cfg);
+        let b = run_simulation(&cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn uniform_interference_sweep_slows_packers() {
+        let trace = tiny_trace(12);
+        let mut mild = SimConfig::new(trace.clone(), SchedulerKind::Eva(EvaConfig::eva_rp()));
+        mild.interference = InterferenceSpec::Uniform(1.0);
+        mild.fidelity = FidelityMode::Nominal;
+        let mut harsh = mild.clone();
+        harsh.interference = InterferenceSpec::Uniform(0.8);
+        let mild_r = run_simulation(&mild);
+        let harsh_r = run_simulation(&harsh);
+        // Eva-RP ignores interference, so harsher ground truth raises JCT.
+        assert!(harsh_r.avg_jct_hours >= mild_r.avg_jct_hours - 1e-9);
+        assert!(harsh_r.avg_norm_tput <= mild_r.avg_norm_tput + 1e-9);
+    }
+
+    #[test]
+    fn migration_scale_reduces_eva_migrations() {
+        // Needs enough jobs for the rate difference to rise above noise.
+        let cfg = SyntheticTraceConfig {
+            num_jobs: 60,
+            mean_interarrival: SimDuration::from_mins(5),
+            duration: eva_workloads::UniformHours::new(0.5, 2.0),
+            single_task_only: true,
+        };
+        let trace = cfg.generate(321);
+        let mut cheap = SimConfig::new(trace.clone(), SchedulerKind::Eva(EvaConfig::eva()));
+        cheap.fidelity = FidelityMode::Nominal;
+        let mut dear = cheap.clone();
+        dear.migration_delay_scale = 32.0;
+        let cheap_r = run_simulation(&cheap);
+        let dear_r = run_simulation(&dear);
+        assert!(
+            dear_r.migrations_per_task <= cheap_r.migrations_per_task + 0.05,
+            "dearer migration must not increase migration rate: {} vs {}",
+            dear_r.migrations_per_task,
+            cheap_r.migrations_per_task
+        );
+    }
+}
+
+#[cfg(test)]
+mod robustness_tests {
+    use super::*;
+    use eva_types::{DemandSpec, JobId, JobSpec, ResourceVector, TaskId, TaskSpec};
+
+    #[test]
+    fn unschedulable_jobs_are_dropped_not_hung() {
+        // A job demanding 99 GPUs fits nothing; the sim must drop it and
+        // still complete the feasible one.
+        let mk = |id: u64, gpus: u32| JobSpec {
+            id: JobId(id),
+            arrival: SimTime::ZERO,
+            tasks: vec![TaskSpec {
+                id: TaskId::new(JobId(id), 0),
+                workload: eva_types::WorkloadKind(0),
+                demand: DemandSpec::uniform(ResourceVector::with_ram_gb(gpus, 4, 8)),
+                checkpoint_delay: SimDuration::from_secs(2),
+                launch_delay: SimDuration::from_secs(5),
+            }],
+            duration_at_full_tput: SimDuration::from_mins(30),
+            gang_coupled: false,
+        };
+        let trace = Trace::new(vec![mk(1, 99), mk(2, 1)]);
+        let report = run_simulation(&SimConfig::new(trace, SchedulerKind::NoPacking));
+        assert_eq!(report.jobs_completed, 1);
+    }
+
+    #[test]
+    fn empty_trace_yields_empty_report() {
+        let report = run_simulation(&SimConfig::new(
+            Trace::new(vec![]),
+            SchedulerKind::NoPacking,
+        ));
+        assert_eq!(report.jobs_completed, 0);
+        assert_eq!(report.total_cost_dollars, 0.0);
+        assert_eq!(report.instances_launched, 0);
+    }
+}

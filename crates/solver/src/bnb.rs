@@ -1,0 +1,473 @@
+//! Anytime branch-and-bound for the provisioning ILP.
+//!
+//! Items are branched in descending reservation-price order; each node
+//! assigns the next item either to an open bin with room or to a fresh bin
+//! of each feasible type (one fresh bin per type — opening two identical
+//! empty bins is symmetric). Subtrees are pruned when
+//! `committed cost + resource-pricing lower bound ≥ incumbent`. A time
+//! limit makes the solver anytime: on expiry it returns the best incumbent
+//! with `proven_optimal = false`, reproducing the paper's "Gurobi timed out
+//! at 30 minutes, report the best solution found" behaviour (Table 4).
+
+use std::time::{Duration, Instant};
+
+use eva_types::ResourceVector;
+
+use crate::heuristics::first_fit_decreasing;
+use crate::problem::{component, PackingProblem, Solution};
+
+/// Branch-and-bound configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct BnbConfig {
+    /// Wall-clock budget.
+    pub time_limit: Duration,
+    /// Hard cap on explored nodes (safety valve for tests).
+    pub max_nodes: u64,
+    /// Warm-start from first-fit decreasing.
+    pub warm_start: bool,
+}
+
+impl Default for BnbConfig {
+    fn default() -> Self {
+        BnbConfig {
+            time_limit: Duration::from_secs(10),
+            max_nodes: 50_000_000,
+            warm_start: true,
+        }
+    }
+}
+
+struct SearchState<'a> {
+    problem: &'a PackingProblem,
+    order: Vec<usize>,
+    /// Per ordered item, per resource: minimal family demand (for bounds).
+    min_demands: Vec<[u64; 3]>,
+    /// Cheapest unit price per resource.
+    unit_prices: [f64; 3],
+    deadline: Instant,
+    cfg: BnbConfig,
+    nodes: u64,
+    timed_out: bool,
+    best_cost: f64,
+    best_bins: Vec<(usize, Vec<usize>)>,
+    open: Vec<OpenBin>,
+}
+
+#[derive(Clone)]
+struct OpenBin {
+    type_idx: usize,
+    used: ResourceVector,
+    items: Vec<usize>,
+}
+
+/// Solves the problem exactly (up to the time/node budget).
+///
+/// # Examples
+///
+/// ```
+/// use eva_cloud::Catalog;
+/// use eva_solver::{branch_and_bound, BnbConfig, Item, PackingProblem};
+/// use eva_types::{DemandSpec, ResourceVector};
+///
+/// let items = vec![
+///     Item { id: 0, demand: DemandSpec::uniform(ResourceVector::with_ram_gb(2, 8, 24)) },
+///     Item { id: 1, demand: DemandSpec::uniform(ResourceVector::with_ram_gb(1, 4, 10)) },
+///     Item { id: 2, demand: DemandSpec::uniform(ResourceVector::with_ram_gb(0, 6, 20)) },
+///     Item { id: 3, demand: DemandSpec::uniform(ResourceVector::with_ram_gb(0, 4, 12)) },
+/// ];
+/// let problem = PackingProblem::new(items, Catalog::table3_example());
+/// let solution = branch_and_bound(&problem, BnbConfig::default());
+/// assert!(solution.proven_optimal);
+/// assert!((solution.cost_dollars - 12.8).abs() < 1e-9);
+/// ```
+pub fn branch_and_bound(problem: &PackingProblem, cfg: BnbConfig) -> Solution {
+    let catalog = &problem.catalog;
+    let types: Vec<_> = catalog.types().collect();
+
+    // Separate feasible items from hopeless ones.
+    let mut feasible: Vec<usize> = Vec::new();
+    let mut unplaced: Vec<usize> = Vec::new();
+    for (idx, item) in problem.items.iter().enumerate() {
+        if catalog.cheapest_fit(&item.demand).is_some() {
+            feasible.push(idx);
+        } else {
+            unplaced.push(problem.items[idx].id);
+        }
+    }
+
+    // Order by descending reservation price (big items first prunes fast).
+    feasible.sort_by(|a, b| {
+        let rp = |i: usize| {
+            catalog
+                .cheapest_fit(&problem.items[i].demand)
+                .map(|t| t.hourly_cost.as_dollars())
+                .unwrap_or(0.0)
+        };
+        rp(*b).partial_cmp(&rp(*a)).unwrap().then(a.cmp(b))
+    });
+
+    let min_demands: Vec<[u64; 3]> = feasible
+        .iter()
+        .map(|i| {
+            let item = &problem.items[*i];
+            let mut m = [u64::MAX; 3];
+            for t in catalog.types() {
+                let d = t.demand_of(&item.demand);
+                for r in 0..3 {
+                    m[r] = m[r].min(component(&d, r));
+                }
+            }
+            for v in &mut m {
+                if *v == u64::MAX {
+                    *v = 0;
+                }
+            }
+            m
+        })
+        .collect();
+
+    let mut unit_prices = [f64::INFINITY; 3];
+    for t in catalog.types() {
+        for r in 0..3 {
+            let q = component(&t.capacity, r);
+            if q > 0 {
+                unit_prices[r] = unit_prices[r].min(t.hourly_cost.as_dollars() / q as f64);
+            }
+        }
+    }
+
+    // Warm start.
+    let (mut best_cost, mut best_bins) = if cfg.warm_start {
+        let ffd = first_fit_decreasing(problem);
+        let bins = ffd
+            .bins
+            .iter()
+            .map(|(ty, items)| {
+                (
+                    types.iter().position(|t| t.id == *ty).unwrap(),
+                    items.clone(),
+                )
+            })
+            .collect();
+        (ffd.cost_dollars, bins)
+    } else {
+        (f64::INFINITY, Vec::new())
+    };
+    // A safe fallback if warm start is off and the search times out early.
+    if !cfg.warm_start {
+        best_bins.clear();
+        best_cost = f64::INFINITY;
+    }
+
+    let mut state = SearchState {
+        problem,
+        order: feasible,
+        min_demands,
+        unit_prices,
+        deadline: Instant::now() + cfg.time_limit,
+        cfg,
+        nodes: 0,
+        timed_out: false,
+        best_cost,
+        best_bins,
+        open: Vec::new(),
+    };
+    dfs(&mut state, 0, 0.0);
+
+    let proven_optimal = !state.timed_out && state.nodes <= state.cfg.max_nodes;
+    if !state.best_cost.is_finite() {
+        // No incumbent at all (no warm start + instant timeout): fall back.
+        let ffd = first_fit_decreasing(problem);
+        return Solution {
+            proven_optimal: false,
+            nodes_explored: state.nodes,
+            ..ffd
+        };
+    }
+    Solution {
+        bins: state
+            .best_bins
+            .iter()
+            .map(|(type_idx, items)| (types[*type_idx].id, items.clone()))
+            .collect(),
+        cost_dollars: state.best_cost,
+        proven_optimal,
+        unplaced,
+        nodes_explored: state.nodes,
+    }
+}
+
+/// Lower bound on the *additional* cost of hosting items `order[depth..]`:
+/// remaining demand beyond the free capacity already paid for in open bins
+/// must be bought at no less than the cheapest per-unit price.
+fn remaining_bound(state: &SearchState<'_>, depth: usize) -> f64 {
+    let types: Vec<_> = state.problem.catalog.types().collect();
+    let mut free = [0u64; 3];
+    for bin in &state.open {
+        let cap = types[bin.type_idx].capacity;
+        let spare = cap.saturating_sub(&bin.used);
+        for r in 0..3 {
+            free[r] += component(&spare, r);
+        }
+    }
+    let mut best = 0.0f64;
+    for r in 0..3 {
+        if !state.unit_prices[r].is_finite() {
+            continue;
+        }
+        let demand: u64 = (depth..state.order.len())
+            .map(|i| state.min_demands[i][r])
+            .sum();
+        let uncovered = demand.saturating_sub(free[r]);
+        best = best.max(state.unit_prices[r] * uncovered as f64);
+    }
+    best
+}
+
+fn dfs(state: &mut SearchState<'_>, depth: usize, committed: f64) {
+    state.nodes += 1;
+    if state.nodes > state.cfg.max_nodes {
+        state.timed_out = true;
+        return;
+    }
+    // Check the clock periodically (Instant::now is not free).
+    if state.nodes % 1024 == 0 && Instant::now() >= state.deadline {
+        state.timed_out = true;
+        return;
+    }
+    if state.timed_out {
+        return;
+    }
+    if depth == state.order.len() {
+        if committed < state.best_cost - 1e-9 {
+            state.best_cost = committed;
+            state.best_bins = state
+                .open
+                .iter()
+                .map(|b| (b.type_idx, b.items.clone()))
+                .collect();
+        }
+        return;
+    }
+    if committed + remaining_bound(state, depth) >= state.best_cost - 1e-9 {
+        return;
+    }
+
+    let item_idx = state.order[depth];
+    let item = state.problem.items[item_idx].clone();
+    let types: Vec<_> = state.problem.catalog.types().collect();
+
+    // Branch 1: place into each open bin that fits (no new cost).
+    let open_count = state.open.len();
+    for bin_idx in 0..open_count {
+        let type_idx = state.open[bin_idx].type_idx;
+        let ty = types[type_idx];
+        let add = ty.demand_of(&item.demand);
+        let Some(total) = state.open[bin_idx].used.checked_add(&add) else {
+            continue;
+        };
+        if !total.fits_within(&ty.capacity) {
+            continue;
+        }
+        let saved_used = state.open[bin_idx].used;
+        state.open[bin_idx].used = total;
+        state.open[bin_idx].items.push(item.id);
+        dfs(state, depth + 1, committed);
+        state.open[bin_idx].items.pop();
+        state.open[bin_idx].used = saved_used;
+        if state.timed_out {
+            return;
+        }
+    }
+
+    // Branch 2: open a new bin of each feasible type (cheapest first).
+    let mut type_order: Vec<usize> = (0..types.len()).collect();
+    type_order.sort_by(|a, b| types[*a].hourly_cost.cmp(&types[*b].hourly_cost));
+    for type_idx in type_order {
+        let ty = types[type_idx];
+        if ty.hourly_cost.is_zero() {
+            continue; // Ghost types host nothing real.
+        }
+        let demand = ty.demand_of(&item.demand);
+        if !demand.fits_within(&ty.capacity) {
+            continue;
+        }
+        // Symmetry: an existing *empty* bin of this type already covers it.
+        if state
+            .open
+            .iter()
+            .any(|b| b.type_idx == type_idx && b.items.is_empty())
+        {
+            continue;
+        }
+        let cost = committed + ty.hourly_cost.as_dollars();
+        state.open.push(OpenBin {
+            type_idx,
+            used: demand,
+            items: vec![item.id],
+        });
+        // Prune with the new bin's spare capacity counted as free.
+        if cost + remaining_bound(state, depth + 1) < state.best_cost - 1e-9 {
+            dfs(state, depth + 1, cost);
+        }
+        state.open.pop();
+        if state.timed_out {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::Item;
+    use eva_cloud::Catalog;
+    use eva_types::DemandSpec;
+
+    fn item(id: usize, gpu: u32, cpu: u32, ram_gb: u64) -> Item {
+        Item {
+            id,
+            demand: DemandSpec::uniform(ResourceVector::with_ram_gb(gpu, cpu, ram_gb)),
+        }
+    }
+
+    #[test]
+    fn solves_table3_to_proven_optimum() {
+        let p = PackingProblem::new(
+            vec![
+                item(0, 2, 8, 24),
+                item(1, 1, 4, 10),
+                item(2, 0, 6, 20),
+                item(3, 0, 4, 12),
+            ],
+            Catalog::table3_example(),
+        );
+        let s = branch_and_bound(&p, BnbConfig::default());
+        s.validate(&p).unwrap();
+        assert!(s.proven_optimal);
+        assert!((s.cost_dollars - 12.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn optimum_never_worse_than_heuristics() {
+        let catalog = Catalog::aws_eval_2025();
+        let items: Vec<Item> = (0..12)
+            .map(|i| match i % 4 {
+                0 => item(i, 1, 4, 24),
+                1 => item(i, 0, 4, 8),
+                2 => item(i, 0, 2, 16),
+                _ => item(i, 0, 6, 8),
+            })
+            .collect();
+        let p = PackingProblem::new(items, catalog);
+        let ffd = first_fit_decreasing(&p);
+        let s = branch_and_bound(
+            &p,
+            BnbConfig {
+                time_limit: Duration::from_secs(5),
+                ..Default::default()
+            },
+        );
+        s.validate(&p).unwrap();
+        assert!(s.cost_dollars <= ffd.cost_dollars + 1e-9);
+        assert!(s.cost_dollars + 1e-9 >= p.lower_bound());
+    }
+
+    #[test]
+    fn exhausted_budget_returns_incumbent() {
+        let catalog = Catalog::aws_eval_2025();
+        let items: Vec<Item> = (0..40)
+            .map(|i| item(i, (i % 2) as u32, 2 + (i % 6) as u32, (4 + i % 30) as u64))
+            .collect();
+        let p = PackingProblem::new(items, catalog);
+        // A node cap below the item count cannot even reach one leaf, so
+        // the warm-start incumbent must be returned unproven.
+        let s = branch_and_bound(
+            &p,
+            BnbConfig {
+                max_nodes: 30,
+                time_limit: Duration::from_secs(60),
+                warm_start: true,
+            },
+        );
+        s.validate(&p).unwrap();
+        assert!(!s.proven_optimal);
+        assert!(s.cost_dollars.is_finite());
+        let ffd = first_fit_decreasing(&p);
+        assert!(s.cost_dollars <= ffd.cost_dollars + 1e-9);
+    }
+
+    #[test]
+    fn node_cap_is_respected() {
+        let catalog = Catalog::aws_eval_2025();
+        // 3-vCPU items leave slack in every type, so FFD is not tight
+        // against the lower bound and real search is required.
+        let items: Vec<Item> = (0..30).map(|i| item(i, 0, 3, 4)).collect();
+        let p = PackingProblem::new(items, catalog);
+        let s = branch_and_bound(
+            &p,
+            BnbConfig {
+                max_nodes: 10,
+                time_limit: Duration::from_secs(30),
+                warm_start: true,
+            },
+        );
+        s.validate(&p).unwrap();
+        assert!(!s.proven_optimal);
+        assert!(s.nodes_explored <= 11);
+    }
+
+    #[test]
+    fn single_item_lands_on_reservation_type() {
+        let p = PackingProblem::new(vec![item(0, 1, 4, 24)], Catalog::aws_eval_2025());
+        let s = branch_and_bound(&p, BnbConfig::default());
+        assert!(s.proven_optimal);
+        assert_eq!(s.bins.len(), 1);
+        assert_eq!(p.catalog.get(s.bins[0].0).unwrap().name, "p3.2xlarge");
+    }
+
+    #[test]
+    fn empty_problem_is_trivially_optimal() {
+        let p = PackingProblem::new(vec![], Catalog::aws_eval_2025());
+        let s = branch_and_bound(&p, BnbConfig::default());
+        assert!(s.proven_optimal);
+        assert_eq!(s.cost_dollars, 0.0);
+    }
+
+    #[test]
+    fn infeasible_items_are_excluded_not_fatal() {
+        let p = PackingProblem::new(
+            vec![item(0, 99, 1, 1), item(1, 0, 4, 12)],
+            Catalog::table3_example(),
+        );
+        let s = branch_and_bound(&p, BnbConfig::default());
+        s.validate(&p).unwrap();
+        assert_eq!(s.unplaced, vec![0]);
+        assert!((s.cost_dollars - 0.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn beats_ffd_on_adversarial_mix() {
+        // FFD by reservation price can strand small CPU items; B&B finds
+        // the tighter mix. Just assert B&B ≤ FFD and both valid.
+        let catalog = Catalog::table3_example();
+        let items = vec![
+            item(0, 1, 4, 10),
+            item(1, 1, 4, 10),
+            item(2, 0, 8, 30),
+            item(3, 0, 4, 12),
+            item(4, 0, 4, 12),
+        ];
+        let p = PackingProblem::new(items, catalog);
+        let ffd = first_fit_decreasing(&p);
+        let s = branch_and_bound(
+            &p,
+            BnbConfig {
+                time_limit: Duration::from_secs(10),
+                ..Default::default()
+            },
+        );
+        s.validate(&p).unwrap();
+        assert!(s.cost_dollars <= ffd.cost_dollars + 1e-9);
+    }
+}

@@ -1,0 +1,103 @@
+//! Identifiers for jobs, tasks, instances, instance types, and workloads.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifies a submitted job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct JobId(pub u64);
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "job-{}", self.0)
+    }
+}
+
+/// Identifies a task within a job (jobs consist of one or more tasks, §2.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TaskId {
+    /// The owning job.
+    pub job: JobId,
+    /// Index of this task within the job (0-based).
+    pub index: u32,
+}
+
+impl TaskId {
+    /// Builds a task id.
+    pub const fn new(job: JobId, index: u32) -> Self {
+        TaskId { job, index }
+    }
+}
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/t{}", self.job, self.index)
+    }
+}
+
+/// Identifies a provisioned cloud instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct InstanceId(pub u64);
+
+impl fmt::Display for InstanceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "i-{:06}", self.0)
+    }
+}
+
+/// Identifies an instance type in the catalog (e.g. `p3.2xlarge`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct InstanceTypeId(pub u32);
+
+impl fmt::Display for InstanceTypeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "it-{}", self.0)
+    }
+}
+
+/// Identifies a workload kind (a row of Table 7, e.g. GPT-2 fine-tuning).
+///
+/// The co-location throughput table is keyed by workload kind rather than
+/// task id so that observations made for one task generalize to every other
+/// task running the same workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct WorkloadKind(pub u32);
+
+impl fmt::Display for WorkloadKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "wk-{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn task_ids_order_by_job_then_index() {
+        let a = TaskId::new(JobId(1), 2);
+        let b = TaskId::new(JobId(2), 0);
+        let c = TaskId::new(JobId(1), 3);
+        assert!(a < b);
+        assert!(a < c);
+        assert!(c < b);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(JobId(7).to_string(), "job-7");
+        assert_eq!(TaskId::new(JobId(7), 1).to_string(), "job-7/t1");
+        assert_eq!(InstanceId(12).to_string(), "i-000012");
+        assert_eq!(InstanceTypeId(3).to_string(), "it-3");
+        assert_eq!(WorkloadKind(5).to_string(), "wk-5");
+    }
+
+    #[test]
+    fn ids_serialize_round_trip() {
+        let t = TaskId::new(JobId(42), 3);
+        let json = serde_json::to_string(&t).unwrap();
+        let back: TaskId = serde_json::from_str(&json).unwrap();
+        assert_eq!(t, back);
+    }
+}

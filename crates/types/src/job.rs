@@ -1,0 +1,197 @@
+//! Job and task specifications, as submitted by users (§5).
+//!
+//! A job consists of one or more tasks. Each task declares resource demands
+//! — optionally different per instance family, mirroring the paper's
+//! "multiple resource demand vectors" (e.g. fewer CPUs on C7i than on P3
+//! because C7i cores are faster) — plus the migration delays (checkpoint and
+//! launch) measured per workload in Table 7.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{JobId, TaskId, WorkloadKind};
+use crate::resources::ResourceVector;
+use crate::time::{SimDuration, SimTime};
+
+/// Per-family resource demands for one task.
+///
+/// `default` applies to any family without an explicit override; the paper's
+/// example is a task demanding `[0, 8, 8]` on P3 but `[0, 4, 8]` on C7i.
+///
+/// # Examples
+///
+/// ```
+/// use eva_types::{DemandSpec, ResourceVector};
+///
+/// let spec = DemandSpec::uniform(ResourceVector::new(0, 8, 8 * 1024))
+///     .with_family_override("c7i", ResourceVector::new(0, 4, 8 * 1024));
+/// assert_eq!(spec.for_family("p3").cpu, 8);
+/// assert_eq!(spec.for_family("c7i").cpu, 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DemandSpec {
+    /// Demand used for families without an override.
+    pub default: ResourceVector,
+    /// Family-specific overrides keyed by family name (e.g. `"c7i"`).
+    pub per_family: BTreeMap<String, ResourceVector>,
+}
+
+impl DemandSpec {
+    /// A demand identical across all instance families.
+    pub fn uniform(demand: ResourceVector) -> Self {
+        DemandSpec {
+            default: demand,
+            per_family: BTreeMap::new(),
+        }
+    }
+
+    /// Adds a family-specific override (builder style).
+    pub fn with_family_override(mut self, family: &str, demand: ResourceVector) -> Self {
+        self.per_family.insert(family.to_string(), demand);
+        self
+    }
+
+    /// The demand vector to use on an instance of the given family.
+    pub fn for_family(&self, family: &str) -> ResourceVector {
+        self.per_family.get(family).copied().unwrap_or(self.default)
+    }
+
+    /// The component-wise maximum demand over all families; a conservative
+    /// bound used by capacity sanity checks.
+    pub fn max_demand(&self) -> ResourceVector {
+        self.per_family
+            .values()
+            .fold(self.default, |acc, d| acc.max(d))
+    }
+}
+
+/// Specification of a single task.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskSpec {
+    /// The task's identity.
+    pub id: TaskId,
+    /// The workload this task runs (indexes interference and delay data).
+    pub workload: WorkloadKind,
+    /// Resource demands, possibly per instance family.
+    pub demand: DemandSpec,
+    /// Delay to checkpoint the task before a migration (Table 7).
+    pub checkpoint_delay: SimDuration,
+    /// Delay to launch (or relaunch) the task on an instance (Table 7).
+    pub launch_delay: SimDuration,
+}
+
+impl TaskSpec {
+    /// Total migration delay: checkpoint on the source plus launch on the
+    /// destination.
+    pub fn migration_delay(&self) -> SimDuration {
+        self.checkpoint_delay + self.launch_delay
+    }
+}
+
+/// Specification of a submitted job.
+///
+/// `duration_at_full_tput` is the wall-clock time the job needs when every
+/// task runs at normalized throughput 1.0. Under interference the job
+/// progresses proportionally slower, so the realized JCT grows — this is
+/// exactly the mechanism behind the paper's cost/JCT trade-off.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobSpec {
+    /// The job's identity.
+    pub id: JobId,
+    /// Submission time.
+    pub arrival: SimTime,
+    /// The job's tasks (all tasks of a data-parallel job are identical in
+    /// the paper's traces, but this is not assumed anywhere).
+    pub tasks: Vec<TaskSpec>,
+    /// Work expressed as time-at-full-throughput.
+    pub duration_at_full_tput: SimDuration,
+    /// Whether tasks are performance-interdependent (data-parallel pattern,
+    /// §4.4): one straggler slows every sibling.
+    pub gang_coupled: bool,
+}
+
+impl JobSpec {
+    /// Number of tasks in the job.
+    pub fn num_tasks(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// True for single-task jobs.
+    pub fn is_single_task(&self) -> bool {
+        self.tasks.len() == 1
+    }
+
+    /// Looks up a task spec by id.
+    pub fn task(&self, id: TaskId) -> Option<&TaskSpec> {
+        self.tasks.iter().find(|t| t.id == id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_task(job: u64, index: u32) -> TaskSpec {
+        TaskSpec {
+            id: TaskId::new(JobId(job), index),
+            workload: WorkloadKind(0),
+            demand: DemandSpec::uniform(ResourceVector::new(1, 4, 24 * 1024)),
+            checkpoint_delay: SimDuration::from_secs(2),
+            launch_delay: SimDuration::from_secs(80),
+        }
+    }
+
+    #[test]
+    fn demand_spec_overrides_by_family() {
+        let spec = DemandSpec::uniform(ResourceVector::new(0, 12, 40 * 1024))
+            .with_family_override("c7i", ResourceVector::new(0, 6, 40 * 1024))
+            .with_family_override("r7i", ResourceVector::new(0, 6, 40 * 1024));
+        assert_eq!(spec.for_family("p3").cpu, 12);
+        assert_eq!(spec.for_family("c7i").cpu, 6);
+        assert_eq!(spec.for_family("unknown").cpu, 12);
+        assert_eq!(spec.max_demand().cpu, 12);
+    }
+
+    #[test]
+    fn max_demand_takes_componentwise_max() {
+        let spec = DemandSpec::uniform(ResourceVector::new(1, 4, 10))
+            .with_family_override("x", ResourceVector::new(0, 8, 5));
+        assert_eq!(spec.max_demand(), ResourceVector::new(1, 8, 10));
+    }
+
+    #[test]
+    fn migration_delay_sums_checkpoint_and_launch() {
+        let t = demo_task(1, 0);
+        assert_eq!(t.migration_delay(), SimDuration::from_secs(82));
+    }
+
+    #[test]
+    fn job_lookup() {
+        let job = JobSpec {
+            id: JobId(1),
+            arrival: SimTime::ZERO,
+            tasks: vec![demo_task(1, 0), demo_task(1, 1)],
+            duration_at_full_tput: SimDuration::from_hours(2),
+            gang_coupled: true,
+        };
+        assert_eq!(job.num_tasks(), 2);
+        assert!(!job.is_single_task());
+        assert!(job.task(TaskId::new(JobId(1), 1)).is_some());
+        assert!(job.task(TaskId::new(JobId(1), 2)).is_none());
+    }
+
+    #[test]
+    fn job_spec_serde_round_trip() {
+        let job = JobSpec {
+            id: JobId(9),
+            arrival: SimTime::from_secs(60),
+            tasks: vec![demo_task(9, 0)],
+            duration_at_full_tput: SimDuration::from_mins(30),
+            gang_coupled: false,
+        };
+        let json = serde_json::to_string(&job).unwrap();
+        let back: JobSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(job, back);
+    }
+}

@@ -1,0 +1,209 @@
+//! Exact money arithmetic.
+//!
+//! Costs are stored as integer micro-dollars so that the cost-efficiency
+//! comparisons at the heart of Eva's algorithm (`RP(T) ≥ C_k`, Algorithm 1
+//! line 14) are exact. Throughput-normalized quantities are inherently
+//! fractional and are handled in `f64` dollars at the call site.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// Micro-dollars per dollar.
+const MICROS_PER_DOLLAR: u64 = 1_000_000;
+
+/// A non-negative amount of money (or money rate, e.g. $/hr), stored as
+/// integer micro-dollars.
+///
+/// # Examples
+///
+/// ```
+/// use eva_types::Cost;
+///
+/// let p3_2xl = Cost::from_dollars_per_hour(3.06);
+/// let c7i_l = Cost::from_dollars_per_hour(0.08925);
+/// assert!(p3_2xl > c7i_l);
+/// assert_eq!((p3_2xl + c7i_l).as_dollars(), 3.14925);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
+pub struct Cost(u64);
+
+impl Cost {
+    /// Zero cost (the ghost instance type of §4.1).
+    pub const ZERO: Cost = Cost(0);
+
+    /// Builds a cost from raw micro-dollars.
+    pub const fn from_micros(micros: u64) -> Self {
+        Cost(micros)
+    }
+
+    /// Builds a cost from a dollar amount. Negative inputs clamp to zero.
+    ///
+    /// The name mentions `per_hour` because instance prices are hourly
+    /// rates, but the type is unit-agnostic.
+    pub fn from_dollars_per_hour(dollars: f64) -> Self {
+        Cost::from_dollars(dollars)
+    }
+
+    /// Builds a cost from a dollar amount. Negative inputs clamp to zero.
+    pub fn from_dollars(dollars: f64) -> Self {
+        if dollars <= 0.0 {
+            return Cost(0);
+        }
+        Cost((dollars * MICROS_PER_DOLLAR as f64).round() as u64)
+    }
+
+    /// Raw micro-dollars.
+    pub const fn as_micros(&self) -> u64 {
+        self.0
+    }
+
+    /// Dollar amount as a float (for reporting and fractional math).
+    pub fn as_dollars(&self) -> f64 {
+        self.0 as f64 / MICROS_PER_DOLLAR as f64
+    }
+
+    /// Multiplies by a non-negative fraction, rounding to nearest micro.
+    ///
+    /// This is how throughput-normalized reservation prices (§4.3) are
+    /// computed: `TNRP(τ, T) = tput × RP(τ)`.
+    pub fn scale(&self, fraction: f64) -> Cost {
+        Cost::from_dollars(self.as_dollars() * fraction)
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(&self, rhs: Cost) -> Cost {
+        Cost(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Cost accrued by running at this hourly rate for `hours`.
+    pub fn for_hours(&self, hours: f64) -> Cost {
+        self.scale(hours)
+    }
+
+    /// True when the amount is zero.
+    pub const fn is_zero(&self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl Add for Cost {
+    type Output = Cost;
+
+    fn add(self, rhs: Cost) -> Cost {
+        Cost(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Cost {
+    fn add_assign(&mut self, rhs: Cost) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Cost {
+    type Output = Cost;
+
+    fn sub(self, rhs: Cost) -> Cost {
+        self.saturating_sub(rhs)
+    }
+}
+
+impl SubAssign for Cost {
+    fn sub_assign(&mut self, rhs: Cost) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for Cost {
+    type Output = Cost;
+
+    fn mul(self, rhs: u64) -> Cost {
+        Cost(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for Cost {
+    type Output = Cost;
+
+    fn div(self, rhs: u64) -> Cost {
+        Cost(self.0 / rhs)
+    }
+}
+
+impl Sum for Cost {
+    fn sum<I: Iterator<Item = Cost>>(iter: I) -> Cost {
+        iter.fold(Cost::ZERO, |acc, c| acc + c)
+    }
+}
+
+impl fmt::Display for Cost {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "${:.4}/hr", self.as_dollars())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_dollars() {
+        let c = Cost::from_dollars_per_hour(3.06);
+        assert_eq!(c.as_micros(), 3_060_000);
+        assert!((c.as_dollars() - 3.06).abs() < 1e-9);
+    }
+
+    #[test]
+    fn negative_dollars_clamp_to_zero() {
+        assert_eq!(Cost::from_dollars(-1.5), Cost::ZERO);
+    }
+
+    #[test]
+    fn ordering_is_exact() {
+        // 0.1 + 0.2 style float traps must not affect comparisons.
+        let a = Cost::from_dollars(0.1) + Cost::from_dollars(0.2);
+        let b = Cost::from_dollars(0.3);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn scale_applies_throughput() {
+        let rp = Cost::from_dollars(12.0);
+        assert_eq!(rp.scale(0.8), Cost::from_dollars(9.6));
+        assert_eq!(rp.scale(0.0), Cost::ZERO);
+    }
+
+    #[test]
+    fn saturating_sub_clamps() {
+        let a = Cost::from_dollars(1.0);
+        let b = Cost::from_dollars(2.0);
+        assert_eq!(a - b, Cost::ZERO);
+        assert_eq!(b - a, Cost::from_dollars(1.0));
+    }
+
+    #[test]
+    fn for_hours_accrues() {
+        let rate = Cost::from_dollars_per_hour(2.0);
+        assert_eq!(rate.for_hours(1.5), Cost::from_dollars(3.0));
+    }
+
+    #[test]
+    fn sum_of_costs() {
+        let total: Cost = [1.0, 2.0, 3.5].iter().map(|d| Cost::from_dollars(*d)).sum();
+        assert_eq!(total, Cost::from_dollars(6.5));
+    }
+
+    #[test]
+    fn display_formats_rate() {
+        let shown = Cost::from_dollars(0.08925).to_string();
+        assert!(
+            shown == "$0.0893/hr" || shown == "$0.0892/hr",
+            "got {shown}"
+        );
+    }
+}

@@ -1,0 +1,219 @@
+//! Ground-truth co-location interference (Figure 1).
+//!
+//! The paper measured the normalized throughput of each workload when
+//! co-located pairwise with every other workload on one instance (separate
+//! GPUs/CPUs, shared LLC / disk / network). The simulator uses this matrix
+//! as *ground truth*: the scheduler never reads it directly and must learn
+//! interference online through the ThroughputMonitor.
+//!
+//! For groups of more than two co-located tasks the ground-truth throughput
+//! composes as the product of the task's pairwise throughputs (each extra
+//! neighbour adds contention).
+
+use eva_types::WorkloadKind;
+
+use crate::catalog::WorkloadCatalog;
+
+/// The measured 8×8 pairwise matrix of Figure 1.
+///
+/// `MATRIX[a][b]` is the normalized throughput of workload `a` (row) when
+/// co-located with workload `b` (column). Order: ResNet18, GraphSAGE,
+/// CycleGAN, GPT2, GCN, OpenFOAM, Diamond, A3C.
+pub const FIG1_MATRIX: [[f64; 8]; 8] = [
+    [0.93, 0.97, 1.00, 0.92, 0.83, 0.99, 0.89, 0.83], // ResNet18
+    [0.89, 0.89, 0.98, 0.97, 0.88, 0.95, 1.00, 0.74], // GraphSAGE
+    [0.99, 1.00, 0.99, 0.99, 0.85, 1.00, 1.00, 1.00], // CycleGAN
+    [0.79, 0.96, 0.79, 0.86, 1.00, 0.99, 0.80, 0.78], // GPT2
+    [0.92, 0.90, 0.95, 0.98, 0.90, 0.99, 0.95, 0.65], // GCN
+    [0.81, 0.98, 0.98, 0.99, 0.95, 0.97, 0.83, 0.94], // OpenFOAM
+    [0.96, 0.98, 1.00, 1.00, 0.99, 1.00, 0.93, 0.89], // Diamond
+    [0.91, 0.91, 0.98, 0.96, 0.94, 1.00, 0.94, 0.67], // A3C
+];
+
+/// A pairwise throughput lookup keyed by Figure 1 indices.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PairwiseMatrix {
+    values: Vec<Vec<f64>>,
+}
+
+impl PairwiseMatrix {
+    /// The measured Figure 1 matrix.
+    pub fn fig1() -> Self {
+        PairwiseMatrix {
+            values: FIG1_MATRIX.iter().map(|r| r.to_vec()).collect(),
+        }
+    }
+
+    /// A matrix where every pairwise co-location yields throughput `t`
+    /// (the controlled sweep of §6.4 / Figure 4).
+    pub fn uniform(t: f64, size: usize) -> Self {
+        PairwiseMatrix {
+            values: vec![vec![t.clamp(0.0, 1.0); size]; size],
+        }
+    }
+
+    /// Throughput of row workload `a` when co-located with `b`.
+    /// Out-of-range indices fall back to 1.0 (no interference).
+    pub fn pair(&self, a: usize, b: usize) -> f64 {
+        self.values
+            .get(a)
+            .and_then(|row| row.get(b))
+            .copied()
+            .unwrap_or(1.0)
+    }
+
+    /// Matrix dimension.
+    pub fn size(&self) -> usize {
+        self.values.len()
+    }
+}
+
+/// Ground-truth interference used by the simulator.
+///
+/// # Examples
+///
+/// ```
+/// use eva_workloads::{InterferenceModel, WorkloadCatalog};
+///
+/// let cat = WorkloadCatalog::table7();
+/// let model = InterferenceModel::measured(&cat);
+/// let gpt2 = cat.by_name("GPT2").unwrap().kind;
+/// let resnet = cat.by_name("ResNet18-2").unwrap().kind;
+/// // GPT2 suffers badly next to ResNet18 (Figure 1: 0.79).
+/// assert!((model.throughput(gpt2, &[resnet]) - 0.79).abs() < 1e-9);
+/// // Alone, throughput is 1.0.
+/// assert_eq!(model.throughput(gpt2, &[]), 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct InterferenceModel {
+    matrix: PairwiseMatrix,
+    /// Maps a workload kind to its matrix index.
+    index_of: Vec<usize>,
+}
+
+impl InterferenceModel {
+    /// The measured Figure 1 model over the Table 7 catalog (ViT reuses the
+    /// ResNet18 row/column).
+    pub fn measured(catalog: &WorkloadCatalog) -> Self {
+        InterferenceModel {
+            matrix: PairwiseMatrix::fig1(),
+            index_of: catalog.iter().map(|w| w.fig1_index).collect(),
+        }
+    }
+
+    /// A model where every co-located pair degrades both tasks to `t` —
+    /// used for the interference sweep (§6.4).
+    pub fn uniform(catalog: &WorkloadCatalog, t: f64) -> Self {
+        InterferenceModel {
+            matrix: PairwiseMatrix::uniform(t, 8),
+            index_of: catalog.iter().map(|w| w.fig1_index).collect(),
+        }
+    }
+
+    /// A model with no interference at all.
+    pub fn none(catalog: &WorkloadCatalog) -> Self {
+        InterferenceModel::uniform(catalog, 1.0)
+    }
+
+    fn idx(&self, kind: WorkloadKind) -> usize {
+        self.index_of.get(kind.0 as usize).copied().unwrap_or(0)
+    }
+
+    /// Pairwise ground-truth throughput of `a` when co-located with `b`.
+    pub fn pairwise(&self, a: WorkloadKind, b: WorkloadKind) -> f64 {
+        self.matrix.pair(self.idx(a), self.idx(b))
+    }
+
+    /// Ground-truth throughput of `task` co-located with `others`
+    /// (1.0 when alone).
+    ///
+    /// Groups larger than the measured pairs compose as the *product* of
+    /// pairwise throughputs — every extra neighbour adds contention — the
+    /// same shape as the estimator the paper's co-location table uses for
+    /// unseen groups, so the scheduler's learned values converge to the
+    /// truth.
+    pub fn throughput(&self, task: WorkloadKind, others: &[WorkloadKind]) -> f64 {
+        others
+            .iter()
+            .map(|o| self.pairwise(task, *o))
+            .product::<f64>()
+            .clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1_matrix_is_row_stochastic_range() {
+        for row in FIG1_MATRIX {
+            for v in row {
+                assert!((0.0..=1.0).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn fig1_spot_checks() {
+        let m = PairwiseMatrix::fig1();
+        // GCN next to A3C is the worst measured pair (0.65).
+        assert_eq!(m.pair(4, 7), 0.65);
+        // CycleGAN barely notices anyone.
+        assert_eq!(m.pair(2, 1), 1.00);
+        // Matrix is asymmetric: ResNet hurts GPT2 more than vice versa.
+        assert_eq!(m.pair(3, 0), 0.79);
+        assert_eq!(m.pair(0, 3), 0.92);
+    }
+
+    #[test]
+    fn group_throughput_composes_multiplicatively() {
+        let cat = WorkloadCatalog::table7();
+        let model = InterferenceModel::measured(&cat);
+        let gpt2 = cat.by_name("GPT2").unwrap().kind;
+        let resnet = cat.by_name("ResNet18-2").unwrap().kind;
+        let cyclegan = cat.by_name("CycleGAN").unwrap().kind;
+        let expected = 0.79 * 0.79; // Product over both neighbours.
+        let got = model.throughput(gpt2, &[resnet, cyclegan]);
+        assert!((got - expected).abs() < 1e-9, "got {got}");
+    }
+
+    #[test]
+    fn uniform_model_applies_constant() {
+        let cat = WorkloadCatalog::table7();
+        let model = InterferenceModel::uniform(&cat, 0.9);
+        let a = cat.by_name("Diamond").unwrap().kind;
+        let b = cat.by_name("GCN").unwrap().kind;
+        assert_eq!(model.pairwise(a, b), 0.9);
+        assert!((model.throughput(a, &[b, b]) - 0.81).abs() < 1e-9);
+    }
+
+    #[test]
+    fn none_model_never_degrades() {
+        let cat = WorkloadCatalog::table7();
+        let model = InterferenceModel::none(&cat);
+        let kinds: Vec<_> = cat.iter().map(|w| w.kind).collect();
+        for a in &kinds {
+            assert_eq!(model.throughput(*a, &kinds), 1.0);
+        }
+    }
+
+    #[test]
+    fn vit_behaves_like_resnet() {
+        let cat = WorkloadCatalog::table7();
+        let model = InterferenceModel::measured(&cat);
+        let vit = cat.by_name("ViT").unwrap().kind;
+        let resnet = cat.by_name("ResNet18-2").unwrap().kind;
+        let gpt2 = cat.by_name("GPT2").unwrap().kind;
+        assert_eq!(model.pairwise(vit, gpt2), model.pairwise(resnet, gpt2));
+        assert_eq!(model.pairwise(gpt2, vit), model.pairwise(gpt2, resnet));
+    }
+
+    #[test]
+    fn uniform_clamps_out_of_range() {
+        let m = PairwiseMatrix::uniform(1.5, 4);
+        assert_eq!(m.pair(0, 0), 1.0);
+        let m = PairwiseMatrix::uniform(-0.5, 4);
+        assert_eq!(m.pair(1, 2), 0.0);
+    }
+}

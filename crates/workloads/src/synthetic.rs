@@ -1,0 +1,140 @@
+//! Synthetic traces for the physical-style experiments (§6.2).
+//!
+//! Jobs are sampled uniformly from the Table 7 workloads, durations are
+//! uniform in 0.5–3 h, and arrivals follow a Poisson process with a mean
+//! inter-arrival time of 20 minutes — the exact recipe the paper uses for
+//! its 32-job and 120-job traces.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use eva_types::{JobId, SimDuration, SimTime};
+
+use crate::catalog::WorkloadCatalog;
+use crate::duration::{DurationSampler, UniformHours};
+use crate::trace::Trace;
+
+/// Configuration for a synthetic Poisson trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SyntheticTraceConfig {
+    /// Number of jobs to generate.
+    pub num_jobs: usize,
+    /// Mean inter-arrival time (Poisson process).
+    pub mean_interarrival: SimDuration,
+    /// Duration bounds in hours.
+    pub duration: UniformHours,
+    /// Restrict sampling to single-task workloads (the multi-task
+    /// micro-benchmark of Table 6 instead builds its own jobs).
+    pub single_task_only: bool,
+}
+
+impl SyntheticTraceConfig {
+    /// The 32-job small-scale physical trace (§6.2, Table 11).
+    pub fn small_scale() -> Self {
+        SyntheticTraceConfig {
+            num_jobs: 32,
+            mean_interarrival: SimDuration::from_mins(20),
+            duration: UniformHours::new(0.5, 3.0),
+            single_task_only: false,
+        }
+    }
+
+    /// The 120-job large-scale physical trace (§6.2, Table 10 / Figure 3).
+    pub fn large_scale() -> Self {
+        SyntheticTraceConfig {
+            num_jobs: 120,
+            ..SyntheticTraceConfig::small_scale()
+        }
+    }
+
+    /// Generates the trace with a fixed seed.
+    pub fn generate(&self, seed: u64) -> Trace {
+        let catalog = WorkloadCatalog::table7();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pool: Vec<_> = if self.single_task_only {
+            catalog
+                .single_task_workloads()
+                .into_iter()
+                .cloned()
+                .collect()
+        } else {
+            catalog.iter().cloned().collect()
+        };
+        let mut jobs = Vec::with_capacity(self.num_jobs);
+        let mut now = SimTime::ZERO;
+        for i in 0..self.num_jobs {
+            // Exponential inter-arrival gaps give a Poisson process.
+            let gap_hours = -self.mean_interarrival.as_hours_f64() * (1.0 - rng.gen::<f64>()).ln();
+            now += SimDuration::from_hours_f64(gap_hours);
+            let w = &pool[rng.gen_range(0..pool.len())];
+            let duration = self.duration.sample(&mut rng);
+            jobs.push(w.job_spec(JobId(i as u64), now, duration));
+        }
+        Trace::new(jobs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_job_count() {
+        let t = SyntheticTraceConfig::large_scale().generate(1);
+        assert_eq!(t.len(), 120);
+    }
+
+    #[test]
+    fn durations_within_bounds() {
+        let t = SyntheticTraceConfig::small_scale().generate(2);
+        for j in t.jobs() {
+            let h = j.duration_at_full_tput.as_hours_f64();
+            assert!((0.5..=3.0).contains(&h), "duration {h}");
+        }
+    }
+
+    #[test]
+    fn arrivals_are_increasing_with_poisson_mean() {
+        let cfg = SyntheticTraceConfig {
+            num_jobs: 2_000,
+            ..SyntheticTraceConfig::small_scale()
+        };
+        let t = cfg.generate(3);
+        let jobs = t.jobs();
+        let mut gaps = Vec::new();
+        for w in jobs.windows(2) {
+            assert!(w[1].arrival >= w[0].arrival);
+            gaps.push(w[1].arrival.duration_since(w[0].arrival).as_hours_f64());
+        }
+        let mean_gap: f64 = gaps.iter().sum::<f64>() / gaps.len() as f64;
+        assert!((mean_gap - 1.0 / 3.0).abs() < 0.03, "mean gap {mean_gap}h");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = SyntheticTraceConfig::small_scale().generate(7);
+        let b = SyntheticTraceConfig::small_scale().generate(7);
+        let c = SyntheticTraceConfig::small_scale().generate(8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn single_task_only_excludes_resnet_jobs() {
+        let cfg = SyntheticTraceConfig {
+            num_jobs: 200,
+            single_task_only: true,
+            ..SyntheticTraceConfig::small_scale()
+        };
+        let t = cfg.generate(4);
+        for j in t.jobs() {
+            assert_eq!(j.num_tasks(), 1);
+        }
+    }
+
+    #[test]
+    fn mixed_trace_contains_multi_task_jobs() {
+        let t = SyntheticTraceConfig::large_scale().generate(5);
+        assert!(t.stats().multi_task_jobs > 0);
+    }
+}

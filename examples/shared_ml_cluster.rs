@@ -1,0 +1,35 @@
+//! The paper's motivating scenario (§2.3): an enterprise's ML teams share
+//! one cloud-based cluster instead of each renting their own instances.
+//!
+//! Simulates the 32-job synthetic trace of §6.2 under every scheduler and
+//! prints the cost comparison — a miniature Table 11.
+//!
+//! Run with: `cargo run --release --example shared_ml_cluster`
+
+use eva::prelude::*;
+
+fn main() {
+    let trace = SyntheticTraceConfig::small_scale().generate(2025);
+    println!(
+        "Shared cluster receives {} jobs over {:.1}h (ML training + scientific computing)",
+        trace.len(),
+        trace.stats().arrival_span_hours
+    );
+    let kinds = [
+        SchedulerKind::NoPacking,
+        SchedulerKind::Stratus,
+        SchedulerKind::Synergy,
+        SchedulerKind::Owl,
+        SchedulerKind::Eva(EvaConfig::eva()),
+    ];
+    let mut baseline: Option<SimReport> = None;
+    for kind in kinds {
+        let report = run_simulation(&SimConfig::new(trace.clone(), kind));
+        println!("{}", report.table_row(baseline.as_ref()));
+        if baseline.is_none() {
+            baseline = Some(report);
+        }
+    }
+    println!("\nEva packs complementary tasks, learns interference online, and");
+    println!("reconfigures when provisioning savings outweigh migration cost.");
+}

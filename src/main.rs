@@ -1,0 +1,257 @@
+//! `eva` — command-line front end for the simulator and catalogs.
+//!
+//! ```text
+//! eva simulate [--jobs N] [--rate JOBS_PER_HR] [--scheduler NAME]
+//!              [--durations alibaba|gavel] [--seed N] [--json FILE]
+//! eva compare  [--jobs N] [--rate JOBS_PER_HR] [--durations ...] [--seed N]
+//! eva workloads        # print the Table 7 workload catalog
+//! eva catalog          # print the 21-type AWS instance catalog
+//! ```
+
+use std::process::ExitCode;
+
+use eva::prelude::*;
+
+/// Parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cli {
+    command: Command,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Command {
+    Simulate(SimArgs),
+    Compare(SimArgs),
+    Workloads,
+    Catalog,
+    Help,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct SimArgs {
+    jobs: usize,
+    rate: f64,
+    scheduler: String,
+    durations: String,
+    seed: u64,
+    json: Option<String>,
+}
+
+impl Default for SimArgs {
+    fn default() -> Self {
+        SimArgs {
+            jobs: 500,
+            rate: 3.0,
+            scheduler: "eva".into(),
+            durations: "alibaba".into(),
+            seed: 42,
+            json: None,
+        }
+    }
+}
+
+/// Parses arguments (exposed for testing).
+pub fn parse(args: &[String]) -> Result<Cli, String> {
+    let mut it = args.iter();
+    let command = match it.next().map(String::as_str) {
+        Some("simulate") => Command::Simulate(parse_sim_args(it)?),
+        Some("compare") => Command::Compare(parse_sim_args(it)?),
+        Some("workloads") => Command::Workloads,
+        Some("catalog") => Command::Catalog,
+        Some("help") | Some("--help") | Some("-h") | None => Command::Help,
+        Some(other) => return Err(format!("unknown command `{other}` (try `eva help`)")),
+    };
+    Ok(Cli { command })
+}
+
+fn parse_sim_args<'a>(mut it: impl Iterator<Item = &'a String>) -> Result<SimArgs, String> {
+    let mut args = SimArgs::default();
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("flag {flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--jobs" => args.jobs = value()?.parse().map_err(|e| format!("--jobs: {e}"))?,
+            "--rate" => args.rate = value()?.parse().map_err(|e| format!("--rate: {e}"))?,
+            "--scheduler" => args.scheduler = value()?,
+            "--durations" => args.durations = value()?,
+            "--seed" => args.seed = value()?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--json" => args.json = Some(value()?),
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn scheduler_by_name(name: &str) -> Result<SchedulerKind, String> {
+    Ok(match name.to_ascii_lowercase().as_str() {
+        "eva" => SchedulerKind::Eva(EvaConfig::eva()),
+        "eva-rp" => SchedulerKind::Eva(EvaConfig::eva_rp()),
+        "eva-single" => SchedulerKind::Eva(EvaConfig::eva_single()),
+        "eva-full-only" => SchedulerKind::Eva(EvaConfig::without_partial()),
+        "eva-partial-only" => SchedulerKind::Eva(EvaConfig::without_full()),
+        "no-packing" | "nopacking" => SchedulerKind::NoPacking,
+        "stratus" => SchedulerKind::Stratus,
+        "synergy" => SchedulerKind::Synergy,
+        "owl" => SchedulerKind::Owl,
+        other => return Err(format!("unknown scheduler `{other}`")),
+    })
+}
+
+fn build_trace(args: &SimArgs) -> Result<Trace, String> {
+    let durations = match args.durations.to_ascii_lowercase().as_str() {
+        "alibaba" => DurationModelChoice::Alibaba,
+        "gavel" => DurationModelChoice::Gavel,
+        other => return Err(format!("unknown duration model `{other}`")),
+    };
+    let cfg = AlibabaTraceConfig {
+        num_jobs: args.jobs,
+        arrival_rate_per_hour: args.rate,
+        durations,
+    };
+    Ok(cfg.generate(args.seed))
+}
+
+fn run(cli: Cli) -> Result<(), String> {
+    match cli.command {
+        Command::Help => {
+            println!(
+                "eva — cost-efficient cloud-based cluster scheduling (EuroSys '25 reproduction)\n\n\
+                 USAGE:\n  eva simulate [--jobs N] [--rate J/HR] [--scheduler NAME] [--durations alibaba|gavel] [--seed N] [--json FILE]\n  \
+                 eva compare  [--jobs N] [--rate J/HR] [--durations ...] [--seed N]\n  \
+                 eva workloads\n  eva catalog\n\n\
+                 SCHEDULERS: eva, eva-rp, eva-single, eva-full-only, eva-partial-only,\n             no-packing, stratus, synergy, owl"
+            );
+        }
+        Command::Workloads => {
+            for w in WorkloadCatalog::table7().iter() {
+                println!(
+                    "{:<12} {:<28} {} ×{}",
+                    w.name, w.domain, w.demand.default, w.num_tasks
+                );
+            }
+        }
+        Command::Catalog => {
+            for t in eva::cloud::Catalog::aws_eval_2025().types() {
+                println!("{t}");
+            }
+        }
+        Command::Simulate(args) => {
+            let trace = build_trace(&args)?;
+            let kind = scheduler_by_name(&args.scheduler)?;
+            println!(
+                "simulating {} jobs at {}/hr under {} (seed {})...",
+                args.jobs,
+                args.rate,
+                kind.label(),
+                args.seed
+            );
+            let report = run_simulation(&SimConfig::new(trace, kind));
+            println!("{}", report.table_row(None));
+            if let Some(path) = args.json {
+                let json =
+                    serde_json::to_string_pretty(&report).map_err(|e| format!("serialize: {e}"))?;
+                std::fs::write(&path, json).map_err(|e| format!("write {path}: {e}"))?;
+                println!("saved {path}");
+            }
+        }
+        Command::Compare(args) => {
+            let trace = build_trace(&args)?;
+            let kinds = [
+                SchedulerKind::NoPacking,
+                SchedulerKind::Stratus,
+                SchedulerKind::Synergy,
+                SchedulerKind::Owl,
+                SchedulerKind::Eva(EvaConfig::eva()),
+            ];
+            let mut baseline: Option<SimReport> = None;
+            for kind in kinds {
+                let report = run_simulation(&SimConfig::new(trace.clone(), kind));
+                println!("{}", report.table_row(baseline.as_ref()));
+                if baseline.is_none() {
+                    baseline = Some(report);
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match parse(&args).and_then(run) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_simulate_flags() {
+        let cli = parse(&argv(
+            "simulate --jobs 100 --rate 2.5 --scheduler stratus --seed 7",
+        ))
+        .unwrap();
+        let Command::Simulate(args) = cli.command else {
+            panic!()
+        };
+        assert_eq!(args.jobs, 100);
+        assert_eq!(args.rate, 2.5);
+        assert_eq!(args.scheduler, "stratus");
+        assert_eq!(args.seed, 7);
+    }
+
+    #[test]
+    fn rejects_unknown_command_and_flags() {
+        assert!(parse(&argv("frobnicate")).is_err());
+        assert!(parse(&argv("simulate --bogus 1")).is_err());
+        assert!(parse(&argv("simulate --jobs")).is_err());
+        assert!(parse(&argv("simulate --jobs abc")).is_err());
+    }
+
+    #[test]
+    fn default_command_is_help() {
+        assert_eq!(parse(&[]).unwrap().command, Command::Help);
+    }
+
+    #[test]
+    fn scheduler_names_resolve() {
+        for name in [
+            "eva",
+            "eva-rp",
+            "eva-single",
+            "eva-full-only",
+            "eva-partial-only",
+            "no-packing",
+            "stratus",
+            "synergy",
+            "owl",
+        ] {
+            assert!(scheduler_by_name(name).is_ok(), "{name}");
+        }
+        assert!(scheduler_by_name("slurm").is_err());
+    }
+
+    #[test]
+    fn duration_models_resolve() {
+        let mut args = SimArgs::default();
+        args.jobs = 5;
+        assert!(build_trace(&args).is_ok());
+        args.durations = "gavel".into();
+        assert!(build_trace(&args).is_ok());
+        args.durations = "weibull".into();
+        assert!(build_trace(&args).is_err());
+    }
+}

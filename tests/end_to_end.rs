@@ -1,0 +1,86 @@
+//! Integration test: full simulations across every scheduler.
+
+use eva::prelude::*;
+
+fn trace() -> Trace {
+    SyntheticTraceConfig {
+        num_jobs: 24,
+        mean_interarrival: SimDuration::from_mins(8),
+        duration: eva::workloads::UniformHours::new(0.3, 1.0),
+        single_task_only: false,
+    }
+    .generate(2024)
+}
+
+fn all_schedulers() -> Vec<SchedulerKind> {
+    vec![
+        SchedulerKind::NoPacking,
+        SchedulerKind::Stratus,
+        SchedulerKind::Synergy,
+        SchedulerKind::Owl,
+        SchedulerKind::Eva(EvaConfig::eva()),
+        SchedulerKind::Eva(EvaConfig::eva_rp()),
+        SchedulerKind::Eva(EvaConfig::eva_single()),
+        SchedulerKind::Eva(EvaConfig::without_full()),
+        SchedulerKind::Eva(EvaConfig::without_partial()),
+    ]
+}
+
+#[test]
+fn every_scheduler_completes_every_job() {
+    let trace = trace();
+    for kind in all_schedulers() {
+        let label = kind.label();
+        let report = run_simulation(&SimConfig::new(trace.clone(), kind));
+        assert_eq!(report.jobs_completed, trace.len(), "{label}");
+        assert!(report.total_cost_dollars > 0.0, "{label}");
+        assert!(
+            report.avg_norm_tput > 0.0 && report.avg_norm_tput <= 1.0 + 1e-9,
+            "{label}"
+        );
+        assert!(report.makespan_hours > 0.0, "{label}");
+    }
+}
+
+#[test]
+fn reports_are_deterministic_per_seed() {
+    let trace = trace();
+    let cfg = SimConfig::new(trace, SchedulerKind::Eva(EvaConfig::eva()));
+    assert_eq!(run_simulation(&cfg), run_simulation(&cfg));
+}
+
+#[test]
+fn gang_jobs_run_to_completion_with_multi_task_awareness() {
+    // A trace of ResNet18-4 gang jobs exercises §4.4 end to end.
+    let catalog = WorkloadCatalog::table7();
+    let w = catalog.by_name("ResNet18-4").unwrap();
+    let jobs: Vec<JobSpec> = (0..6)
+        .map(|i| {
+            w.job_spec(
+                JobId(i),
+                SimTime::from_secs(i * 1200),
+                SimDuration::from_hours_f64(0.5),
+            )
+        })
+        .collect();
+    let trace = Trace::new(jobs);
+    for cfg in [EvaConfig::eva(), EvaConfig::eva_single()] {
+        let report = run_simulation(&SimConfig::new(trace.clone(), SchedulerKind::Eva(cfg)));
+        assert_eq!(report.jobs_completed, 6);
+    }
+}
+
+#[test]
+fn interference_sweep_monotonically_hurts_oblivious_packing() {
+    let trace = trace();
+    let mut jcts = Vec::new();
+    for tput in [1.0, 0.9, 0.8] {
+        let mut cfg = SimConfig::new(trace.clone(), SchedulerKind::Eva(EvaConfig::eva_rp()));
+        cfg.interference = eva::sim::InterferenceSpec::Uniform(tput);
+        jcts.push(run_simulation(&cfg).avg_jct_hours);
+    }
+    assert!(
+        jcts[2] >= jcts[0] - 1e-9,
+        "harsher interference cannot speed jobs up: {jcts:?}"
+    );
+}

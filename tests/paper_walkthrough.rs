@@ -1,0 +1,83 @@
+//! Integration test: the paper's worked examples, end to end through the
+//! public facade.
+
+use eva::prelude::*;
+
+fn task(job: u64, gpu: u32, cpu: u32, ram_gb: u64) -> TaskSnapshot {
+    TaskSnapshot {
+        id: TaskId::new(JobId(job), 0),
+        workload: WorkloadKind(job as u32),
+        demand: DemandSpec::uniform(ResourceVector::with_ram_gb(gpu, cpu, ram_gb)),
+        checkpoint_delay: SimDuration::from_secs(2),
+        launch_delay: SimDuration::from_secs(10),
+        gang_size: 1,
+        gang_coupled: false,
+        assigned_to: None,
+        remaining_hint: None,
+    }
+}
+
+fn table3_tasks() -> Vec<TaskSnapshot> {
+    vec![
+        task(1, 2, 8, 24),
+        task(2, 1, 4, 10),
+        task(3, 0, 6, 20),
+        task(4, 0, 4, 12),
+    ]
+}
+
+#[test]
+fn section_4_2_walkthrough_cost() {
+    // τ1, τ2, τ4 pack onto it1; τ3 onto it3; total $12.80 vs $16.20.
+    let catalog = Catalog::table3_example();
+    let tasks = table3_tasks();
+    let mut eva = EvaScheduler::new(EvaConfig::eva_rp());
+    let ctx = SchedulerContext {
+        now: SimTime::ZERO,
+        catalog: &catalog,
+        tasks: &tasks,
+        instances: &[],
+    };
+    let plan = eva.plan(&ctx);
+    let total: Cost = plan
+        .assignments
+        .iter()
+        .filter_map(|a| match a.instance {
+            eva::core::PlannedInstance::New(ty) => Some(catalog.get(ty).unwrap().hourly_cost),
+            _ => None,
+        })
+        .sum();
+    assert_eq!(total, Cost::from_dollars(12.8));
+}
+
+#[test]
+fn section_4_3_tnrp_example() {
+    use eva::core::{ReservationPrices, TnrpEvaluator};
+    use eva::interference::ThroughputTable;
+
+    let catalog = Catalog::table3_example();
+    let tasks = table3_tasks();
+    let prices = ReservationPrices::compute(&catalog, tasks.iter());
+    let mut table = ThroughputTable::new(0.95);
+    table.record(WorkloadKind(1), &[WorkloadKind(2)], 0.8);
+    table.record(WorkloadKind(2), &[WorkloadKind(1)], 0.9);
+    let eval = TnrpEvaluator::new(&table, &prices, true);
+    let set = [&tasks[0], &tasks[1]];
+    // $12 × 0.8 + $3 × 0.9 = $12.30 > $12 → cost-efficient.
+    assert!(eval.is_cost_efficient(&set, Cost::from_dollars(12.0)));
+
+    table.record(WorkloadKind(1), &[WorkloadKind(2)], 0.7);
+    table.record(WorkloadKind(2), &[WorkloadKind(1)], 0.8);
+    let eval = TnrpEvaluator::new(&table, &prices, true);
+    // $12 × 0.7 + $3 × 0.8 = $10.80 < $12 → rejected.
+    assert!(!eval.is_cost_efficient(&set, Cost::from_dollars(12.0)));
+}
+
+#[test]
+fn dhat_closed_form_from_section_4_5() {
+    use eva::core::EventRateEstimator;
+    // D̂ = −1/(λ ln(1−p)); for λ = 2/hr and p = 0.5 this is 1/(2 ln 2).
+    let est = EventRateEstimator::new(2.0, 0.5);
+    let expected = 1.0 / (2.0 * std::f64::consts::LN_2);
+    assert!((est.estimated_duration_hours() - expected).abs() < 1e-12);
+}

@@ -1,0 +1,144 @@
+//! Contract tests every scheduler must satisfy: plans must be executable
+//! (capacity-respecting, no duplicated tasks, terminate only untouched
+//! instances) on randomized cluster states.
+
+use proptest::prelude::*;
+
+use eva::baselines::{
+    NoPackingScheduler, OracleProfile, OwlScheduler, StratusScheduler, SynergyScheduler,
+};
+use eva::core::{InstanceSnapshot, PlannedInstance, TaskSnapshot};
+use eva::prelude::*;
+
+fn arb_state() -> impl Strategy<Value = (Vec<TaskSnapshot>, Vec<InstanceSnapshot>)> {
+    let catalog = Catalog::aws_eval_2025();
+    let n_types = catalog.len() as u32;
+    (
+        proptest::collection::vec((0u32..=2, 1u32..=16, 1u64..=128, 0u32..8), 1..16),
+        proptest::collection::vec(0u32..n_types, 0..6),
+    )
+        .prop_map(move |(task_specs, instance_types)| {
+            let catalog = Catalog::aws_eval_2025();
+            let instances: Vec<InstanceSnapshot> = instance_types
+                .into_iter()
+                .enumerate()
+                .map(|(i, ty)| InstanceSnapshot {
+                    id: InstanceId(i as u64),
+                    type_id: eva::types::InstanceTypeId(ty),
+                })
+                .collect();
+            let mut tasks: Vec<TaskSnapshot> = task_specs
+                .into_iter()
+                .enumerate()
+                .map(|(i, (gpu, cpu, ram_gb, workload))| TaskSnapshot {
+                    id: TaskId::new(JobId(i as u64), 0),
+                    workload: WorkloadKind(workload),
+                    demand: DemandSpec::uniform(ResourceVector::with_ram_gb(gpu, cpu, ram_gb)),
+                    checkpoint_delay: SimDuration::from_secs(2),
+                    launch_delay: SimDuration::from_secs(10),
+                    gang_size: 1,
+                    gang_coupled: false,
+                    assigned_to: None,
+                    remaining_hint: Some(SimDuration::from_mins(30 + i as u64 * 13)),
+                })
+                .collect();
+            // Assign a prefix of tasks onto instances where they fit.
+            let mut used: Vec<ResourceVector> =
+                instances.iter().map(|_| ResourceVector::ZERO).collect();
+            for (i, task) in tasks.iter_mut().enumerate() {
+                if instances.is_empty() || i % 3 == 0 {
+                    continue; // Leave some pending.
+                }
+                let slot = i % instances.len();
+                let ty = catalog.get(instances[slot].type_id).unwrap();
+                let d = ty.demand_of(&task.demand);
+                if let Some(total) = used[slot].checked_add(&d) {
+                    if total.fits_within(&ty.capacity) {
+                        used[slot] = total;
+                        task.assigned_to = Some(instances[slot].id);
+                    }
+                }
+            }
+            (tasks, instances)
+        })
+}
+
+fn check_plan(
+    name: &str,
+    plan: &eva::core::Plan,
+    tasks: &[TaskSnapshot],
+    instances: &[InstanceSnapshot],
+) -> Result<(), TestCaseError> {
+    let catalog = Catalog::aws_eval_2025();
+    // No task appears twice.
+    let mut seen = std::collections::BTreeSet::new();
+    for a in &plan.assignments {
+        for t in &a.tasks {
+            prop_assert!(seen.insert(*t), "{name}: task {t} duplicated");
+        }
+    }
+    // Capacity respected per planned instance.
+    for a in &plan.assignments {
+        let type_id = match a.instance {
+            PlannedInstance::Existing(id) => {
+                let inst = instances.iter().find(|i| i.id == id);
+                prop_assert!(inst.is_some(), "{name}: unknown instance {id}");
+                inst.unwrap().type_id
+            }
+            PlannedInstance::New(ty) => ty,
+        };
+        let ty = catalog.get(type_id).unwrap();
+        let mut total = ResourceVector::ZERO;
+        for tid in &a.tasks {
+            let task = tasks.iter().find(|t| t.id == *tid).unwrap();
+            total += ty.demand_of(&task.demand);
+        }
+        prop_assert!(
+            total.fits_within(&ty.capacity),
+            "{name}: overfull {} on {}",
+            total,
+            ty.name
+        );
+    }
+    // Terminated instances receive no assignments.
+    for id in &plan.terminate {
+        let assigned = plan
+            .assignments
+            .iter()
+            .any(|a| matches!(a.instance, PlannedInstance::Existing(i) if i == *id));
+        prop_assert!(!assigned, "{name}: assigns to terminated {id}");
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn all_schedulers_emit_executable_plans((tasks, instances) in arb_state()) {
+        let catalog = Catalog::aws_eval_2025();
+        let ctx = SchedulerContext {
+            now: SimTime::from_secs(3600),
+            catalog: &catalog,
+            tasks: &tasks,
+            instances: &instances,
+        };
+        let workloads = WorkloadCatalog::table7();
+        let kinds: Vec<WorkloadKind> = workloads.iter().map(|w| w.kind).collect();
+        let profile = OracleProfile::from_fn(&kinds, |_, _| 0.95);
+
+        let mut schedulers: Vec<Box<dyn Scheduler>> = vec![
+            Box::new(NoPackingScheduler::new()),
+            Box::new(StratusScheduler::new()),
+            Box::new(SynergyScheduler::new()),
+            Box::new(OwlScheduler::new(profile)),
+            Box::new(EvaScheduler::new(EvaConfig::eva())),
+            Box::new(EvaScheduler::new(EvaConfig::without_partial())),
+            Box::new(EvaScheduler::new(EvaConfig::without_full())),
+        ];
+        for sched in &mut schedulers {
+            let plan = sched.plan(&ctx);
+            check_plan(sched.name(), &plan, &tasks, &instances)?;
+        }
+    }
+}

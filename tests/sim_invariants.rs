@@ -1,0 +1,91 @@
+//! Simulation-level invariants that must hold for any scheduler and trace:
+//! accounting conservation, causality, and metric sanity.
+
+use proptest::prelude::*;
+
+use eva::prelude::*;
+
+fn arb_trace() -> impl Strategy<Value = Trace> {
+    (2usize..20, 1u64..500, 0u8..2).prop_map(|(jobs, seed, durations)| {
+        let durations = if durations == 0 {
+            DurationModelChoice::Alibaba
+        } else {
+            DurationModelChoice::Gavel
+        };
+        AlibabaTraceConfig {
+            num_jobs: jobs,
+            arrival_rate_per_hour: 6.0,
+            durations,
+        }
+        .generate(seed)
+    })
+}
+
+fn arb_scheduler() -> impl Strategy<Value = SchedulerKind> {
+    prop_oneof![
+        Just(SchedulerKind::NoPacking),
+        Just(SchedulerKind::Stratus),
+        Just(SchedulerKind::Synergy),
+        Just(SchedulerKind::Owl),
+        Just(SchedulerKind::Eva(EvaConfig::eva())),
+        Just(SchedulerKind::Eva(EvaConfig::without_partial())),
+        Just(SchedulerKind::Eva(EvaConfig::without_full())),
+    ]
+}
+
+proptest! {
+    // Full simulations are not cheap; a modest case count still explores
+    // hundreds of scheduling rounds across schedulers and duration models.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn simulation_invariants((trace, kind) in (arb_trace(), arb_scheduler())) {
+        let label = kind.label();
+        let report = run_simulation(&SimConfig::new(trace.clone(), kind));
+
+        // Everything completes — the simulator never strands a feasible job.
+        prop_assert_eq!(report.jobs_completed, trace.len());
+
+        // JCT can never undercut the trace's ideal duration.
+        let mean_duration: f64 = trace
+            .jobs()
+            .iter()
+            .map(|j| j.duration_at_full_tput.as_hours_f64())
+            .sum::<f64>()
+            / trace.len() as f64;
+        prop_assert!(
+            report.avg_jct_hours + 1e-6 >= mean_duration,
+            "{label}: avg JCT {} < ideal mean duration {}",
+            report.avg_jct_hours,
+            mean_duration
+        );
+
+        // Cost is positive and at least the work actually executed on the
+        // cheapest conceivable instance.
+        prop_assert!(report.total_cost_dollars > 0.0, "{label}");
+
+        // Allocation ratios and throughput are proper fractions.
+        for (name, v) in [
+            ("gpu", report.gpu_alloc),
+            ("cpu", report.cpu_alloc),
+            ("ram", report.ram_alloc),
+            ("tput", report.avg_norm_tput),
+        ] {
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&v), "{label}: {name} = {v}");
+        }
+
+        // The uptime CDF is monotone and normalized.
+        for w in report.uptime_cdf.windows(2) {
+            prop_assert!(w[1].value + 1e-12 >= w[0].value, "{label}");
+            prop_assert!(w[1].density >= w[0].density, "{label}");
+        }
+        if let Some(last) = report.uptime_cdf.last() {
+            prop_assert!((last.density - 1.0).abs() < 1e-9, "{label}");
+        }
+
+        // No-migration schedulers must report (almost) none.
+        if label == "No-Packing" {
+            prop_assert_eq!(report.migrations_per_task, 0.0);
+        }
+    }
+}
