@@ -1,7 +1,7 @@
 //! Experiment harness shared by every table/figure binary.
 //!
 //! Each `exp_*` binary in `src/bin/` regenerates one table or figure of
-//! the paper (see DESIGN.md's experiment index). Binaries print the same
+//! the paper (see the README's experiment index). Binaries print the same
 //! rows/series the paper reports and write machine-readable JSON to
 //! `results/`. Scales default to laptop-friendly sizes; set `EVA_FULL=1`
 //! to run the paper-sized configurations (e.g. the full 6,274-job trace).

@@ -1,8 +1,8 @@
 //! Eva: cost-efficient cloud-based cluster scheduling — Rust reproduction.
 //!
 //! This facade crate re-exports the workspace so downstream users depend
-//! on one crate. See the README for a tour and DESIGN.md for the
-//! paper-to-crate mapping.
+//! on one crate. See the README for a tour and the paper-to-crate
+//! mapping.
 //!
 //! # Quickstart
 //!

@@ -1,0 +1,60 @@
+//! Smoke tests for the `eva` CLI: the catalog-style subcommands must exit
+//! zero and print real content, so the README quickstart keeps working.
+
+use std::process::Command;
+
+fn run_eva(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_eva"))
+        .args(args)
+        .output()
+        .expect("failed to spawn the eva binary")
+}
+
+#[test]
+fn workloads_subcommand_prints_table7() {
+    let out = run_eva(&["workloads"]);
+    assert!(out.status.success(), "exit: {:?}", out.status);
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(!stdout.trim().is_empty());
+    // The Table 7 catalog spans ML training and scientific computing.
+    assert!(stdout.contains("GPT2"), "missing GPT2 in:\n{stdout}");
+    assert!(stdout.contains("OpenFOAM"), "missing OpenFOAM in:\n{stdout}");
+}
+
+#[test]
+fn catalog_subcommand_prints_aws_types() {
+    let out = run_eva(&["catalog"]);
+    assert!(out.status.success(), "exit: {:?}", out.status);
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(!stdout.trim().is_empty());
+    // The 21-type AWS evaluation catalog covers GPU and CPU families.
+    assert!(stdout.contains("p3."), "missing p3 family in:\n{stdout}");
+    assert!(stdout.contains("c7i."), "missing c7i family in:\n{stdout}");
+    assert!(stdout.contains("/hr"), "missing hourly prices in:\n{stdout}");
+}
+
+#[test]
+fn help_lists_every_subcommand() {
+    let out = run_eva(&["help"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    for cmd in ["simulate", "compare", "workloads", "catalog"] {
+        assert!(stdout.contains(cmd), "help does not mention `{cmd}`");
+    }
+}
+
+#[test]
+fn unknown_command_fails_with_message() {
+    let out = run_eva(&["frobnicate"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("frobnicate"), "stderr: {stderr}");
+}
+
+#[test]
+fn simulate_small_trace_reports_cost() {
+    let out = run_eva(&["simulate", "--jobs", "10", "--seed", "7"]);
+    assert!(out.status.success(), "exit: {:?}", out.status);
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains('$'), "no cost column in:\n{stdout}");
+}

@@ -1,0 +1,253 @@
+//! Offline stand-in for [`crossbeam`](https://crates.io/crates/crossbeam).
+//!
+//! Eva's execution substrate uses crossbeam only for unbounded MPSC
+//! channels and the [`select!`] macro over two receivers. This stand-in
+//! maps channels onto `std::sync::mpsc` (identical send/recv/disconnect
+//! semantics) and implements `select!` as a fair-enough polling loop:
+//! arms are tried in order, and an idle select sleeps briefly between
+//! rounds. Latency is bounded by the poll interval (200µs), which is well
+//! inside what the worker/master control plane tolerates.
+
+pub mod channel {
+    //! MPSC channels with crossbeam's `unbounded` constructor.
+
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
+    pub use std::sync::mpsc::{Receiver, Sender};
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+
+    /// `Err(RecvError)` typed to `rx`'s element type — used by `select!`
+    /// so its disconnected arm infers the same `T` as the ready arm.
+    pub fn disconnected_result<T>(_rx: &Receiver<T>) -> Result<T, RecvError> {
+        Err(RecvError)
+    }
+
+    // Make `crossbeam::channel::select!` resolve like upstream.
+    pub use crate::select;
+}
+
+/// Blocks until one of the `recv(receiver) -> result => body` arms is
+/// ready, runs exactly that arm, and evaluates to its value.
+///
+/// The bound `result` is a `Result<T, RecvError>`: `Ok` on message,
+/// `Err` when the arm's channel is disconnected (as in crossbeam).
+///
+/// Two properties upstream guarantees are preserved deliberately:
+///
+/// * arm bodies execute **outside** the internal polling loop, so
+///   `break`/`continue` inside a body bind to the *caller's* enclosing
+///   loop exactly as with real crossbeam;
+/// * exactly one arm runs per `select!`.
+///
+/// One- and two-arm forms are supported (all Eva call sites use two).
+/// Idle waiting is polling with backoff (100µs for the first ~100
+/// rounds, then 1ms), not true parking — worst-case wakeup latency is
+/// 1ms and idle cost is ~1k wakeups/sec per waiting thread.
+///
+/// Known divergence from upstream: ready arms are tried in order, not
+/// chosen at random, and a disconnected arm keeps firing its `Err` on
+/// every call (messages queued on the other arm are still delivered
+/// first). A caller that loops over `select!` must therefore terminate
+/// or stop selecting on an arm once it reports `Err`, as
+/// `worker_loop` in `eva-exec` does — ignoring the `Err` and looping
+/// again busy-spins.
+#[macro_export]
+macro_rules! select {
+    ( recv($rx:expr) -> $res:ident => $body:block ) => {{
+        let $res = $rx.recv();
+        $body
+    }};
+    (
+        recv($rx1:expr) -> $res1:ident => $body1:block
+        recv($rx2:expr) -> $res2:ident => $body2:block
+    ) => {{
+        let __rx1 = &$rx1;
+        let __rx2 = &$rx2;
+        let mut __slot1 = ::core::option::Option::None;
+        let mut __slot2 = ::core::option::Option::None;
+        let mut __round: u32 = 0;
+        loop {
+            // Poll both arms each round and fire real messages before
+            // disconnections, so a dead channel cannot starve queued
+            // messages on the live one.
+            let __r1 = __rx1.try_recv();
+            if let ::core::result::Result::Ok(__msg) = __r1 {
+                __slot1 = ::core::option::Option::Some(::core::result::Result::Ok(__msg));
+                break;
+            }
+            let __r2 = __rx2.try_recv();
+            if let ::core::result::Result::Ok(__msg) = __r2 {
+                __slot2 = ::core::option::Option::Some(::core::result::Result::Ok(__msg));
+                break;
+            }
+            if ::core::matches!(
+                __r1,
+                ::core::result::Result::Err($crate::channel::TryRecvError::Disconnected)
+            ) {
+                __slot1 = ::core::option::Option::Some(
+                    $crate::channel::disconnected_result(__rx1),
+                );
+                break;
+            }
+            if ::core::matches!(
+                __r2,
+                ::core::result::Result::Err($crate::channel::TryRecvError::Disconnected)
+            ) {
+                __slot2 = ::core::option::Option::Some(
+                    $crate::channel::disconnected_result(__rx2),
+                );
+                break;
+            }
+            __round = __round.saturating_add(1);
+            let __sleep_us = if __round < 100 { 100 } else { 1_000 };
+            ::std::thread::sleep(::std::time::Duration::from_micros(__sleep_us));
+        }
+        // Dispatch outside the polling loop so control flow in the
+        // bodies (`break`, `continue`, `return`) behaves as written.
+        if let ::core::option::Option::Some($res1) = __slot1 {
+            $body1
+        } else if let ::core::option::Option::Some($res2) = __slot2 {
+            $body2
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::unbounded;
+
+    #[test]
+    fn send_recv_round_trip() {
+        let (tx, rx) = unbounded();
+        tx.send(7).unwrap();
+        assert_eq!(rx.recv().unwrap(), 7);
+    }
+
+    #[test]
+    fn disconnect_propagates() {
+        let (tx, rx) = unbounded::<u8>();
+        drop(tx);
+        assert!(rx.recv().is_err());
+    }
+
+    #[test]
+    fn select_picks_ready_arm() {
+        let (tx_a, rx_a) = unbounded::<u32>();
+        let (_tx_b, rx_b) = unbounded::<u32>();
+        tx_a.send(1).unwrap();
+        let mut got = 0;
+        crate::select! {
+            recv(rx_a) -> msg => {
+                got = msg.unwrap();
+            }
+            recv(rx_b) -> msg => {
+                got = msg.unwrap() + 100;
+            }
+        }
+        assert_eq!(got, 1);
+    }
+
+    #[test]
+    fn select_blocks_until_message() {
+        let (tx, rx) = unbounded::<u32>();
+        let (_keep, rx_other) = unbounded::<u32>();
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            tx.send(9).unwrap();
+        });
+        let mut got = 0;
+        crate::select! {
+            recv(rx) -> msg => {
+                got = msg.unwrap();
+            }
+            recv(rx_other) -> msg => {
+                let _ = msg;
+            }
+        }
+        handle.join().unwrap();
+        assert_eq!(got, 9);
+    }
+
+    #[test]
+    fn select_arm_control_flow_binds_to_caller_loop() {
+        // `break`/`continue` written in an arm body must act on the
+        // caller's loop (upstream crossbeam semantics), not on any loop
+        // internal to the macro expansion.
+        let (tx_a, rx_a) = unbounded::<u32>();
+        let (_keep, rx_b) = unbounded::<u32>();
+        for v in [1u32, 2, 3] {
+            tx_a.send(v).unwrap();
+        }
+        drop(tx_a);
+        let mut seen = Vec::new();
+        loop {
+            crate::select! {
+                recv(rx_a) -> msg => {
+                    match msg {
+                        Ok(2) => continue, // skip recording 2
+                        Ok(v) => seen.push(v),
+                        Err(_) => break,
+                    }
+                }
+                recv(rx_b) -> msg => {
+                    let _ = msg;
+                }
+            }
+        }
+        assert_eq!(seen, vec![1, 3]);
+    }
+
+    #[test]
+    fn select_single_arm_blocks() {
+        let (tx, rx) = unbounded::<u32>();
+        tx.send(5).unwrap();
+        let got: u32;
+        crate::select! {
+            recv(rx) -> msg => {
+                got = msg.unwrap();
+            }
+        }
+        assert_eq!(got, 5);
+    }
+
+    #[test]
+    fn select_delivers_queued_messages_before_disconnect() {
+        // A dead first arm must not starve messages pending on the
+        // second arm.
+        let (tx_a, rx_a) = unbounded::<u32>();
+        let (tx_b, rx_b) = unbounded::<u32>();
+        drop(tx_a);
+        tx_b.send(7).unwrap();
+        let mut fired = None;
+        crate::select! {
+            recv(rx_a) -> msg => {
+                fired = Some(("a", msg.is_err()));
+            }
+            recv(rx_b) -> msg => {
+                fired = Some(("b", msg.is_err()));
+                assert_eq!(msg.unwrap(), 7);
+            }
+        }
+        assert_eq!(fired, Some(("b", false)));
+    }
+
+    #[test]
+    fn select_fires_on_disconnect() {
+        let (tx, rx) = unbounded::<u32>();
+        let (_keep, rx_other) = unbounded::<u32>();
+        drop(tx);
+        let mut disconnected = false;
+        crate::select! {
+            recv(rx) -> msg => {
+                disconnected = msg.is_err();
+            }
+            recv(rx_other) -> msg => {
+                let _ = msg;
+            }
+        }
+        assert!(disconnected);
+    }
+}
