@@ -101,7 +101,7 @@ impl Scheduler for OwlScheduler {
             if residents.is_empty() {
                 continue;
             }
-            let efficient = ctx.catalog.get(inst.type_id).map_or(false, |ty| {
+            let efficient = ctx.catalog.get(inst.type_id).is_some_and(|ty| {
                 let tnrp: f64 = residents
                     .iter()
                     .map(|t| {

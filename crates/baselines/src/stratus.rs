@@ -159,7 +159,7 @@ impl Scheduler for StratusScheduler {
                         continue;
                     }
                 }
-                if best.map_or(true, |(_, s)| same_bin > s) {
+                if best.is_none_or(|(_, s)| same_bin > s) {
                     best = Some((inst.id, same_bin));
                 }
             }
@@ -195,7 +195,7 @@ impl Scheduler for StratusScheduler {
         // repeatedly pick the instance type minimizing cost per hosted
         // task and open one instance for as many group members as fit.
         for (_bin, mut group) in leftover_by_bin {
-            group.sort_by(|a, b| a.id.cmp(&b.id));
+            group.sort_by_key(|a| a.id);
             while !group.is_empty() {
                 let mut best: Option<(eva_types::InstanceTypeId, Vec<usize>, f64)> = None;
                 for ty in ctx.catalog.types() {

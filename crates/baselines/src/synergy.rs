@@ -124,7 +124,7 @@ impl Scheduler for SynergyScheduler {
                 let frag = f64::from(leftover.gpu) * 4.0
                     + f64::from(leftover.cpu) / 8.0
                     + leftover.ram_mb as f64 / (64.0 * 1024.0);
-                if best.map_or(true, |(_, b)| frag < b) {
+                if best.is_none_or(|(_, b)| frag < b) {
                     best = Some((inst.id, frag));
                 }
             }

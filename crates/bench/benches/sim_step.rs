@@ -1,0 +1,51 @@
+//! Criterion benchmarks for the simulator's event-loop hot path.
+//!
+//! * `cluster_sim/first_round` — build the world and step it through its
+//!   first scheduling round (arrivals + one observe/plan/execute cycle):
+//!   the per-round cost every sweep cell pays hundreds of times.
+//! * `cluster_sim/run_to_completion` — a whole small-trace run, the unit
+//!   the `SweepRunner` fans out across worker threads.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use eva_core::EvaConfig;
+use eva_sim::{ClusterSim, SchedulerKind, SimConfig};
+use eva_types::SimDuration;
+use eva_workloads::{SyntheticTraceConfig, Trace, UniformHours};
+
+fn dense_trace(jobs: usize) -> Trace {
+    SyntheticTraceConfig {
+        num_jobs: jobs,
+        mean_interarrival: SimDuration::from_mins(3),
+        duration: UniformHours::new(0.5, 1.5),
+        single_task_only: false,
+    }
+    .generate(17)
+}
+
+fn bench_first_round(c: &mut Criterion) {
+    let cfg = SimConfig::new(dense_trace(60), SchedulerKind::Eva(EvaConfig::eva()));
+    let mut group = c.benchmark_group("cluster_sim");
+    group.sample_size(20);
+    group.bench_function("first_round", |b| {
+        b.iter(|| {
+            let mut sim = ClusterSim::new(&cfg);
+            while sim.rounds_executed() < 1 && sim.step() {}
+            sim.rounds_executed()
+        })
+    });
+    group.finish();
+}
+
+fn bench_run_to_completion(c: &mut Criterion) {
+    let cfg = SimConfig::new(dense_trace(20), SchedulerKind::Eva(EvaConfig::eva()));
+    let mut group = c.benchmark_group("cluster_sim");
+    group.sample_size(10);
+    group.bench_function("run_to_completion", |b| {
+        b.iter(|| ClusterSim::new(&cfg).run().jobs_completed)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_first_round, bench_run_to_completion);
+criterion_main!(benches);

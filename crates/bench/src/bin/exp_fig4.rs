@@ -1,13 +1,13 @@
 //! Figure 4: impact of co-location interference.
 //!
-//! Sweeps uniform pairwise co-location throughput over
-//! {1.0, 0.95, 0.9, 0.85, 0.8} and compares No-Packing, Owl, Eva-RP
-//! (interference-oblivious), and Eva-TNRP. Eva-RP's cost should blow up as
-//! interference grows while Eva-TNRP stays below No-Packing.
+//! Declares one sweep grid — uniform pairwise co-location throughput over
+//! {1.0, 0.95, 0.9, 0.85, 0.8} × {No-Packing, Owl, Eva-RP, Eva-TNRP} —
+//! and fans the 20 cells out across sweep workers. Eva-RP's cost should
+//! blow up as interference grows while Eva-TNRP stays below No-Packing.
 
-use eva_bench::{is_full_scale, save_json};
+use eva_bench::{default_threads, is_full_scale, save_json};
 use eva_core::EvaConfig;
-use eva_sim::{run_simulation, InterferenceSpec, SchedulerKind, SimConfig};
+use eva_sim::{InterferenceSpec, SchedulerKind, SweepGrid, SweepRunner};
 use eva_workloads::{AlibabaTraceConfig, DurationModelChoice};
 
 fn main() {
@@ -15,38 +15,35 @@ fn main() {
     let mut tc = AlibabaTraceConfig::full(DurationModelChoice::Alibaba);
     tc.num_jobs = if is_full_scale() { 6_274 } else { 1000 };
     let trace = tc.generate(4);
-    let kinds: Vec<(&str, SchedulerKind)> = vec![
-        ("No-Packing", SchedulerKind::NoPacking),
-        ("Owl", SchedulerKind::Owl),
-        ("Eva-RP", SchedulerKind::Eva(EvaConfig::eva_rp())),
-        ("Eva-TNRP", SchedulerKind::Eva(EvaConfig::eva())),
-    ];
+    let tputs = [1.0, 0.95, 0.9, 0.85, 0.8];
+    let grid = SweepGrid::new("alibaba", trace)
+        .scheduler("No-Packing", SchedulerKind::NoPacking)
+        .scheduler("Owl", SchedulerKind::Owl)
+        .scheduler("Eva-RP", SchedulerKind::Eva(EvaConfig::eva_rp()))
+        .scheduler("Eva-TNRP", SchedulerKind::Eva(EvaConfig::eva()))
+        .interferences(
+            tputs
+                .iter()
+                .map(|&t| InterferenceSpec::Uniform(t))
+                .collect::<Vec<_>>(),
+        );
+    let result = SweepRunner::new(default_threads()).run(&grid);
     println!(
         "{:<8} {:<12} {:>12} {:>12} {:>10}",
         "tput", "scheduler", "norm cost", "norm tput", "JCT (h)"
     );
-    let mut all = Vec::new();
-    for tput in [1.0, 0.95, 0.9, 0.85, 0.8] {
-        let mut baseline_cost = None;
-        for (name, kind) in &kinds {
-            let mut cfg = SimConfig::new(trace.clone(), kind.clone());
-            cfg.interference = InterferenceSpec::Uniform(tput);
-            let r = run_simulation(&cfg);
-            let norm = match baseline_cost {
-                None => {
-                    baseline_cost = Some(r.total_cost_dollars);
-                    1.0
-                }
-                Some(b) => r.total_cost_dollars / b,
-            };
+    for (tput, block) in tputs.iter().zip(result.blocks()) {
+        let baseline_cost = block[0].report.total_cost_dollars;
+        for cell in block {
+            let r = &cell.report;
             println!(
-                "{tput:<8} {name:<12} {:>11.1}% {:>12.2} {:>10.2}",
-                100.0 * norm,
+                "{tput:<8} {:<12} {:>11.1}% {:>12.2} {:>10.2}",
+                cell.key.scheduler,
+                100.0 * r.total_cost_dollars / baseline_cost,
                 r.avg_norm_tput,
                 r.avg_jct_hours
             );
-            all.push((tput, name.to_string(), r));
         }
     }
-    save_json("fig4.json", &all);
+    save_json("fig4.json", &result);
 }

@@ -1,12 +1,13 @@
 //! Figure 5: impact of migration overhead.
 //!
-//! Sweeps the per-task migration delay multiplier and reports (a) Eva's
-//! Full Reconfiguration adoption proportion and migrations per job, and
-//! (b) total cost of Eva, Eva w/o Partial (Full only), and Stratus.
+//! Declares a sweep grid over the per-task migration-delay multiplier ×
+//! {Eva, Eva w/o Partial, Stratus} and reports (a) Eva's Full
+//! Reconfiguration adoption proportion and migrations per job, and
+//! (b) total cost normalized against a No-Packing baseline cell.
 
-use eva_bench::{is_full_scale, save_json};
+use eva_bench::{default_threads, is_full_scale, save_json};
 use eva_core::EvaConfig;
-use eva_sim::{run_simulation, SchedulerKind, SimConfig};
+use eva_sim::{run_simulation, SchedulerKind, SimConfig, SweepGrid, SweepRunner};
 use eva_workloads::{AlibabaTraceConfig, DurationModelChoice};
 
 fn main() {
@@ -14,22 +15,22 @@ fn main() {
     let mut tc = AlibabaTraceConfig::full(DurationModelChoice::Alibaba);
     tc.num_jobs = if is_full_scale() { 6_274 } else { 1000 };
     let trace = tc.generate(5);
+    // No-Packing never migrates, so its baseline is a single unscaled cell.
     let base = run_simulation(&SimConfig::new(trace.clone(), SchedulerKind::NoPacking));
+    let scales = [1.0, 2.0, 4.0, 8.0];
+    let grid = SweepGrid::new("alibaba", trace)
+        .scheduler("Eva", SchedulerKind::Eva(EvaConfig::eva()))
+        .scheduler("Eva w/o Partial", SchedulerKind::Eva(EvaConfig::without_partial()))
+        .scheduler("Stratus", SchedulerKind::Stratus)
+        .migration_scales(scales.to_vec());
+    let result = SweepRunner::new(default_threads()).run(&grid);
     println!("(a) Eva under scaled migration delays; (b) cost vs baselines");
     println!(
         "{:<7} {:>11} {:>10} | {:>10} {:>12} {:>10}",
         "scale", "full prop.", "mig/job", "Eva", "Eva w/o P.", "Stratus"
     );
-    let mut all = Vec::new();
-    for scale in [1.0, 2.0, 4.0, 8.0] {
-        let run = |kind: SchedulerKind| {
-            let mut cfg = SimConfig::new(trace.clone(), kind);
-            cfg.migration_delay_scale = scale;
-            run_simulation(&cfg)
-        };
-        let eva = run(SchedulerKind::Eva(EvaConfig::eva()));
-        let full_only = run(SchedulerKind::Eva(EvaConfig::without_partial()));
-        let stratus = run(SchedulerKind::Stratus);
+    for (scale, block) in scales.iter().zip(result.blocks()) {
+        let [eva, full_only, stratus] = [&block[0].report, &block[1].report, &block[2].report];
         println!(
             "{scale:<7} {:>10.1}% {:>10.2} | {:>9.1}% {:>11.1}% {:>9.1}%",
             100.0 * eva.full_reconfig_rate,
@@ -38,7 +39,6 @@ fn main() {
             100.0 * full_only.total_cost_dollars / base.total_cost_dollars,
             100.0 * stratus.total_cost_dollars / base.total_cost_dollars,
         );
-        all.push((scale, eva, full_only, stratus));
     }
-    save_json("fig5.json", &all);
+    save_json("fig5.json", &(base, result));
 }

@@ -1,38 +1,42 @@
 //! Figure 8: impact of job arrival rate.
 //!
-//! Sweeps the Poisson arrival rate over 0.5–3 jobs/hr. Lower rates mean
-//! fewer co-resident jobs and therefore smaller packing benefits, but Eva
-//! should stay the cheapest packer throughout.
+//! Sweeps the Poisson arrival rate over 0.5–3 jobs/hr — one trace-axis
+//! value per rate in a single grid over the five §6.1 schedulers. Lower
+//! rates mean fewer co-resident jobs and therefore smaller packing
+//! benefits, but Eva should stay the cheapest packer throughout.
 
-use eva_bench::{is_full_scale, save_json, scheduler_set};
-use eva_sim::{run_simulation, SimConfig};
+use eva_bench::{default_threads, is_full_scale, save_json};
+use eva_sim::{SweepGrid, SweepRunner};
 use eva_workloads::{AlibabaTraceConfig, DurationModelChoice};
 
 fn main() {
     println!("== Figure 8: arrival-rate sweep ==");
+    let rates = [0.5, 1.0, 2.0, 3.0];
+    let trace_for = |rate: f64| {
+        let mut tc = AlibabaTraceConfig::full(DurationModelChoice::Alibaba);
+        tc.arrival_rate_per_hour = rate;
+        tc.num_jobs = if is_full_scale() { 6_274 } else { 700 };
+        tc.generate(80 + (rate * 10.0) as u64)
+    };
+    let mut grid = SweepGrid::new(format!("{} jobs/hr", rates[0]), trace_for(rates[0]));
+    for &rate in &rates[1..] {
+        grid = grid.trace(format!("{rate} jobs/hr"), trace_for(rate));
+    }
+    let result = SweepRunner::new(default_threads()).run(&grid.paper_schedulers());
     println!(
         "{:<10} {:>10} {:>10} {:>10} {:>10}",
         "jobs/hr", "Stratus", "Synergy", "Owl", "Eva"
     );
-    let mut all = Vec::new();
-    for rate in [0.5, 1.0, 2.0, 3.0] {
-        let mut tc = AlibabaTraceConfig::full(DurationModelChoice::Alibaba);
-        tc.arrival_rate_per_hour = rate;
-        tc.num_jobs = if is_full_scale() { 6_274 } else { 700 };
-        let trace = tc.generate(80 + (rate * 10.0) as u64);
-        let mut reports = Vec::new();
-        for kind in scheduler_set() {
-            reports.push(run_simulation(&SimConfig::new(trace.clone(), kind)));
-        }
-        let np = reports[0].total_cost_dollars;
+    for (rate, block) in rates.iter().zip(result.blocks()) {
+        let np = block[0].report.total_cost_dollars;
+        let n = |i: usize| 100.0 * block[i].report.total_cost_dollars / np;
         println!(
             "{rate:<10} {:>9.1}% {:>9.1}% {:>9.1}% {:>9.1}%",
-            100.0 * reports[1].total_cost_dollars / np,
-            100.0 * reports[2].total_cost_dollars / np,
-            100.0 * reports[3].total_cost_dollars / np,
-            100.0 * reports[4].total_cost_dollars / np,
+            n(1),
+            n(2),
+            n(3),
+            n(4),
         );
-        all.push((rate, reports));
     }
-    save_json("fig8.json", &all);
+    save_json("fig8.json", &result);
 }

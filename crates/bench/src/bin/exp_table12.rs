@@ -3,38 +3,38 @@
 //! The paper compares physical-cluster cost against simulated cost
 //! (within 5%). Without hardware we compare the two fidelity levels the
 //! simulator supports — stochastic delays (the "world") vs nominal mean
-//! delays (the "model") — per scheduler; small deltas show scheduler
-//! outcomes are robust to the modelled noise.
+//! delays (the "model") — per scheduler, declared as one grid with a
+//! two-value fidelity axis; small deltas show scheduler outcomes are
+//! robust to the modelled noise.
 
-use eva_bench::{save_json, scheduler_set};
+use eva_bench::{default_threads, save_json};
 use eva_cloud::FidelityMode;
-use eva_sim::{run_simulation, SimConfig};
+use eva_sim::{SweepGrid, SweepRunner};
 use eva_workloads::SyntheticTraceConfig;
 
 fn main() {
     println!("== Table 12: simulator fidelity (stochastic vs nominal delays) ==");
     let trace = SyntheticTraceConfig::small_scale().generate(12);
+    let grid = SweepGrid::new("synthetic", trace)
+        .paper_schedulers()
+        .fidelities(vec![FidelityMode::Stochastic, FidelityMode::Nominal]);
+    let result = SweepRunner::new(default_threads()).run(&grid);
+    let blocks: Vec<_> = result.blocks().collect();
+    let (stochastic, nominal) = (blocks[0], blocks[1]);
     println!(
         "{:<12} {:>16} {:>16} {:>12}",
         "Scheduler", "Stochastic ($)", "Nominal ($)", "Difference"
     );
-    let mut rows = Vec::new();
-    for kind in scheduler_set() {
-        let mut stochastic_cfg = SimConfig::new(trace.clone(), kind.clone());
-        stochastic_cfg.fidelity = FidelityMode::Stochastic;
-        let mut nominal_cfg = SimConfig::new(trace.clone(), kind);
-        nominal_cfg.fidelity = FidelityMode::Nominal;
-        let a = run_simulation(&stochastic_cfg);
-        let b = run_simulation(&nominal_cfg);
-        let diff = (b.total_cost_dollars - a.total_cost_dollars) / a.total_cost_dollars;
+    for (a, b) in stochastic.iter().zip(nominal) {
+        let diff = (b.report.total_cost_dollars - a.report.total_cost_dollars)
+            / a.report.total_cost_dollars;
         println!(
             "{:<12} {:>16.2} {:>16.2} {:>11.1}%",
-            a.scheduler,
-            a.total_cost_dollars,
-            b.total_cost_dollars,
+            a.report.scheduler,
+            a.report.total_cost_dollars,
+            b.report.total_cost_dollars,
             100.0 * diff
         );
-        rows.push((a, b));
     }
-    save_json("table12.json", &rows);
+    save_json("table12.json", &result);
 }

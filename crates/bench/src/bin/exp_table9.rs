@@ -4,7 +4,7 @@ use eva_workloads::{AlibabaDurations, DurationSampler, GavelDurations};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-fn row(name: &str, hours: &mut Vec<f64>, paper: [f64; 4]) {
+fn row(name: &str, hours: &mut [f64], paper: [f64; 4]) {
     hours.sort_by(|a, b| a.partial_cmp(b).unwrap());
     let q = |p: f64| hours[((hours.len() - 1) as f64 * p).round() as usize];
     let mean = hours.iter().sum::<f64>() / hours.len() as f64;

@@ -1,15 +1,19 @@
 //! Experiment harness shared by every table/figure binary.
 //!
 //! Each `exp_*` binary in `src/bin/` regenerates one table or figure of
-//! the paper (see the README's experiment index). Binaries print the same
-//! rows/series the paper reports and write machine-readable JSON to
-//! `results/`. Scales default to laptop-friendly sizes; set `EVA_FULL=1`
-//! to run the paper-sized configurations (e.g. the full 6,274-job trace).
+//! the paper (see the README's experiment index). Binaries declare their
+//! `(scheduler × trace × seed × …)` cells as an [`eva_sim::SweepGrid`]
+//! and run them through the multi-threaded [`eva_sim::SweepRunner`] —
+//! results are deterministic and byte-identical for any worker count.
+//! Binaries print the same rows/series the paper reports and write
+//! machine-readable JSON to `results/`. Scales default to laptop-friendly
+//! sizes; set `EVA_FULL=1` to run the paper-sized configurations (e.g.
+//! the full 6,274-job trace), and `EVA_THREADS=N` to pin the sweep worker
+//! count (default: all available cores).
 
 use std::path::PathBuf;
 
-use eva_core::EvaConfig;
-use eva_sim::{run_simulation, SchedulerKind, SimConfig, SimReport};
+use eva_sim::{SchedulerKind, SimReport, SweepGrid, SweepRunner};
 use eva_workloads::Trace;
 
 /// True when `EVA_FULL=1` requests paper-scale experiments.
@@ -17,19 +21,40 @@ pub fn is_full_scale() -> bool {
     std::env::var("EVA_FULL").map(|v| v == "1").unwrap_or(false)
 }
 
-/// The five schedulers of §6.1 in the paper's reporting order.
-pub fn scheduler_set() -> Vec<SchedulerKind> {
-    vec![
-        SchedulerKind::NoPacking,
-        SchedulerKind::Stratus,
-        SchedulerKind::Synergy,
-        SchedulerKind::Owl,
-        SchedulerKind::Eva(EvaConfig::eva()),
-    ]
+/// Sweep worker count: `EVA_THREADS=N` if set, otherwise 0 (which
+/// [`SweepRunner::new`] resolves to all available cores).
+pub fn default_threads() -> usize {
+    std::env::var("EVA_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
 }
 
-/// Runs one trace under several schedulers, printing paper-style rows
-/// (first scheduler is the normalization baseline) and returning reports.
+/// The five schedulers of §6.1 in the paper's reporting order.
+pub fn scheduler_set() -> Vec<SchedulerKind> {
+    SchedulerKind::paper_set()
+}
+
+/// Declares `kinds` on `grid` with unique names (duplicate report labels —
+/// e.g. several Eva variants — get a positional suffix).
+pub fn add_schedulers(mut grid: SweepGrid, kinds: Vec<SchedulerKind>) -> SweepGrid {
+    let mut seen: Vec<String> = Vec::new();
+    for kind in kinds {
+        let base = kind.label().to_string();
+        let name = if seen.contains(&base) {
+            format!("{base}#{}", seen.iter().filter(|s| **s == base).count() + 1)
+        } else {
+            base.clone()
+        };
+        seen.push(base);
+        grid = grid.scheduler(name, kind);
+    }
+    grid
+}
+
+/// Runs one trace under several schedulers — fanned out across sweep
+/// workers — printing paper-style rows in declaration order (first
+/// scheduler is the normalization baseline) and returning reports.
 pub fn run_and_print(trace: &Trace, kinds: Vec<SchedulerKind>, header: &str) -> Vec<SimReport> {
     println!("== {header} ==");
     println!(
@@ -37,13 +62,12 @@ pub fn run_and_print(trace: &Trace, kinds: Vec<SchedulerKind>, header: &str) -> 
         trace.len(),
         trace.stats().arrival_span_hours
     );
-    let mut reports = Vec::new();
-    for kind in kinds {
-        let cfg = SimConfig::new(trace.clone(), kind);
-        let report = run_simulation(&cfg);
-        let baseline = reports.first();
+    let grid = add_schedulers(SweepGrid::new("trace", trace.clone()), kinds);
+    let result = SweepRunner::new(default_threads()).run(&grid);
+    let reports: Vec<SimReport> = result.reports().cloned().collect();
+    for (i, report) in reports.iter().enumerate() {
+        let baseline = (i > 0).then(|| &reports[0]);
         println!("{}", report.table_row(baseline));
-        reports.push(report);
     }
     reports
 }
@@ -82,6 +106,25 @@ mod tests {
         assert_eq!(kinds.len(), 5);
         assert_eq!(kinds[0].label(), "No-Packing");
         assert_eq!(kinds[4].label(), "Eva");
+    }
+
+    #[test]
+    fn duplicate_scheduler_labels_get_unique_names() {
+        use eva_core::EvaConfig;
+        let grid = add_schedulers(
+            SweepGrid::new("t", Trace::new(vec![])),
+            vec![
+                SchedulerKind::Eva(EvaConfig::eva()),
+                SchedulerKind::Eva(EvaConfig::eva_rp()),
+                SchedulerKind::NoPacking,
+            ],
+        );
+        let names: Vec<String> = grid
+            .cells()
+            .iter()
+            .map(|c| c.key.scheduler.clone())
+            .collect();
+        assert_eq!(names, vec!["Eva", "Eva#2", "No-Packing"]);
     }
 
     #[test]

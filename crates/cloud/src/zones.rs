@@ -104,7 +104,7 @@ impl ZoneSet {
         for (idx, cfg) in self.configs.iter().enumerate() {
             let used = self.usage[idx].in_use.get(&ty).copied().unwrap_or(0);
             let quota = cfg.quotas.get(&ty).copied();
-            let has_room = quota.map_or(true, |q| used < q);
+            let has_room = quota.is_none_or(|q| used < q);
             if has_room {
                 *self.usage[idx].in_use.entry(ty).or_insert(0) += 1;
                 return Ok(cfg.name.clone());

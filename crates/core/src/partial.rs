@@ -178,7 +178,7 @@ pub fn partial_reconfiguration(
                     let tnrp = eval.tnrp_set(&candidate);
                     if tnrp >= eval.tnrp_set(set)
                         && tnrp + 1e-9 >= ty.hourly_cost.as_dollars()
-                        && best.map_or(true, |(_, b)| tnrp > b)
+                        && best.is_none_or(|(_, b)| tnrp > b)
                     {
                         best = Some((idx, tnrp));
                     }

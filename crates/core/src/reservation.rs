@@ -290,7 +290,7 @@ mod tests {
         let solo = task_gang(1, ResourceVector::with_ram_gb(1, 4, 10), 0, 1, false);
         let gang = task_gang(2, ResourceVector::with_ram_gb(1, 4, 10), 0, 4, true);
         let other = task(3, ResourceVector::with_ram_gb(1, 4, 10), 1);
-        let all = vec![solo.clone(), gang.clone(), other.clone()];
+        let all = [solo.clone(), gang.clone(), other.clone()];
         let prices = ReservationPrices::compute(&catalog, all.iter());
         let mut table = ThroughputTable::new(0.95);
         table.record(WorkloadKind(0), &[WorkloadKind(1)], 0.9);
@@ -306,7 +306,7 @@ mod tests {
         let catalog = Catalog::table3_example();
         let gang = task_gang(1, ResourceVector::with_ram_gb(1, 4, 10), 0, 4, true);
         let other = task(2, ResourceVector::with_ram_gb(1, 4, 10), 1);
-        let all = vec![gang.clone(), other.clone()];
+        let all = [gang.clone(), other.clone()];
         let prices = ReservationPrices::compute(&catalog, all.iter());
         let mut table = ThroughputTable::new(0.95);
         table.record(WorkloadKind(0), &[WorkloadKind(1)], 0.6);
@@ -320,7 +320,7 @@ mod tests {
         let catalog = Catalog::table3_example();
         let gang = task_gang(1, ResourceVector::with_ram_gb(1, 4, 10), 0, 4, true);
         let other = task(2, ResourceVector::with_ram_gb(1, 4, 10), 1);
-        let all = vec![gang.clone(), other.clone()];
+        let all = [gang.clone(), other.clone()];
         let prices = ReservationPrices::compute(&catalog, all.iter());
         let mut table = ThroughputTable::new(0.95);
         table.record(WorkloadKind(0), &[WorkloadKind(1)], 0.9);

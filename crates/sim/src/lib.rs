@@ -1,24 +1,41 @@
-//! High-fidelity discrete-event simulator (§5).
+//! High-fidelity discrete-event simulator (§5), layered three ways.
 //!
-//! The simulator reproduces the paper's evaluation environment: it reads a
-//! workload trace, notifies the scheduler of job arrivals, executes the
-//! scheduler's plans against a simulated cloud (launch/terminate instances,
-//! launch/checkpoint/migrate tasks, all with the measured Table 1 delays),
-//! applies ground-truth co-location interference (Figure 1) to task
-//! throughput, and feeds the scheduler only *observed* throughput — the
-//! scheduler never sees the ground-truth interference model.
+//! * [`engine`] — **layer 1**: a generic discrete-event engine (monotone
+//!   clock, time/priority/FIFO-ordered event queue, deterministic RNG
+//!   streams) with no knowledge of schedulers or clouds.
+//! * [`world`] — **layer 2**: the [`ClusterSim`] world model. It owns the
+//!   provider, instances, jobs, and task lifecycles, consumes engine
+//!   events, applies ground-truth co-location interference (Figure 1) to
+//!   task throughput, and feeds the scheduler only *observed* throughput
+//!   — the scheduler never sees the ground-truth interference model.
+//! * [`sweep`] — **layer 3**: declarative `(scheduler × trace × seed ×
+//!   fidelity × interference)` experiment grids ([`SweepGrid`]) with a
+//!   multi-threaded [`SweepRunner`] whose merged results are
+//!   byte-identical for any thread count.
 //!
 //! Job progress integrates throughput over time exactly: throughput is
 //! piecewise-constant between events, so completion times are computed in
 //! closed form and re-derived whenever any co-location changes.
 //!
-//! [`SimConfig`] + [`run_simulation`] form the experiment entry point used
-//! by every table/figure binary in `eva-bench`.
+//! [`SimConfig`] + [`run_simulation`] remain the single-cell experiment
+//! entry point used by every table/figure binary in `eva-bench`; the
+//! sweep layer is the batch entry point behind `eva sweep`.
 
+pub mod engine;
 pub mod metrics;
+mod observe;
+mod report;
 pub mod runner;
 pub mod state;
+pub mod sweep;
+pub mod world;
 
+pub use engine::{derive_seed, EventEngine, RngStreams, Scheduled, SimEvent};
 pub use metrics::{CdfPoint, SimReport};
 pub use runner::{run_simulation, InterferenceSpec, SchedulerKind, SimConfig};
 pub use state::{JobProgress, TaskState};
+pub use sweep::{
+    fidelity_label, CellKey, CellOutcome, Experiment, SweepCell, SweepGrid, SweepResult,
+    SweepRunner,
+};
+pub use world::ClusterSim;

@@ -1,0 +1,290 @@
+//! Scheduler-facing side of the world model: observation/snapshot
+//! building, plan execution, and the periodic scheduling round.
+//!
+//! The scheduler never sees the ground-truth interference model — only
+//! the *observed* throughput of its own jobs and the co-location contexts
+//! they ran in, exactly as in the paper's evaluation (§5).
+
+use std::collections::BTreeMap;
+
+use eva_cloud::ProvisionRequest;
+use eva_core::{InstanceSnapshot, JobObservation, Plan, PlannedInstance, SchedulerContext, TaskSnapshot};
+use eva_interference::TaskContext;
+use eva_types::{InstanceId, TaskId, WorkloadKind};
+
+use eva_types::SimTime;
+
+use crate::state::TaskState;
+use crate::world::{ClusterSim, Event};
+
+impl ClusterSim {
+    pub(crate) fn instance_ready_at(&self, id: InstanceId) -> SimTime {
+        self.cloud
+            .instance(id)
+            .map(|i| i.ready_at)
+            .unwrap_or(self.now())
+    }
+
+    /// Moves (or first-places) a task onto `dest`.
+    pub(crate) fn transfer_task(&mut self, tid: TaskId, dest: InstanceId) {
+        let Some(job) = self.jobs.get(&tid.job) else {
+            return;
+        };
+        let Some(spec) = job.spec.task(tid) else {
+            return;
+        };
+        let checkpoint = spec.checkpoint_delay.scale(self.migration_delay_scale);
+        let launch = spec.launch_delay.scale(self.migration_delay_scale);
+
+        let Some(rt) = self.tasks.get_mut(&tid) else {
+            return;
+        };
+        let was_running = rt.is_running();
+        let had_instance = rt.assigned_to.is_some();
+        let old = rt.assigned_to;
+
+        if let Some(old_id) = old {
+            if old_id == dest {
+                return;
+            }
+            if let Some(set) = self.on_instance.get_mut(&old_id) {
+                set.remove(&tid);
+            }
+            if was_running {
+                let busy = self.now() + checkpoint;
+                let entry = self.busy_until.entry(old_id).or_insert(busy);
+                *entry = (*entry).max(busy);
+            }
+        }
+
+        let gen = {
+            let g = self.task_gen.entry(tid).or_insert(0);
+            *g += 1;
+            *g
+        };
+        let depart = if was_running {
+            self.now() + checkpoint
+        } else {
+            self.now()
+        };
+        let ready = depart.max(self.instance_ready_at(dest)) + launch;
+
+        let rt = self.tasks.get_mut(&tid).unwrap();
+        rt.assigned_to = Some(dest);
+        rt.state = TaskState::InTransit {
+            generation: gen,
+            ready_at: ready,
+        };
+        if had_instance {
+            rt.migrations += 1;
+            self.migration_count += 1;
+        }
+        self.on_instance.entry(dest).or_default().insert(tid);
+        self.push(
+            ready,
+            Event::TaskReady {
+                task: tid,
+                generation: gen,
+            },
+        );
+    }
+    /// Builds the scheduler-facing observations for the current instant.
+    pub(crate) fn build_observations(&self) -> Vec<JobObservation> {
+        let mut obs = Vec::new();
+        for (id, job) in &self.jobs {
+            if job.is_done() {
+                continue;
+            }
+            let mut contexts = Vec::new();
+            let mut any_running = false;
+            for spec in &job.spec.tasks {
+                let Some(rt) = self.tasks.get(&spec.id) else {
+                    continue;
+                };
+                if !rt.is_running() {
+                    continue;
+                }
+                any_running = true;
+                let others: Vec<WorkloadKind> = rt
+                    .assigned_to
+                    .and_then(|i| self.on_instance.get(&i))
+                    .map(|set| {
+                        set.iter()
+                            .filter(|t| **t != spec.id)
+                            .filter_map(|t| self.tasks.get(t))
+                            .filter(|t| t.is_running())
+                            .filter_map(|t| self.workload_of(t.id))
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                contexts.push(TaskContext::new(spec.id, spec.workload, others));
+            }
+            if !any_running {
+                continue;
+            }
+            let observed = if job.spec.gang_coupled {
+                self.job_tput(job)
+            } else {
+                // Single-task jobs report the task's own throughput.
+                job.spec
+                    .tasks
+                    .first()
+                    .and_then(|s| {
+                        self.tasks
+                            .get(&s.id)
+                            .map(|rt| self.task_tput(rt, s.workload))
+                    })
+                    .unwrap_or(0.0)
+            };
+            obs.push(JobObservation {
+                job: *id,
+                gang_coupled: job.spec.gang_coupled,
+                observed_tput: observed,
+                contexts,
+            });
+        }
+        obs
+    }
+
+    /// Builds the scheduler context snapshot.
+    pub(crate) fn build_snapshot(&self) -> (Vec<TaskSnapshot>, Vec<InstanceSnapshot>) {
+        let mut tasks = Vec::new();
+        for job in self.jobs.values() {
+            if job.is_done() {
+                continue;
+            }
+            for spec in &job.spec.tasks {
+                let Some(rt) = self.tasks.get(&spec.id) else {
+                    continue;
+                };
+                tasks.push(TaskSnapshot {
+                    id: spec.id,
+                    workload: spec.workload,
+                    demand: spec.demand.clone(),
+                    checkpoint_delay: spec.checkpoint_delay.scale(self.migration_delay_scale),
+                    launch_delay: spec.launch_delay.scale(self.migration_delay_scale),
+                    gang_size: job.spec.num_tasks() as u32,
+                    gang_coupled: job.spec.gang_coupled,
+                    assigned_to: rt.assigned_to,
+                    remaining_hint: Some(job.remaining_hint()),
+                });
+            }
+        }
+        let instances: Vec<InstanceSnapshot> = self
+            .cloud
+            .live_instances(self.now())
+            .filter(|i| !self.draining.contains(&i.id))
+            .map(|i| InstanceSnapshot {
+                id: i.id,
+                type_id: i.type_id,
+            })
+            .collect();
+        (tasks, instances)
+    }
+
+    /// Executes a plan: provisions new instances, transfers tasks, marks
+    /// terminations.
+    pub(crate) fn execute_plan(&mut self, plan: &Plan) {
+        let mut target: BTreeMap<TaskId, InstanceId> = BTreeMap::new();
+        for a in &plan.assignments {
+            let inst = match a.instance {
+                PlannedInstance::Existing(id) => id,
+                PlannedInstance::New(ty) => {
+                    match self.cloud.provision(
+                        ProvisionRequest {
+                            type_id: ty,
+                            at: self.now(),
+                        },
+                        &mut self.rng,
+                    ) {
+                        Ok(id) => {
+                            self.on_instance.entry(id).or_default();
+                            id
+                        }
+                        Err(_) => continue,
+                    }
+                }
+            };
+            for tid in &a.tasks {
+                target.insert(*tid, inst);
+            }
+        }
+        let moves: Vec<(TaskId, InstanceId)> = target
+            .iter()
+            .filter(|(tid, dest)| {
+                self.tasks
+                    .get(tid)
+                    .map(|rt| rt.assigned_to != Some(**dest))
+                    .unwrap_or(false)
+            })
+            .map(|(t, d)| (*t, *d))
+            .collect();
+        for (tid, dest) in moves {
+            self.transfer_task(tid, dest);
+        }
+        for id in &plan.terminate {
+            // Defensive: never drain an instance the plan also assigns to.
+            let assigned_here = plan
+                .assignments
+                .iter()
+                .any(|a| matches!(a.instance, PlannedInstance::Existing(i) if i == *id));
+            if !assigned_here {
+                self.draining.insert(*id);
+            }
+        }
+        self.try_terminations();
+    }
+
+    /// One scheduling round: observe, plan, execute, and re-arm the next
+    /// round while work remains.
+    pub(crate) fn handle_round(&mut self) {
+        self.round_pending = false;
+        let observations = self.build_observations();
+        self.scheduler.observe(&observations);
+        let (tasks, instances) = self.build_snapshot();
+        let ctx = SchedulerContext {
+            now: self.now(),
+            catalog: &self.catalog,
+            tasks: &tasks,
+            instances: &instances,
+        };
+        let plan = self.scheduler.plan(&ctx);
+        self.rounds += 1;
+        if self.rounds.is_multiple_of(50) && std::env::var_os("EVA_SIM_TRACE_STATE").is_some() {
+            let live: Vec<_> = self.cloud.live_instances(self.now()).collect();
+            let rate: f64 = live
+                .iter()
+                .filter_map(|i| self.catalog.get(i.type_id))
+                .map(|t| t.hourly_cost.as_dollars())
+                .sum();
+            let running = self.tasks.values().filter(|t| t.is_running()).count();
+            let transit = self
+                .tasks
+                .values()
+                .filter(|t| matches!(t.state, TaskState::InTransit { .. }))
+                .count();
+            eprintln!(
+                "round {:>5} t={:>7.2}h tasks r{running}/x{transit} inst {} rate ${rate:.0}/h",
+                self.rounds,
+                self.now().as_hours_f64(),
+                live.len()
+            );
+        }
+        if plan.full_reconfiguration {
+            self.full_rounds += 1;
+        }
+        self.execute_plan(&plan);
+        self.recompute_completions();
+
+        let active = self.jobs.values().any(|j| !j.is_done());
+        if active {
+            self.schedule_round(self.now() + self.round_period);
+        } else if self.arrivals_remaining == 0 {
+            // Final cleanup: drain everything still alive.
+            let live: Vec<InstanceId> =
+                self.cloud.live_instances(self.now()).map(|i| i.id).collect();
+            self.draining.extend(live);
+            self.try_terminations();
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! Report assembly: folds a finished [`ClusterSim`] into a [`SimReport`].
+
+use eva_types::{InstanceId, SimTime};
+
+use crate::metrics::{empirical_cdf, SimReport};
+use crate::state::JobProgress;
+use crate::world::ClusterSim;
+
+/// Consumes a fully-stepped world and produces its experiment report.
+pub(crate) fn finalize(mut sim: ClusterSim) -> SimReport {
+    // Safety: nothing should remain live.
+    let now = sim.now();
+    let leftovers: Vec<InstanceId> = sim.cloud.live_instances(now).map(|i| i.id).collect();
+    for id in leftovers {
+        let _ = sim.cloud.terminate(id, now);
+    }
+
+    let end = sim
+        .cloud
+        .instances()
+        .filter_map(|i| i.terminated_at)
+        .max()
+        .unwrap_or(now)
+        .max(now);
+
+    let completed: Vec<&JobProgress> = sim.jobs.values().filter(|j| j.is_done()).collect();
+    let n = completed.len().max(1) as f64;
+    let avg_jct_hours = completed.iter().filter_map(|j| j.jct_hours()).sum::<f64>() / n;
+    let avg_idle_hours = completed.iter().map(|j| j.idle_hours).sum::<f64>() / n;
+    let avg_norm_tput = completed.iter().map(|j| j.mean_tput()).sum::<f64>() / n;
+    let jobs_completed = completed.len();
+
+    let uptimes: Vec<f64> = sim
+        .cloud
+        .instances()
+        .map(|i| i.uptime(end).as_hours_f64())
+        .collect();
+    let billed_hours: f64 = uptimes.iter().sum();
+
+    let alloc = |r: usize| {
+        if sim.capacity_integral[r] <= 0.0 {
+            0.0
+        } else {
+            sim.alloc_integral[r] / sim.capacity_integral[r]
+        }
+    };
+
+    let first_arrival = sim
+        .cfg
+        .trace
+        .jobs()
+        .first()
+        .map(|j| j.arrival)
+        .unwrap_or(SimTime::ZERO);
+
+    SimReport {
+        scheduler: sim.scheduler.name().to_string(),
+        jobs_completed,
+        total_cost_dollars: sim.cloud.total_bill(end).as_dollars(),
+        instances_launched: sim.cloud.launch_count(),
+        migrations_per_task: sim.migration_count as f64 / sim.total_tasks.max(1) as f64,
+        avg_jct_hours,
+        avg_idle_hours,
+        avg_norm_tput,
+        tasks_per_instance: if billed_hours > 0.0 {
+            sim.task_running_hours / billed_hours
+        } else {
+            0.0
+        },
+        gpu_alloc: alloc(0),
+        cpu_alloc: alloc(1),
+        ram_alloc: alloc(2),
+        uptime_cdf: empirical_cdf(uptimes, 100),
+        full_reconfig_rate: if sim.rounds > 0 {
+            sim.full_rounds as f64 / sim.rounds as f64
+        } else {
+            0.0
+        },
+        makespan_hours: end.duration_since(first_arrival).as_hours_f64(),
+    }
+}

@@ -1,25 +1,18 @@
-//! The discrete-event simulation loop.
+//! Experiment configuration and the one-shot simulation entry point.
+//!
+//! The heavy lifting lives in the layered modules: [`crate::engine`]
+//! (clock + event queue + RNG streams), [`crate::world`] (the
+//! [`crate::ClusterSim`] cluster model), and [`crate::sweep`] (parallel
+//! experiment grids). [`run_simulation`] remains the stable single-cell
+//! entry point used throughout the repo.
 
-use std::cmp::Reverse;
-use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
+use eva_cloud::FidelityMode;
+use eva_core::EvaConfig;
+use eva_types::SimDuration;
+use eva_workloads::Trace;
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-
-use eva_baselines::{
-    NoPackingScheduler, OracleProfile, OwlScheduler, StratusScheduler, SynergyScheduler,
-};
-use eva_cloud::{Catalog, CloudProvider, DelayModel, FidelityMode, ProvisionRequest};
-use eva_core::{
-    EvaConfig, EvaScheduler, InstanceSnapshot, JobObservation, Plan, PlannedInstance, Scheduler,
-    SchedulerContext, TaskSnapshot,
-};
-use eva_interference::TaskContext;
-use eva_types::{InstanceId, JobId, SimDuration, SimTime, TaskId, WorkloadKind};
-use eva_workloads::{InterferenceModel, Trace, WorkloadCatalog};
-
-use crate::metrics::{empirical_cdf, SimReport};
-use crate::state::{JobProgress, TaskRuntime, TaskState};
+use crate::metrics::SimReport;
+use crate::world::ClusterSim;
 
 /// Which scheduler drives the run.
 #[derive(Debug, Clone, PartialEq)]
@@ -47,6 +40,51 @@ impl SchedulerKind {
             SchedulerKind::Eva(_) => "Eva",
         }
     }
+
+    /// Resolves a CLI-style scheduler name (the canonical parser shared by
+    /// the `eva` CLI and the `exp_*` binaries).
+    pub fn from_name(name: &str) -> Result<SchedulerKind, String> {
+        Ok(match name.to_ascii_lowercase().as_str() {
+            "eva" => SchedulerKind::Eva(EvaConfig::eva()),
+            "eva-rp" => SchedulerKind::Eva(EvaConfig::eva_rp()),
+            "eva-single" => SchedulerKind::Eva(EvaConfig::eva_single()),
+            "eva-full-only" => SchedulerKind::Eva(EvaConfig::without_partial()),
+            "eva-partial-only" => SchedulerKind::Eva(EvaConfig::without_full()),
+            "no-packing" | "nopacking" => SchedulerKind::NoPacking,
+            "stratus" => SchedulerKind::Stratus,
+            "synergy" => SchedulerKind::Synergy,
+            "owl" => SchedulerKind::Owl,
+            other => return Err(format!("unknown scheduler `{other}`")),
+        })
+    }
+
+    /// Every name [`SchedulerKind::from_name`] accepts (canonical spellings
+    /// only), for help text and validation.
+    pub fn names() -> &'static [&'static str] {
+        &[
+            "eva",
+            "eva-rp",
+            "eva-single",
+            "eva-full-only",
+            "eva-partial-only",
+            "no-packing",
+            "stratus",
+            "synergy",
+            "owl",
+        ]
+    }
+
+    /// The five schedulers of §6.1 in the paper's reporting order
+    /// (No-Packing first: it is the normalization baseline).
+    pub fn paper_set() -> Vec<SchedulerKind> {
+        vec![
+            SchedulerKind::NoPacking,
+            SchedulerKind::Stratus,
+            SchedulerKind::Synergy,
+            SchedulerKind::Owl,
+            SchedulerKind::Eva(EvaConfig::eva()),
+        ]
+    }
 }
 
 /// Ground-truth interference specification.
@@ -56,6 +94,16 @@ pub enum InterferenceSpec {
     Measured,
     /// Uniform pairwise throughput (the §6.4 sweep).
     Uniform(f64),
+}
+
+impl InterferenceSpec {
+    /// Stable textual form used in sweep-cell keys.
+    pub fn label(&self) -> String {
+        match self {
+            InterferenceSpec::Measured => "measured".to_string(),
+            InterferenceSpec::Uniform(t) => format!("uniform({t})"),
+        }
+    }
 }
 
 /// One simulation experiment.
@@ -92,725 +140,13 @@ impl SimConfig {
     }
 }
 
-#[derive(Debug, Clone, PartialEq, Eq)]
-enum Event {
-    Arrival(usize),
-    TaskReady { task: TaskId, generation: u64 },
-    JobDone { job: JobId, generation: u64 },
-    Round,
-}
-
-impl Event {
-    /// Same-timestamp dispatch priority: readiness and completions resolve
-    /// before arrivals, arrivals before the round that schedules them.
-    fn priority(&self) -> u8 {
-        match self {
-            Event::TaskReady { .. } => 0,
-            Event::JobDone { .. } => 1,
-            Event::Arrival(_) => 2,
-            Event::Round => 3,
-        }
-    }
-}
-
-#[derive(Debug, Clone, PartialEq, Eq)]
-struct Entry {
-    at: SimTime,
-    prio: u8,
-    seq: u64,
-    event: Event,
-}
-
-impl Ord for Entry {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.prio, self.seq).cmp(&(other.at, other.prio, other.seq))
-    }
-}
-
-impl PartialOrd for Entry {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-struct Simulation {
-    catalog: Catalog,
-    cloud: CloudProvider,
-    rng: StdRng,
-    interference: InterferenceModel,
-    scheduler: Box<dyn Scheduler>,
-    round_period: SimDuration,
-    migration_delay_scale: f64,
-
-    jobs: BTreeMap<JobId, JobProgress>,
-    tasks: BTreeMap<TaskId, TaskRuntime>,
-    task_gen: BTreeMap<TaskId, u64>,
-    on_instance: BTreeMap<InstanceId, BTreeSet<TaskId>>,
-    busy_until: BTreeMap<InstanceId, SimTime>,
-    draining: BTreeSet<InstanceId>,
-
-    events: BinaryHeap<Reverse<Entry>>,
-    seq: u64,
-    now: SimTime,
-    round_pending: bool,
-    arrivals_remaining: usize,
-
-    // Metric accumulators (time integrals in hours).
-    task_running_hours: f64,
-    alloc_integral: [f64; 3],
-    capacity_integral: [f64; 3],
-    migration_count: u64,
-    total_tasks: usize,
-    rounds: u64,
-    full_rounds: u64,
-}
-
-impl Simulation {
-    fn push(&mut self, at: SimTime, event: Event) {
-        self.seq += 1;
-        let prio = event.priority();
-        self.events.push(Reverse(Entry {
-            at,
-            prio,
-            seq: self.seq,
-            event,
-        }));
-    }
-
-    fn schedule_round(&mut self, at: SimTime) {
-        if !self.round_pending {
-            self.round_pending = true;
-            self.push(at, Event::Round);
-        }
-    }
-
-    /// The ground-truth throughput of a running task given its co-located
-    /// running neighbours.
-    fn task_tput(&self, task: &TaskRuntime, workload: WorkloadKind) -> f64 {
-        let Some(inst) = task.assigned_to else {
-            return 0.0;
-        };
-        if !task.is_running() {
-            return 0.0;
-        }
-        let others: Vec<WorkloadKind> = self
-            .on_instance
-            .get(&inst)
-            .map(|set| {
-                set.iter()
-                    .filter(|tid| **tid != task.id)
-                    .filter_map(|tid| self.tasks.get(tid))
-                    .filter(|t| t.is_running())
-                    .filter_map(|t| self.workload_of(t.id))
-                    .collect()
-            })
-            .unwrap_or_default();
-        self.interference.throughput(workload, &others)
-    }
-
-    fn workload_of(&self, task: TaskId) -> Option<WorkloadKind> {
-        self.jobs
-            .get(&task.job)
-            .and_then(|j| j.spec.task(task))
-            .map(|t| t.workload)
-    }
-
-    /// Effective job throughput: gang-coupled jobs run at the minimum of
-    /// their tasks (0 unless all run); single tasks at their own rate.
-    fn job_tput(&self, job: &JobProgress) -> f64 {
-        let mut min_tput = f64::INFINITY;
-        for spec in &job.spec.tasks {
-            let Some(rt) = self.tasks.get(&spec.id) else {
-                return 0.0;
-            };
-            if !rt.is_running() {
-                return 0.0;
-            }
-            min_tput = min_tput.min(self.task_tput(rt, spec.workload));
-        }
-        if min_tput.is_finite() {
-            min_tput
-        } else {
-            0.0
-        }
-    }
-
-    /// Advances all integrals and job progress to `t`.
-    fn advance_to(&mut self, t: SimTime) {
-        let dt_hours = t.duration_since(self.now).as_hours_f64();
-        if dt_hours > 0.0 {
-            // Job progress.
-            let tputs: Vec<(JobId, f64)> = self
-                .jobs
-                .iter()
-                .filter(|(_, j)| !j.is_done())
-                .map(|(id, j)| (*id, self.job_tput(j)))
-                .collect();
-            for (id, tput) in tputs {
-                if let Some(j) = self.jobs.get_mut(&id) {
-                    j.advance(dt_hours, tput);
-                }
-            }
-            // Allocation integrals.
-            let mut alloc = [0.0f64; 3];
-            let mut cap = [0.0f64; 3];
-            let mut running_tasks = 0usize;
-            for inst in self.cloud.live_instances(self.now) {
-                let Some(ty) = self.catalog.get(inst.type_id) else {
-                    continue;
-                };
-                cap[0] += f64::from(ty.capacity.gpu);
-                cap[1] += f64::from(ty.capacity.cpu);
-                cap[2] += ty.capacity.ram_mb as f64;
-                if let Some(set) = self.on_instance.get(&inst.id) {
-                    for tid in set {
-                        let Some(job) = self.jobs.get(&tid.job) else {
-                            continue;
-                        };
-                        let Some(spec) = job.spec.task(*tid) else {
-                            continue;
-                        };
-                        let d = ty.demand_of(&spec.demand);
-                        alloc[0] += f64::from(d.gpu);
-                        alloc[1] += f64::from(d.cpu);
-                        alloc[2] += d.ram_mb as f64;
-                        if self.tasks.get(tid).map(|t| t.is_running()).unwrap_or(false) {
-                            running_tasks += 1;
-                        }
-                    }
-                }
-            }
-            for r in 0..3 {
-                self.alloc_integral[r] += alloc[r] * dt_hours;
-                self.capacity_integral[r] += cap[r] * dt_hours;
-            }
-            self.task_running_hours += running_tasks as f64 * dt_hours;
-        }
-        self.now = t;
-    }
-
-    /// Re-derives every active job's completion event.
-    fn recompute_completions(&mut self) {
-        let jobs: Vec<JobId> = self
-            .jobs
-            .iter()
-            .filter(|(_, j)| !j.is_done())
-            .map(|(id, _)| *id)
-            .collect();
-        for id in jobs {
-            let tput = self.job_tput(&self.jobs[&id]);
-            let job = self.jobs.get_mut(&id).unwrap();
-            job.completion_generation += 1;
-            let generation = job.completion_generation;
-            if let Some(eta) = job.eta_hours(tput) {
-                let at = self.now + SimDuration::from_hours_f64(eta);
-                self.push(
-                    at,
-                    Event::JobDone {
-                        job: id,
-                        generation,
-                    },
-                );
-            }
-        }
-    }
-
-    fn instance_ready_at(&self, id: InstanceId) -> SimTime {
-        self.cloud
-            .instance(id)
-            .map(|i| i.ready_at)
-            .unwrap_or(self.now)
-    }
-
-    /// Moves (or first-places) a task onto `dest`.
-    fn transfer_task(&mut self, tid: TaskId, dest: InstanceId) {
-        let Some(job) = self.jobs.get(&tid.job) else {
-            return;
-        };
-        let Some(spec) = job.spec.task(tid) else {
-            return;
-        };
-        let checkpoint = spec.checkpoint_delay.scale(self.migration_delay_scale);
-        let launch = spec.launch_delay.scale(self.migration_delay_scale);
-
-        let Some(rt) = self.tasks.get_mut(&tid) else {
-            return;
-        };
-        let was_running = rt.is_running();
-        let had_instance = rt.assigned_to.is_some();
-        let old = rt.assigned_to;
-
-        if let Some(old_id) = old {
-            if old_id == dest {
-                return;
-            }
-            if let Some(set) = self.on_instance.get_mut(&old_id) {
-                set.remove(&tid);
-            }
-            if was_running {
-                let busy = self.now + checkpoint;
-                let entry = self.busy_until.entry(old_id).or_insert(busy);
-                *entry = (*entry).max(busy);
-            }
-        }
-
-        let gen = {
-            let g = self.task_gen.entry(tid).or_insert(0);
-            *g += 1;
-            *g
-        };
-        let depart = if was_running {
-            self.now + checkpoint
-        } else {
-            self.now
-        };
-        let ready = depart.max(self.instance_ready_at(dest)) + launch;
-
-        let rt = self.tasks.get_mut(&tid).unwrap();
-        rt.assigned_to = Some(dest);
-        rt.state = TaskState::InTransit {
-            generation: gen,
-            ready_at: ready,
-        };
-        if had_instance {
-            rt.migrations += 1;
-            self.migration_count += 1;
-        }
-        self.on_instance.entry(dest).or_default().insert(tid);
-        self.push(
-            ready,
-            Event::TaskReady {
-                task: tid,
-                generation: gen,
-            },
-        );
-    }
-
-    /// Terminates drained instances whose departures have finished.
-    fn try_terminations(&mut self) {
-        let candidates: Vec<InstanceId> = self.draining.iter().copied().collect();
-        for id in candidates {
-            let empty = self
-                .on_instance
-                .get(&id)
-                .map(|s| s.is_empty())
-                .unwrap_or(true);
-            if empty {
-                let busy = self.busy_until.get(&id).copied().unwrap_or(self.now);
-                let _ = self.cloud.terminate(id, busy.max(self.now));
-                self.draining.remove(&id);
-                self.on_instance.remove(&id);
-                self.busy_until.remove(&id);
-            }
-        }
-    }
-
-    /// Builds the scheduler-facing observations for the current instant.
-    fn build_observations(&self) -> Vec<JobObservation> {
-        let mut obs = Vec::new();
-        for (id, job) in &self.jobs {
-            if job.is_done() {
-                continue;
-            }
-            let mut contexts = Vec::new();
-            let mut any_running = false;
-            for spec in &job.spec.tasks {
-                let Some(rt) = self.tasks.get(&spec.id) else {
-                    continue;
-                };
-                if !rt.is_running() {
-                    continue;
-                }
-                any_running = true;
-                let others: Vec<WorkloadKind> = rt
-                    .assigned_to
-                    .and_then(|i| self.on_instance.get(&i))
-                    .map(|set| {
-                        set.iter()
-                            .filter(|t| **t != spec.id)
-                            .filter_map(|t| self.tasks.get(t))
-                            .filter(|t| t.is_running())
-                            .filter_map(|t| self.workload_of(t.id))
-                            .collect()
-                    })
-                    .unwrap_or_default();
-                contexts.push(TaskContext::new(spec.id, spec.workload, others));
-            }
-            if !any_running {
-                continue;
-            }
-            let observed = if job.spec.gang_coupled {
-                self.job_tput(job)
-            } else {
-                // Single-task jobs report the task's own throughput.
-                job.spec
-                    .tasks
-                    .first()
-                    .and_then(|s| {
-                        self.tasks
-                            .get(&s.id)
-                            .map(|rt| self.task_tput(rt, s.workload))
-                    })
-                    .unwrap_or(0.0)
-            };
-            obs.push(JobObservation {
-                job: *id,
-                gang_coupled: job.spec.gang_coupled,
-                observed_tput: observed,
-                contexts,
-            });
-        }
-        obs
-    }
-
-    /// Builds the scheduler context snapshot.
-    fn build_snapshot(&self) -> (Vec<TaskSnapshot>, Vec<InstanceSnapshot>) {
-        let mut tasks = Vec::new();
-        for job in self.jobs.values() {
-            if job.is_done() {
-                continue;
-            }
-            for spec in &job.spec.tasks {
-                let Some(rt) = self.tasks.get(&spec.id) else {
-                    continue;
-                };
-                tasks.push(TaskSnapshot {
-                    id: spec.id,
-                    workload: spec.workload,
-                    demand: spec.demand.clone(),
-                    checkpoint_delay: spec.checkpoint_delay.scale(self.migration_delay_scale),
-                    launch_delay: spec.launch_delay.scale(self.migration_delay_scale),
-                    gang_size: job.spec.num_tasks() as u32,
-                    gang_coupled: job.spec.gang_coupled,
-                    assigned_to: rt.assigned_to,
-                    remaining_hint: Some(job.remaining_hint()),
-                });
-            }
-        }
-        let instances: Vec<InstanceSnapshot> = self
-            .cloud
-            .live_instances(self.now)
-            .filter(|i| !self.draining.contains(&i.id))
-            .map(|i| InstanceSnapshot {
-                id: i.id,
-                type_id: i.type_id,
-            })
-            .collect();
-        (tasks, instances)
-    }
-
-    /// Executes a plan: provisions new instances, transfers tasks, marks
-    /// terminations.
-    fn execute_plan(&mut self, plan: &Plan) {
-        let mut target: BTreeMap<TaskId, InstanceId> = BTreeMap::new();
-        for a in &plan.assignments {
-            let inst = match a.instance {
-                PlannedInstance::Existing(id) => id,
-                PlannedInstance::New(ty) => {
-                    match self.cloud.provision(
-                        ProvisionRequest {
-                            type_id: ty,
-                            at: self.now,
-                        },
-                        &mut self.rng,
-                    ) {
-                        Ok(id) => {
-                            self.on_instance.entry(id).or_default();
-                            id
-                        }
-                        Err(_) => continue,
-                    }
-                }
-            };
-            for tid in &a.tasks {
-                target.insert(*tid, inst);
-            }
-        }
-        let moves: Vec<(TaskId, InstanceId)> = target
-            .iter()
-            .filter(|(tid, dest)| {
-                self.tasks
-                    .get(tid)
-                    .map(|rt| rt.assigned_to != Some(**dest))
-                    .unwrap_or(false)
-            })
-            .map(|(t, d)| (*t, *d))
-            .collect();
-        for (tid, dest) in moves {
-            self.transfer_task(tid, dest);
-        }
-        for id in &plan.terminate {
-            // Defensive: never drain an instance the plan also assigns to.
-            let assigned_here = plan
-                .assignments
-                .iter()
-                .any(|a| matches!(a.instance, PlannedInstance::Existing(i) if i == *id));
-            if !assigned_here {
-                self.draining.insert(*id);
-            }
-        }
-        self.try_terminations();
-    }
-
-    fn handle_round(&mut self) {
-        self.round_pending = false;
-        let observations = self.build_observations();
-        self.scheduler.observe(&observations);
-        let (tasks, instances) = self.build_snapshot();
-        let ctx = SchedulerContext {
-            now: self.now,
-            catalog: &self.catalog,
-            tasks: &tasks,
-            instances: &instances,
-        };
-        let plan = self.scheduler.plan(&ctx);
-        self.rounds += 1;
-        if self.rounds % 50 == 0 && std::env::var_os("EVA_SIM_TRACE_STATE").is_some() {
-            let live: Vec<_> = self.cloud.live_instances(self.now).collect();
-            let rate: f64 = live
-                .iter()
-                .filter_map(|i| self.catalog.get(i.type_id))
-                .map(|t| t.hourly_cost.as_dollars())
-                .sum();
-            let running = self.tasks.values().filter(|t| t.is_running()).count();
-            let transit = self
-                .tasks
-                .values()
-                .filter(|t| matches!(t.state, TaskState::InTransit { .. }))
-                .count();
-            eprintln!(
-                "round {:>5} t={:>7.2}h tasks r{running}/x{transit} inst {} rate ${rate:.0}/h",
-                self.rounds,
-                self.now.as_hours_f64(),
-                live.len()
-            );
-        }
-        if plan.full_reconfiguration {
-            self.full_rounds += 1;
-        }
-        self.execute_plan(&plan);
-        self.recompute_completions();
-
-        let active = self.jobs.values().any(|j| !j.is_done());
-        if active {
-            self.schedule_round(self.now + self.round_period);
-        } else if self.arrivals_remaining == 0 {
-            // Final cleanup: drain everything still alive.
-            let live: Vec<InstanceId> = self.cloud.live_instances(self.now).map(|i| i.id).collect();
-            self.draining.extend(live);
-            self.try_terminations();
-        }
-    }
-}
-
 /// Runs one simulation experiment end to end.
 ///
-/// Jobs whose tasks fit no catalog instance type are dropped up front with
-/// a warning (the paper likewise removes them from the trace, §6.1);
-/// otherwise they could never complete and the simulation would not
-/// terminate.
+/// Thin wrapper over [`ClusterSim`]: builds the world for `cfg` and steps
+/// it to completion. Kept as the stable entry point every experiment
+/// binary and the sweep layer call.
 pub fn run_simulation(cfg: &SimConfig) -> SimReport {
-    let catalog = Catalog::aws_eval_2025();
-    let workloads = WorkloadCatalog::table7();
-    let feasible: Vec<_> = cfg
-        .trace
-        .jobs()
-        .iter()
-        .filter(|job| {
-            let ok = job
-                .tasks
-                .iter()
-                .all(|t| catalog.cheapest_fit(&t.demand).is_some());
-            if !ok {
-                eprintln!("warning: dropping unschedulable {}", job.id);
-            }
-            ok
-        })
-        .cloned()
-        .collect();
-    let trace = Trace::new(feasible);
-    let cfg = SimConfig {
-        trace,
-        ..cfg.clone()
-    };
-    let cfg = &cfg;
-    let interference = match cfg.interference {
-        InterferenceSpec::Measured => InterferenceModel::measured(&workloads),
-        InterferenceSpec::Uniform(t) => InterferenceModel::uniform(&workloads, t),
-    };
-    let scheduler: Box<dyn Scheduler> = match &cfg.scheduler {
-        SchedulerKind::NoPacking => Box::new(NoPackingScheduler::new()),
-        SchedulerKind::Stratus => Box::new(StratusScheduler::new()),
-        SchedulerKind::Synergy => Box::new(SynergyScheduler::new()),
-        SchedulerKind::Owl => {
-            // Owl receives the ground-truth pairwise profile exclusively.
-            let kinds: Vec<WorkloadKind> = workloads.iter().map(|w| w.kind).collect();
-            let model = interference.clone();
-            let profile = OracleProfile::from_fn(&kinds, |a, b| model.pairwise(a, b));
-            Box::new(OwlScheduler::new(profile))
-        }
-        SchedulerKind::Eva(cfg) => Box::new(EvaScheduler::new(cfg.clone())),
-    };
-    let delays = DelayModel::table1(cfg.fidelity);
-    let cloud = CloudProvider::new(catalog.clone(), delays);
-
-    let mut sim = Simulation {
-        catalog,
-        cloud,
-        rng: StdRng::seed_from_u64(cfg.seed),
-        interference,
-        scheduler,
-        round_period: cfg.round_period,
-        migration_delay_scale: cfg.migration_delay_scale,
-        jobs: BTreeMap::new(),
-        tasks: BTreeMap::new(),
-        task_gen: BTreeMap::new(),
-        on_instance: BTreeMap::new(),
-        busy_until: BTreeMap::new(),
-        draining: BTreeSet::new(),
-        events: BinaryHeap::new(),
-        seq: 0,
-        now: SimTime::ZERO,
-        round_pending: false,
-        arrivals_remaining: cfg.trace.len(),
-        task_running_hours: 0.0,
-        alloc_integral: [0.0; 3],
-        capacity_integral: [0.0; 3],
-        migration_count: 0,
-        total_tasks: cfg.trace.jobs().iter().map(|j| j.num_tasks()).sum(),
-        rounds: 0,
-        full_rounds: 0,
-    };
-
-    for (idx, job) in cfg.trace.jobs().iter().enumerate() {
-        sim.push(job.arrival, Event::Arrival(idx));
-    }
-
-    while let Some(Reverse(entry)) = sim.events.pop() {
-        sim.advance_to(entry.at);
-        match entry.event {
-            Event::Arrival(idx) => {
-                let spec = cfg.trace.jobs()[idx].clone();
-                sim.arrivals_remaining -= 1;
-                for t in &spec.tasks {
-                    sim.tasks.insert(t.id, TaskRuntime::new(t.id));
-                }
-                sim.jobs.insert(spec.id, JobProgress::new(spec));
-                sim.schedule_round(sim.now);
-            }
-            Event::TaskReady { task, generation } => {
-                let matches = sim
-                    .tasks
-                    .get(&task)
-                    .map(|rt| {
-                        matches!(rt.state, TaskState::InTransit { generation: g, .. } if g == generation)
-                    })
-                    .unwrap_or(false);
-                if matches {
-                    sim.tasks.get_mut(&task).unwrap().state = TaskState::Running;
-                    sim.recompute_completions();
-                }
-            }
-            Event::JobDone { job, generation } => {
-                let valid = sim
-                    .jobs
-                    .get(&job)
-                    .map(|j| !j.is_done() && j.completion_generation == generation)
-                    .unwrap_or(false);
-                if valid {
-                    let task_ids: Vec<TaskId> = {
-                        let j = sim.jobs.get_mut(&job).unwrap();
-                        debug_assert!(j.remaining_hours < 1e-6, "early completion event");
-                        j.completed_at = Some(sim.now);
-                        j.spec.tasks.iter().map(|t| t.id).collect()
-                    };
-                    for tid in task_ids {
-                        if let Some(rt) = sim.tasks.get_mut(&tid) {
-                            rt.state = TaskState::Done;
-                            if let Some(inst) = rt.assigned_to.take() {
-                                if let Some(set) = sim.on_instance.get_mut(&inst) {
-                                    set.remove(&tid);
-                                }
-                            }
-                        }
-                    }
-                    sim.try_terminations();
-                    sim.recompute_completions();
-                    // A round will clean up the freed instances.
-                    sim.schedule_round(sim.now + sim.round_period);
-                }
-            }
-            Event::Round => sim.handle_round(),
-        }
-    }
-
-    // Safety: nothing should remain live.
-    let leftovers: Vec<InstanceId> = sim.cloud.live_instances(sim.now).map(|i| i.id).collect();
-    for id in leftovers {
-        let _ = sim.cloud.terminate(id, sim.now);
-    }
-
-    let end = sim
-        .cloud
-        .instances()
-        .filter_map(|i| i.terminated_at)
-        .max()
-        .unwrap_or(sim.now)
-        .max(sim.now);
-
-    let completed: Vec<&JobProgress> = sim.jobs.values().filter(|j| j.is_done()).collect();
-    let n = completed.len().max(1) as f64;
-    let avg_jct_hours = completed.iter().filter_map(|j| j.jct_hours()).sum::<f64>() / n;
-    let avg_idle_hours = completed.iter().map(|j| j.idle_hours).sum::<f64>() / n;
-    let avg_norm_tput = completed.iter().map(|j| j.mean_tput()).sum::<f64>() / n;
-
-    let uptimes: Vec<f64> = sim
-        .cloud
-        .instances()
-        .map(|i| i.uptime(end).as_hours_f64())
-        .collect();
-    let billed_hours: f64 = uptimes.iter().sum();
-
-    let alloc = |r: usize| {
-        if sim.capacity_integral[r] <= 0.0 {
-            0.0
-        } else {
-            sim.alloc_integral[r] / sim.capacity_integral[r]
-        }
-    };
-
-    let first_arrival = cfg
-        .trace
-        .jobs()
-        .first()
-        .map(|j| j.arrival)
-        .unwrap_or(SimTime::ZERO);
-
-    SimReport {
-        scheduler: sim.scheduler.name().to_string(),
-        jobs_completed: completed.len(),
-        total_cost_dollars: sim.cloud.total_bill(end).as_dollars(),
-        instances_launched: sim.cloud.launch_count(),
-        migrations_per_task: sim.migration_count as f64 / sim.total_tasks.max(1) as f64,
-        avg_jct_hours,
-        avg_idle_hours,
-        avg_norm_tput,
-        tasks_per_instance: if billed_hours > 0.0 {
-            sim.task_running_hours / billed_hours
-        } else {
-            0.0
-        },
-        gpu_alloc: alloc(0),
-        cpu_alloc: alloc(1),
-        ram_alloc: alloc(2),
-        uptime_cdf: empirical_cdf(uptimes, 100),
-        full_reconfig_rate: if sim.rounds > 0 {
-            sim.full_rounds as f64 / sim.rounds as f64
-        } else {
-            0.0
-        },
-        makespan_hours: end.duration_since(first_arrival).as_hours_f64(),
-    }
+    ClusterSim::new(cfg).run()
 }
 
 #[cfg(test)]
@@ -836,13 +172,7 @@ mod tests {
 
     #[test]
     fn all_jobs_complete_under_every_scheduler() {
-        for kind in [
-            SchedulerKind::NoPacking,
-            SchedulerKind::Stratus,
-            SchedulerKind::Synergy,
-            SchedulerKind::Owl,
-            SchedulerKind::Eva(EvaConfig::eva()),
-        ] {
+        for kind in SchedulerKind::paper_set() {
             let label = kind.label();
             let report = run(kind, 10);
             assert_eq!(report.jobs_completed, 10, "{label}");
@@ -947,12 +277,39 @@ mod tests {
             cheap_r.migrations_per_task
         );
     }
+
+    #[test]
+    fn scheduler_names_round_trip() {
+        for name in SchedulerKind::names() {
+            let kind = SchedulerKind::from_name(name).unwrap();
+            assert!(
+                name.starts_with(&kind.label().to_ascii_lowercase()[..3])
+                    || kind.label() == "Eva",
+                "{name} resolves to {}",
+                kind.label()
+            );
+        }
+        assert_eq!(
+            SchedulerKind::from_name("NoPacking").unwrap(),
+            SchedulerKind::NoPacking,
+            "case-insensitive alias"
+        );
+        assert!(SchedulerKind::from_name("slurm").is_err());
+    }
+
+    #[test]
+    fn interference_labels_are_stable() {
+        assert_eq!(InterferenceSpec::Measured.label(), "measured");
+        assert_eq!(InterferenceSpec::Uniform(0.9).label(), "uniform(0.9)");
+    }
 }
 
 #[cfg(test)]
 mod robustness_tests {
     use super::*;
-    use eva_types::{DemandSpec, JobId, JobSpec, ResourceVector, TaskId, TaskSpec};
+    use eva_types::{
+        DemandSpec, JobId, JobSpec, ResourceVector, SimTime, TaskId, TaskSpec,
+    };
 
     #[test]
     fn unschedulable_jobs_are_dropped_not_hung() {

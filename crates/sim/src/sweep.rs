@@ -1,0 +1,453 @@
+//! Layer 3: declarative experiment grids and the parallel sweep runner.
+//!
+//! Every result in the paper is a grid of `(scheduler × trace × seed ×
+//! fidelity × interference)` simulation cells. [`SweepGrid`] declares such
+//! a grid once; [`SweepRunner`] fans the cells out across scoped worker
+//! threads and merges the per-cell [`SimReport`]s back **in stable cell
+//! order**, so the aggregated result — including its JSON serialization —
+//! is byte-identical for any thread count. Determinism holds because each
+//! cell's randomness comes solely from its own declared seed.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use serde::{Deserialize, Serialize};
+
+use eva_cloud::FidelityMode;
+use eva_types::SimDuration;
+use eva_workloads::Trace;
+
+use crate::metrics::SimReport;
+use crate::runner::{run_simulation, InterferenceSpec, SchedulerKind, SimConfig};
+
+/// A declarative grid of simulation cells.
+///
+/// Axes default to single paper-standard values; every `Vec`-valued axis
+/// multiplies the cell count. Cells expand in a fixed nested order
+/// (trace ▸ interference ▸ migration scale ▸ fidelity ▸ seed ▸ scheduler),
+/// with schedulers innermost so each block of `schedulers.len()` cells
+/// forms one comparison row whose first entry is the baseline.
+#[derive(Debug, Clone)]
+pub struct SweepGrid {
+    traces: Vec<(String, Trace)>,
+    schedulers: Vec<(String, SchedulerKind)>,
+    seeds: Vec<u64>,
+    fidelities: Vec<FidelityMode>,
+    interferences: Vec<InterferenceSpec>,
+    migration_scales: Vec<f64>,
+    round_period: SimDuration,
+}
+
+impl SweepGrid {
+    /// A grid over one trace with paper-default axes and no schedulers
+    /// yet (add them with [`SweepGrid::scheduler`] or
+    /// [`SweepGrid::paper_schedulers`]).
+    pub fn new(trace_label: impl Into<String>, trace: Trace) -> Self {
+        SweepGrid {
+            traces: vec![(trace_label.into(), trace)],
+            schedulers: Vec::new(),
+            seeds: vec![42],
+            fidelities: vec![FidelityMode::Stochastic],
+            interferences: vec![InterferenceSpec::Measured],
+            migration_scales: vec![1.0],
+            round_period: SimDuration::from_mins(5),
+        }
+    }
+
+    /// Adds another trace axis value.
+    pub fn trace(mut self, label: impl Into<String>, trace: Trace) -> Self {
+        self.traces.push((label.into(), trace));
+        self
+    }
+
+    /// Adds one named scheduler (names distinguish Eva variants that
+    /// share the `Eva` report label).
+    pub fn scheduler(mut self, name: impl Into<String>, kind: SchedulerKind) -> Self {
+        self.schedulers.push((name.into(), kind));
+        self
+    }
+
+    /// Adds schedulers by their canonical CLI names.
+    pub fn schedulers_by_name(mut self, names: &[&str]) -> Result<Self, String> {
+        for name in names {
+            let kind = SchedulerKind::from_name(name)?;
+            self.schedulers.push((name.to_string(), kind));
+        }
+        Ok(self)
+    }
+
+    /// Adds the five §6.1 schedulers in the paper's reporting order.
+    pub fn paper_schedulers(mut self) -> Self {
+        for kind in SchedulerKind::paper_set() {
+            self.schedulers.push((kind.label().to_string(), kind));
+        }
+        self
+    }
+
+    /// Replaces the seed axis.
+    pub fn seeds(mut self, seeds: impl Into<Vec<u64>>) -> Self {
+        self.seeds = seeds.into();
+        self
+    }
+
+    /// Replaces the fidelity axis.
+    pub fn fidelities(mut self, fidelities: impl Into<Vec<FidelityMode>>) -> Self {
+        self.fidelities = fidelities.into();
+        self
+    }
+
+    /// Replaces the interference axis.
+    pub fn interferences(mut self, specs: impl Into<Vec<InterferenceSpec>>) -> Self {
+        self.interferences = specs.into();
+        self
+    }
+
+    /// Replaces the migration-delay-scale axis.
+    pub fn migration_scales(mut self, scales: impl Into<Vec<f64>>) -> Self {
+        self.migration_scales = scales.into();
+        self
+    }
+
+    /// Sets the scheduling round period for every cell.
+    pub fn round_period(mut self, period: SimDuration) -> Self {
+        self.round_period = period;
+        self
+    }
+
+    /// Number of schedulers per comparison block.
+    pub fn schedulers_per_block(&self) -> usize {
+        self.schedulers.len()
+    }
+
+    /// Total number of cells the grid expands to.
+    pub fn cell_count(&self) -> usize {
+        self.traces.len()
+            * self.interferences.len()
+            * self.migration_scales.len()
+            * self.fidelities.len()
+            * self.seeds.len()
+            * self.schedulers.len()
+    }
+
+    /// Expands the grid into its cells in stable order.
+    pub fn cells(&self) -> Vec<SweepCell> {
+        let mut cells = Vec::with_capacity(self.cell_count());
+        for (trace_idx, (trace_label, _)) in self.traces.iter().enumerate() {
+            for &interference in &self.interferences {
+                for &scale in &self.migration_scales {
+                    for &fidelity in &self.fidelities {
+                        for &seed in &self.seeds {
+                            for (name, kind) in &self.schedulers {
+                                cells.push(SweepCell {
+                                    index: cells.len(),
+                                    trace_index: trace_idx,
+                                    key: CellKey {
+                                        trace: trace_label.clone(),
+                                        scheduler: name.clone(),
+                                        seed,
+                                        fidelity: fidelity_label(fidelity).to_string(),
+                                        interference: interference.label(),
+                                        migration_delay_scale: scale,
+                                    },
+                                    scheduler: kind.clone(),
+                                    seed,
+                                    fidelity,
+                                    interference,
+                                    migration_delay_scale: scale,
+                                    round_period: self.round_period,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        cells
+    }
+
+    /// Builds the [`SimConfig`] for one cell.
+    pub fn sim_config(&self, cell: &SweepCell) -> SimConfig {
+        SimConfig {
+            trace: self.traces[cell.trace_index].1.clone(),
+            scheduler: cell.scheduler.clone(),
+            seed: cell.seed,
+            round_period: cell.round_period,
+            fidelity: cell.fidelity,
+            interference: cell.interference,
+            migration_delay_scale: cell.migration_delay_scale,
+        }
+    }
+}
+
+/// Stable textual form of a fidelity mode.
+pub fn fidelity_label(mode: FidelityMode) -> &'static str {
+    match mode {
+        FidelityMode::Nominal => "nominal",
+        FidelityMode::Stochastic => "stochastic",
+    }
+}
+
+/// One expanded grid cell, ready to run.
+#[derive(Debug, Clone)]
+pub struct SweepCell {
+    /// Position in the grid's stable expansion order.
+    pub index: usize,
+    /// Index into the grid's trace axis.
+    pub trace_index: usize,
+    /// The serializable identity of the cell.
+    pub key: CellKey,
+    /// The scheduler under test.
+    pub scheduler: SchedulerKind,
+    /// RNG seed for the cell.
+    pub seed: u64,
+    /// Delay-model fidelity.
+    pub fidelity: FidelityMode,
+    /// Ground-truth interference.
+    pub interference: InterferenceSpec,
+    /// Migration-delay multiplier.
+    pub migration_delay_scale: f64,
+    /// Scheduling round period.
+    pub round_period: SimDuration,
+}
+
+/// Serializable identity of a cell inside sweep results.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellKey {
+    /// Trace-axis label.
+    pub trace: String,
+    /// Scheduler name as declared on the grid.
+    pub scheduler: String,
+    /// RNG seed.
+    pub seed: u64,
+    /// Fidelity label (`nominal`/`stochastic`).
+    pub fidelity: String,
+    /// Interference label (`measured`/`uniform(t)`).
+    pub interference: String,
+    /// Migration-delay multiplier.
+    pub migration_delay_scale: f64,
+}
+
+/// One finished cell: its identity plus its report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellOutcome {
+    /// Which cell this is.
+    pub key: CellKey,
+    /// The cell's simulation report.
+    pub report: SimReport,
+}
+
+/// All cell outcomes of a sweep, in stable grid order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepResult {
+    /// Outcomes in the grid's expansion order.
+    pub cells: Vec<CellOutcome>,
+    /// Schedulers per comparison block (the innermost axis length).
+    pub schedulers_per_block: usize,
+}
+
+impl SweepResult {
+    /// The reports in cell order.
+    pub fn reports(&self) -> impl Iterator<Item = &SimReport> {
+        self.cells.iter().map(|c| &c.report)
+    }
+
+    /// Comparison blocks: consecutive runs over the same axes that differ
+    /// only in scheduler (the first entry is the declared baseline).
+    pub fn blocks(&self) -> impl Iterator<Item = &[CellOutcome]> {
+        self.cells.chunks(self.schedulers_per_block.max(1))
+    }
+
+    /// First outcome for a scheduler name, if any.
+    pub fn first_for(&self, scheduler: &str) -> Option<&CellOutcome> {
+        self.cells.iter().find(|c| c.key.scheduler == scheduler)
+    }
+
+    /// Deterministic pretty JSON of the whole sweep (byte-identical across
+    /// thread counts because cell order is stable).
+    pub fn to_json_pretty(&self) -> String {
+        serde_json::to_string_pretty(self).expect("SweepResult serializes")
+    }
+}
+
+/// A named experiment: a grid plus the label reports are filed under.
+#[derive(Debug, Clone)]
+pub struct Experiment {
+    /// Name used in headers and artifact files.
+    pub name: String,
+    /// The grid to run.
+    pub grid: SweepGrid,
+}
+
+impl Experiment {
+    /// Wraps a grid under a name.
+    pub fn new(name: impl Into<String>, grid: SweepGrid) -> Self {
+        Experiment {
+            name: name.into(),
+            grid,
+        }
+    }
+
+    /// Runs the grid on `threads` workers (0 = all available cores).
+    pub fn run(&self, threads: usize) -> SweepResult {
+        SweepRunner::new(threads).run(&self.grid)
+    }
+}
+
+/// Multi-threaded executor for [`SweepGrid`]s.
+///
+/// Workers claim cells from a shared atomic cursor, run each cell with
+/// [`run_simulation`], and write the outcome into the cell's own slot —
+/// so the merged result is independent of scheduling order and thread
+/// count.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepRunner {
+    threads: usize,
+}
+
+impl SweepRunner {
+    /// A runner over `threads` workers; 0 selects the machine's available
+    /// parallelism.
+    pub fn new(threads: usize) -> Self {
+        let threads = if threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            threads
+        };
+        SweepRunner { threads }
+    }
+
+    /// The worker count this runner was resolved to.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs every cell of `grid` and merges outcomes in stable cell order.
+    pub fn run(&self, grid: &SweepGrid) -> SweepResult {
+        let cells = grid.cells();
+        let slots: Vec<Mutex<Option<CellOutcome>>> =
+            cells.iter().map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        let workers = self.threads.min(cells.len()).max(1);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(cell) = cells.get(i) else {
+                        break;
+                    };
+                    let cfg = grid.sim_config(cell);
+                    let report = run_simulation(&cfg);
+                    *slots[i].lock().unwrap() = Some(CellOutcome {
+                        key: cell.key.clone(),
+                        report,
+                    });
+                });
+            }
+        });
+        SweepResult {
+            cells: slots
+                .into_iter()
+                .map(|slot| {
+                    slot.into_inner()
+                        .expect("no worker panicked holding a slot lock")
+                        .expect("every cell was claimed and completed")
+                })
+                .collect(),
+            schedulers_per_block: grid.schedulers_per_block(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eva_workloads::SyntheticTraceConfig;
+
+    fn tiny_trace(jobs: usize) -> Trace {
+        SyntheticTraceConfig {
+            num_jobs: jobs,
+            mean_interarrival: SimDuration::from_mins(12),
+            duration: eva_workloads::UniformHours::new(0.2, 0.5),
+            single_task_only: true,
+        }
+        .generate(7)
+    }
+
+    fn tiny_grid() -> SweepGrid {
+        SweepGrid::new("tiny", tiny_trace(5))
+            .schedulers_by_name(&["no-packing", "stratus"])
+            .unwrap()
+            .seeds(vec![1, 2])
+            .fidelities(vec![FidelityMode::Nominal])
+    }
+
+    #[test]
+    fn cells_expand_in_stable_scheduler_innermost_order() {
+        let cells = tiny_grid().cells();
+        assert_eq!(cells.len(), 4);
+        let keys: Vec<(u64, &str)> = cells
+            .iter()
+            .map(|c| (c.key.seed, c.key.scheduler.as_str()))
+            .collect();
+        assert_eq!(
+            keys,
+            vec![
+                (1, "no-packing"),
+                (1, "stratus"),
+                (2, "no-packing"),
+                (2, "stratus"),
+            ]
+        );
+        for (i, c) in cells.iter().enumerate() {
+            assert_eq!(c.index, i);
+        }
+    }
+
+    #[test]
+    fn parallel_run_matches_serial_run_exactly() {
+        let grid = tiny_grid();
+        let serial = SweepRunner::new(1).run(&grid);
+        let parallel = SweepRunner::new(4).run(&grid);
+        assert_eq!(serial, parallel);
+        assert_eq!(serial.to_json_pretty(), parallel.to_json_pretty());
+    }
+
+    #[test]
+    fn more_threads_than_cells_is_fine() {
+        let grid = SweepGrid::new("one", tiny_trace(3))
+            .scheduler("No-Packing", SchedulerKind::NoPacking)
+            .fidelities(vec![FidelityMode::Nominal]);
+        let result = SweepRunner::new(64).run(&grid);
+        assert_eq!(result.cells.len(), 1);
+        assert_eq!(result.cells[0].report.jobs_completed, 3);
+    }
+
+    #[test]
+    fn blocks_group_by_scheduler_axis() {
+        let result = SweepRunner::new(2).run(&tiny_grid());
+        let blocks: Vec<_> = result.blocks().collect();
+        assert_eq!(blocks.len(), 2, "one block per seed");
+        for block in blocks {
+            assert_eq!(block.len(), 2);
+            assert_eq!(block[0].key.scheduler, "no-packing");
+        }
+        assert!(result.first_for("stratus").is_some());
+        assert!(result.first_for("owl").is_none());
+    }
+
+    #[test]
+    fn experiment_wraps_grid_and_runs() {
+        let exp = Experiment::new("tiny-exp", tiny_grid());
+        assert_eq!(exp.name, "tiny-exp");
+        let result = exp.run(2);
+        assert_eq!(result.cells.len(), exp.grid.cell_count());
+    }
+
+    #[test]
+    fn runner_zero_resolves_to_available_parallelism() {
+        assert!(SweepRunner::new(0).threads() >= 1);
+        assert_eq!(SweepRunner::new(3).threads(), 3);
+    }
+}

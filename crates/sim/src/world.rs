@@ -1,0 +1,414 @@
+//! Layer 2: the cluster world model.
+//!
+//! [`ClusterSim`] owns everything that exists in the simulated world —
+//! provider, instances, jobs, task lifecycles, metric integrals — and
+//! consumes events from the generic [`EventEngine`]. It drives the
+//! scheduler through the round logic in the `observe` module but
+//! contains no scheduling policy itself; report assembly lives in the
+//! `report` module.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use rand::rngs::StdRng;
+
+use eva_baselines::{
+    NoPackingScheduler, OracleProfile, OwlScheduler, StratusScheduler, SynergyScheduler,
+};
+use eva_cloud::{Catalog, CloudProvider, DelayModel};
+use eva_core::{EvaScheduler, Scheduler};
+use eva_types::{InstanceId, JobId, SimDuration, SimTime, TaskId, WorkloadKind};
+use eva_workloads::{InterferenceModel, Trace, WorkloadCatalog};
+
+use crate::engine::{EventEngine, RngStreams, SimEvent, DELAY_STREAM};
+use crate::metrics::SimReport;
+use crate::runner::{InterferenceSpec, SchedulerKind, SimConfig};
+use crate::state::{JobProgress, TaskRuntime, TaskState};
+
+/// Events the cluster world reacts to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum Event {
+    Arrival(usize),
+    TaskReady { task: TaskId, generation: u64 },
+    JobDone { job: JobId, generation: u64 },
+    Round,
+}
+
+impl SimEvent for Event {
+    /// Same-timestamp dispatch priority: readiness and completions resolve
+    /// before arrivals, arrivals before the round that schedules them.
+    fn priority(&self) -> u8 {
+        match self {
+            Event::TaskReady { .. } => 0,
+            Event::JobDone { .. } => 1,
+            Event::Arrival(_) => 2,
+            Event::Round => 3,
+        }
+    }
+}
+
+/// The simulated cluster: engine + world state + metric accumulators.
+pub struct ClusterSim {
+    pub(crate) cfg: SimConfig,
+    pub(crate) catalog: Catalog,
+    pub(crate) cloud: CloudProvider,
+    pub(crate) rng: StdRng,
+    pub(crate) interference: InterferenceModel,
+    pub(crate) scheduler: Box<dyn Scheduler>,
+    pub(crate) round_period: SimDuration,
+    pub(crate) migration_delay_scale: f64,
+
+    pub(crate) jobs: BTreeMap<JobId, JobProgress>,
+    pub(crate) tasks: BTreeMap<TaskId, TaskRuntime>,
+    pub(crate) task_gen: BTreeMap<TaskId, u64>,
+    pub(crate) on_instance: BTreeMap<InstanceId, BTreeSet<TaskId>>,
+    pub(crate) busy_until: BTreeMap<InstanceId, SimTime>,
+    pub(crate) draining: BTreeSet<InstanceId>,
+
+    pub(crate) engine: EventEngine<Event>,
+    pub(crate) round_pending: bool,
+    pub(crate) arrivals_remaining: usize,
+
+    // Metric accumulators (time integrals in hours).
+    pub(crate) task_running_hours: f64,
+    pub(crate) alloc_integral: [f64; 3],
+    pub(crate) capacity_integral: [f64; 3],
+    pub(crate) migration_count: u64,
+    pub(crate) total_tasks: usize,
+    pub(crate) rounds: u64,
+    pub(crate) full_rounds: u64,
+}
+
+impl ClusterSim {
+    /// Builds the world for one experiment.
+    ///
+    /// Jobs whose tasks fit no catalog instance type are dropped up front
+    /// with a warning (the paper likewise removes them from the trace,
+    /// §6.1); otherwise they could never complete and the simulation would
+    /// not terminate.
+    pub fn new(cfg: &SimConfig) -> Self {
+        let catalog = Catalog::aws_eval_2025();
+        let workloads = WorkloadCatalog::table7();
+        let feasible: Vec<_> = cfg
+            .trace
+            .jobs()
+            .iter()
+            .filter(|job| {
+                let ok = job
+                    .tasks
+                    .iter()
+                    .all(|t| catalog.cheapest_fit(&t.demand).is_some());
+                if !ok {
+                    eprintln!("warning: dropping unschedulable {}", job.id);
+                }
+                ok
+            })
+            .cloned()
+            .collect();
+        let cfg = SimConfig {
+            trace: Trace::new(feasible),
+            ..cfg.clone()
+        };
+        let interference = match cfg.interference {
+            InterferenceSpec::Measured => InterferenceModel::measured(&workloads),
+            InterferenceSpec::Uniform(t) => InterferenceModel::uniform(&workloads, t),
+        };
+        let scheduler: Box<dyn Scheduler> = match &cfg.scheduler {
+            SchedulerKind::NoPacking => Box::new(NoPackingScheduler::new()),
+            SchedulerKind::Stratus => Box::new(StratusScheduler::new()),
+            SchedulerKind::Synergy => Box::new(SynergyScheduler::new()),
+            SchedulerKind::Owl => {
+                // Owl receives the ground-truth pairwise profile exclusively.
+                let kinds: Vec<WorkloadKind> = workloads.iter().map(|w| w.kind).collect();
+                let model = interference.clone();
+                let profile = OracleProfile::from_fn(&kinds, |a, b| model.pairwise(a, b));
+                Box::new(OwlScheduler::new(profile))
+            }
+            SchedulerKind::Eva(eva_cfg) => Box::new(EvaScheduler::new(eva_cfg.clone())),
+        };
+        let delays = DelayModel::table1(cfg.fidelity);
+        let cloud = CloudProvider::new(catalog.clone(), delays);
+
+        let mut sim = ClusterSim {
+            catalog,
+            cloud,
+            rng: RngStreams::new(cfg.seed).stream(DELAY_STREAM),
+            interference,
+            scheduler,
+            round_period: cfg.round_period,
+            migration_delay_scale: cfg.migration_delay_scale,
+            jobs: BTreeMap::new(),
+            tasks: BTreeMap::new(),
+            task_gen: BTreeMap::new(),
+            on_instance: BTreeMap::new(),
+            busy_until: BTreeMap::new(),
+            draining: BTreeSet::new(),
+            engine: EventEngine::new(),
+            round_pending: false,
+            arrivals_remaining: cfg.trace.len(),
+            task_running_hours: 0.0,
+            alloc_integral: [0.0; 3],
+            capacity_integral: [0.0; 3],
+            migration_count: 0,
+            total_tasks: cfg.trace.jobs().iter().map(|j| j.num_tasks()).sum(),
+            rounds: 0,
+            full_rounds: 0,
+            cfg,
+        };
+        for (idx, job) in sim.cfg.trace.jobs().iter().enumerate() {
+            sim.engine.schedule(job.arrival, Event::Arrival(idx));
+        }
+        sim
+    }
+
+    /// The current simulated instant.
+    pub fn now(&self) -> SimTime {
+        self.engine.now()
+    }
+
+    /// Scheduling rounds executed so far.
+    pub fn rounds_executed(&self) -> u64 {
+        self.rounds
+    }
+
+    /// Processes the next event, integrating world state up to its due
+    /// time first. Returns false once the event queue is exhausted.
+    pub fn step(&mut self) -> bool {
+        let Some(scheduled) = self.engine.pop() else {
+            return false;
+        };
+        self.advance_to(scheduled.at);
+        self.engine.advance_to(scheduled.at);
+        self.handle(scheduled.event);
+        true
+    }
+
+    /// Runs the world to completion and assembles the report.
+    pub fn run(mut self) -> SimReport {
+        while self.step() {}
+        crate::report::finalize(self)
+    }
+
+    pub(crate) fn push(&mut self, at: SimTime, event: Event) {
+        self.engine.schedule(at, event);
+    }
+
+    pub(crate) fn schedule_round(&mut self, at: SimTime) {
+        if !self.round_pending {
+            self.round_pending = true;
+            self.push(at, Event::Round);
+        }
+    }
+
+    fn handle(&mut self, event: Event) {
+        match event {
+            Event::Arrival(idx) => {
+                let spec = self.cfg.trace.jobs()[idx].clone();
+                self.arrivals_remaining -= 1;
+                for t in &spec.tasks {
+                    self.tasks.insert(t.id, TaskRuntime::new(t.id));
+                }
+                self.jobs.insert(spec.id, JobProgress::new(spec));
+                self.schedule_round(self.now());
+            }
+            Event::TaskReady { task, generation } => {
+                let matches = self
+                    .tasks
+                    .get(&task)
+                    .map(|rt| {
+                        matches!(rt.state, TaskState::InTransit { generation: g, .. } if g == generation)
+                    })
+                    .unwrap_or(false);
+                if matches {
+                    self.tasks.get_mut(&task).unwrap().state = TaskState::Running;
+                    self.recompute_completions();
+                }
+            }
+            Event::JobDone { job, generation } => self.handle_job_done(job, generation),
+            Event::Round => self.handle_round(),
+        }
+    }
+
+    fn handle_job_done(&mut self, job: JobId, generation: u64) {
+        let valid = self
+            .jobs
+            .get(&job)
+            .map(|j| !j.is_done() && j.completion_generation == generation)
+            .unwrap_or(false);
+        if !valid {
+            return;
+        }
+        let task_ids: Vec<TaskId> = {
+            let j = self.jobs.get_mut(&job).unwrap();
+            debug_assert!(j.remaining_hours < 1e-6, "early completion event");
+            j.completed_at = Some(self.engine.now());
+            j.spec.tasks.iter().map(|t| t.id).collect()
+        };
+        for tid in task_ids {
+            if let Some(rt) = self.tasks.get_mut(&tid) {
+                rt.state = TaskState::Done;
+                if let Some(inst) = rt.assigned_to.take() {
+                    if let Some(set) = self.on_instance.get_mut(&inst) {
+                        set.remove(&tid);
+                    }
+                }
+            }
+        }
+        self.try_terminations();
+        self.recompute_completions();
+        // A round will clean up the freed instances.
+        self.schedule_round(self.now() + self.round_period);
+    }
+
+    /// The ground-truth throughput of a running task given its co-located
+    /// running neighbours.
+    pub(crate) fn task_tput(&self, task: &TaskRuntime, workload: WorkloadKind) -> f64 {
+        let Some(inst) = task.assigned_to else {
+            return 0.0;
+        };
+        if !task.is_running() {
+            return 0.0;
+        }
+        let others: Vec<WorkloadKind> = self
+            .on_instance
+            .get(&inst)
+            .map(|set| {
+                set.iter()
+                    .filter(|tid| **tid != task.id)
+                    .filter_map(|tid| self.tasks.get(tid))
+                    .filter(|t| t.is_running())
+                    .filter_map(|t| self.workload_of(t.id))
+                    .collect()
+            })
+            .unwrap_or_default();
+        self.interference.throughput(workload, &others)
+    }
+
+    pub(crate) fn workload_of(&self, task: TaskId) -> Option<WorkloadKind> {
+        self.jobs
+            .get(&task.job)
+            .and_then(|j| j.spec.task(task))
+            .map(|t| t.workload)
+    }
+
+    /// Effective job throughput: gang-coupled jobs run at the minimum of
+    /// their tasks (0 unless all run); single tasks at their own rate.
+    pub(crate) fn job_tput(&self, job: &JobProgress) -> f64 {
+        let mut min_tput = f64::INFINITY;
+        for spec in &job.spec.tasks {
+            let Some(rt) = self.tasks.get(&spec.id) else {
+                return 0.0;
+            };
+            if !rt.is_running() {
+                return 0.0;
+            }
+            min_tput = min_tput.min(self.task_tput(rt, spec.workload));
+        }
+        if min_tput.is_finite() {
+            min_tput
+        } else {
+            0.0
+        }
+    }
+
+    /// Advances all integrals and job progress to `t` (the engine clock
+    /// itself advances in [`ClusterSim::step`]).
+    fn advance_to(&mut self, t: SimTime) {
+        let now = self.engine.now();
+        let dt_hours = t.duration_since(now).as_hours_f64();
+        if dt_hours <= 0.0 {
+            return;
+        }
+        // Job progress.
+        let tputs: Vec<(JobId, f64)> = self
+            .jobs
+            .iter()
+            .filter(|(_, j)| !j.is_done())
+            .map(|(id, j)| (*id, self.job_tput(j)))
+            .collect();
+        for (id, tput) in tputs {
+            if let Some(j) = self.jobs.get_mut(&id) {
+                j.advance(dt_hours, tput);
+            }
+        }
+        // Allocation integrals.
+        let mut alloc = [0.0f64; 3];
+        let mut cap = [0.0f64; 3];
+        let mut running_tasks = 0usize;
+        for inst in self.cloud.live_instances(now) {
+            let Some(ty) = self.catalog.get(inst.type_id) else {
+                continue;
+            };
+            cap[0] += f64::from(ty.capacity.gpu);
+            cap[1] += f64::from(ty.capacity.cpu);
+            cap[2] += ty.capacity.ram_mb as f64;
+            if let Some(set) = self.on_instance.get(&inst.id) {
+                for tid in set {
+                    let Some(job) = self.jobs.get(&tid.job) else {
+                        continue;
+                    };
+                    let Some(spec) = job.spec.task(*tid) else {
+                        continue;
+                    };
+                    let d = ty.demand_of(&spec.demand);
+                    alloc[0] += f64::from(d.gpu);
+                    alloc[1] += f64::from(d.cpu);
+                    alloc[2] += d.ram_mb as f64;
+                    if self.tasks.get(tid).map(|t| t.is_running()).unwrap_or(false) {
+                        running_tasks += 1;
+                    }
+                }
+            }
+        }
+        for r in 0..3 {
+            self.alloc_integral[r] += alloc[r] * dt_hours;
+            self.capacity_integral[r] += cap[r] * dt_hours;
+        }
+        self.task_running_hours += running_tasks as f64 * dt_hours;
+    }
+
+    /// Re-derives every active job's completion event.
+    pub(crate) fn recompute_completions(&mut self) {
+        let jobs: Vec<JobId> = self
+            .jobs
+            .iter()
+            .filter(|(_, j)| !j.is_done())
+            .map(|(id, _)| *id)
+            .collect();
+        for id in jobs {
+            let tput = self.job_tput(&self.jobs[&id]);
+            let job = self.jobs.get_mut(&id).unwrap();
+            job.completion_generation += 1;
+            let generation = job.completion_generation;
+            if let Some(eta) = job.eta_hours(tput) {
+                let at = self.engine.now() + SimDuration::from_hours_f64(eta);
+                self.push(
+                    at,
+                    Event::JobDone {
+                        job: id,
+                        generation,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Terminates drained instances whose departures have finished.
+    pub(crate) fn try_terminations(&mut self) {
+        let candidates: Vec<InstanceId> = self.draining.iter().copied().collect();
+        for id in candidates {
+            let empty = self
+                .on_instance
+                .get(&id)
+                .map(|s| s.is_empty())
+                .unwrap_or(true);
+            if empty {
+                let now = self.engine.now();
+                let busy = self.busy_until.get(&id).copied().unwrap_or(now);
+                let _ = self.cloud.terminate(id, busy.max(now));
+                self.draining.remove(&id);
+                self.on_instance.remove(&id);
+                self.busy_until.remove(&id);
+            }
+        }
+    }
+}

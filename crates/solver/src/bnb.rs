@@ -113,8 +113,8 @@ pub fn branch_and_bound(problem: &PackingProblem, cfg: BnbConfig) -> Solution {
             let mut m = [u64::MAX; 3];
             for t in catalog.types() {
                 let d = t.demand_of(&item.demand);
-                for r in 0..3 {
-                    m[r] = m[r].min(component(&d, r));
+                for (r, slot) in m.iter_mut().enumerate() {
+                    *slot = (*slot).min(component(&d, r));
                 }
             }
             for v in &mut m {
@@ -128,10 +128,10 @@ pub fn branch_and_bound(problem: &PackingProblem, cfg: BnbConfig) -> Solution {
 
     let mut unit_prices = [f64::INFINITY; 3];
     for t in catalog.types() {
-        for r in 0..3 {
+        for (r, price) in unit_prices.iter_mut().enumerate() {
             let q = component(&t.capacity, r);
             if q > 0 {
-                unit_prices[r] = unit_prices[r].min(t.hourly_cost.as_dollars() / q as f64);
+                *price = price.min(t.hourly_cost.as_dollars() / q as f64);
             }
         }
     }
@@ -206,19 +206,19 @@ fn remaining_bound(state: &SearchState<'_>, depth: usize) -> f64 {
     for bin in &state.open {
         let cap = types[bin.type_idx].capacity;
         let spare = cap.saturating_sub(&bin.used);
-        for r in 0..3 {
-            free[r] += component(&spare, r);
+        for (r, slot) in free.iter_mut().enumerate() {
+            *slot += component(&spare, r);
         }
     }
     let mut best = 0.0f64;
-    for r in 0..3 {
+    for (r, free_r) in free.iter().enumerate() {
         if !state.unit_prices[r].is_finite() {
             continue;
         }
         let demand: u64 = (depth..state.order.len())
             .map(|i| state.min_demands[i][r])
             .sum();
-        let uncovered = demand.saturating_sub(free[r]);
+        let uncovered = demand.saturating_sub(*free_r);
         best = best.max(state.unit_prices[r] * uncovered as f64);
     }
     best
@@ -231,7 +231,7 @@ fn dfs(state: &mut SearchState<'_>, depth: usize, committed: f64) {
         return;
     }
     // Check the clock periodically (Instant::now is not free).
-    if state.nodes % 1024 == 0 && Instant::now() >= state.deadline {
+    if state.nodes.is_multiple_of(1024) && Instant::now() >= state.deadline {
         state.timed_out = true;
         return;
     }

@@ -53,7 +53,6 @@ fn pack_decreasing(
                     .map(|u| u.fits_within(&ty.capacity))
                     .unwrap_or(false)
             })
-            .map(|(i, b)| (i, b))
             .collect();
         if let Some(bin_idx) = pick(&fitting) {
             let ty = types[bins[bin_idx].type_idx];

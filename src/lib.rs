@@ -36,7 +36,10 @@ pub mod prelude {
     pub use eva_baselines::{NoPackingScheduler, OwlScheduler, StratusScheduler, SynergyScheduler};
     pub use eva_cloud::{Catalog, CloudProvider, DelayModel, FidelityMode};
     pub use eva_core::{EvaConfig, EvaScheduler, Plan, Scheduler, SchedulerContext, TaskSnapshot};
-    pub use eva_sim::{run_simulation, SchedulerKind, SimConfig, SimReport};
+    pub use eva_sim::{
+        run_simulation, ClusterSim, Experiment, SchedulerKind, SimConfig, SimReport, SweepGrid,
+        SweepResult, SweepRunner,
+    };
     pub use eva_types::{
         Cost, DemandSpec, InstanceId, JobId, JobSpec, ResourceVector, SimDuration, SimTime, TaskId,
         TaskSpec, WorkloadKind,

@@ -2,8 +2,13 @@
 //!
 //! ```text
 //! eva simulate [--jobs N] [--rate JOBS_PER_HR] [--scheduler NAME]
-//!              [--durations alibaba|gavel] [--seed N] [--json FILE]
+//!              [--durations alibaba|gavel] [--seed N] [--period MINS]
+//!              [--json FILE]
 //! eva compare  [--jobs N] [--rate JOBS_PER_HR] [--durations ...] [--seed N]
+//!              [--period MINS] [--threads N]
+//! eva sweep    [--jobs N] [--rate JOBS_PER_HR] [--durations ...]
+//!              [--schedulers A,B,..] [--seeds S1,S2,..] [--threads N]
+//!              [--period MINS] [--json FILE]
 //! eva workloads        # print the Table 7 workload catalog
 //! eva catalog          # print the 21-type AWS instance catalog
 //! ```
@@ -22,6 +27,7 @@ pub struct Cli {
 enum Command {
     Simulate(SimArgs),
     Compare(SimArgs),
+    Sweep(SweepArgs),
     Workloads,
     Catalog,
     Help,
@@ -34,6 +40,8 @@ struct SimArgs {
     scheduler: String,
     durations: String,
     seed: u64,
+    period_mins: f64,
+    threads: usize,
     json: Option<String>,
 }
 
@@ -45,7 +53,34 @@ impl Default for SimArgs {
             scheduler: "eva".into(),
             durations: "alibaba".into(),
             seed: 42,
+            period_mins: 5.0,
+            threads: 0,
             json: None,
+        }
+    }
+}
+
+/// Arguments of the `sweep` subcommand: the shared simulation knobs plus
+/// the scheduler and seed axes of the grid.
+#[derive(Debug, Clone, PartialEq)]
+struct SweepArgs {
+    sim: SimArgs,
+    schedulers: Vec<String>,
+    seeds: Vec<u64>,
+}
+
+impl Default for SweepArgs {
+    fn default() -> Self {
+        SweepArgs {
+            sim: SimArgs::default(),
+            schedulers: vec![
+                "no-packing".into(),
+                "stratus".into(),
+                "synergy".into(),
+                "owl".into(),
+                "eva".into(),
+            ],
+            seeds: vec![42],
         }
     }
 }
@@ -54,8 +89,9 @@ impl Default for SimArgs {
 pub fn parse(args: &[String]) -> Result<Cli, String> {
     let mut it = args.iter();
     let command = match it.next().map(String::as_str) {
-        Some("simulate") => Command::Simulate(parse_sim_args(it)?),
-        Some("compare") => Command::Compare(parse_sim_args(it)?),
+        Some("simulate") => Command::Simulate(parse_sim_args(it, false)?.sim),
+        Some("compare") => Command::Compare(parse_sim_args(it, false)?.sim),
+        Some("sweep") => Command::Sweep(parse_sim_args(it, true)?),
         Some("workloads") => Command::Workloads,
         Some("catalog") => Command::Catalog,
         Some("help") | Some("--help") | Some("-h") | None => Command::Help,
@@ -64,8 +100,11 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
     Ok(Cli { command })
 }
 
-fn parse_sim_args<'a>(mut it: impl Iterator<Item = &'a String>) -> Result<SimArgs, String> {
-    let mut args = SimArgs::default();
+fn parse_sim_args<'a>(
+    mut it: impl Iterator<Item = &'a String>,
+    sweep: bool,
+) -> Result<SweepArgs, String> {
+    let mut args = SweepArgs::default();
     while let Some(flag) = it.next() {
         let mut value = || {
             it.next()
@@ -73,31 +112,37 @@ fn parse_sim_args<'a>(mut it: impl Iterator<Item = &'a String>) -> Result<SimArg
                 .ok_or_else(|| format!("flag {flag} needs a value"))
         };
         match flag.as_str() {
-            "--jobs" => args.jobs = value()?.parse().map_err(|e| format!("--jobs: {e}"))?,
-            "--rate" => args.rate = value()?.parse().map_err(|e| format!("--rate: {e}"))?,
-            "--scheduler" => args.scheduler = value()?,
-            "--durations" => args.durations = value()?,
-            "--seed" => args.seed = value()?.parse().map_err(|e| format!("--seed: {e}"))?,
-            "--json" => args.json = Some(value()?),
+            "--jobs" => args.sim.jobs = value()?.parse().map_err(|e| format!("--jobs: {e}"))?,
+            "--rate" => args.sim.rate = value()?.parse().map_err(|e| format!("--rate: {e}"))?,
+            "--scheduler" if !sweep => args.sim.scheduler = value()?,
+            "--durations" => args.sim.durations = value()?,
+            "--seed" => args.sim.seed = value()?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--period" => {
+                args.sim.period_mins = value()?.parse().map_err(|e| format!("--period: {e}"))?;
+                if !(args.sim.period_mins.is_finite() && args.sim.period_mins > 0.0) {
+                    return Err("--period: must be a positive number of minutes".into());
+                }
+            }
+            "--threads" => {
+                args.sim.threads = value()?.parse().map_err(|e| format!("--threads: {e}"))?
+            }
+            "--schedulers" if sweep => {
+                args.schedulers = value()?.split(',').map(str::to_string).collect();
+                for name in &args.schedulers {
+                    SchedulerKind::from_name(name)?;
+                }
+            }
+            "--seeds" if sweep => {
+                args.seeds = value()?
+                    .split(',')
+                    .map(|s| s.parse().map_err(|e| format!("--seeds: {e}")))
+                    .collect::<Result<Vec<u64>, String>>()?;
+            }
+            "--json" => args.sim.json = Some(value()?),
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
     Ok(args)
-}
-
-fn scheduler_by_name(name: &str) -> Result<SchedulerKind, String> {
-    Ok(match name.to_ascii_lowercase().as_str() {
-        "eva" => SchedulerKind::Eva(EvaConfig::eva()),
-        "eva-rp" => SchedulerKind::Eva(EvaConfig::eva_rp()),
-        "eva-single" => SchedulerKind::Eva(EvaConfig::eva_single()),
-        "eva-full-only" => SchedulerKind::Eva(EvaConfig::without_partial()),
-        "eva-partial-only" => SchedulerKind::Eva(EvaConfig::without_full()),
-        "no-packing" | "nopacking" => SchedulerKind::NoPacking,
-        "stratus" => SchedulerKind::Stratus,
-        "synergy" => SchedulerKind::Synergy,
-        "owl" => SchedulerKind::Owl,
-        other => return Err(format!("unknown scheduler `{other}`")),
-    })
 }
 
 fn build_trace(args: &SimArgs) -> Result<Trace, String> {
@@ -114,15 +159,24 @@ fn build_trace(args: &SimArgs) -> Result<Trace, String> {
     Ok(cfg.generate(args.seed))
 }
 
+fn round_period(args: &SimArgs) -> SimDuration {
+    SimDuration::from_hours_f64(args.period_mins / 60.0)
+}
+
 fn run(cli: Cli) -> Result<(), String> {
     match cli.command {
         Command::Help => {
             println!(
                 "eva — cost-efficient cloud-based cluster scheduling (EuroSys '25 reproduction)\n\n\
-                 USAGE:\n  eva simulate [--jobs N] [--rate J/HR] [--scheduler NAME] [--durations alibaba|gavel] [--seed N] [--json FILE]\n  \
-                 eva compare  [--jobs N] [--rate J/HR] [--durations ...] [--seed N]\n  \
+                 USAGE:\n  eva simulate [--jobs N] [--rate J/HR] [--scheduler NAME] [--durations alibaba|gavel] [--seed N] [--period MINS] [--threads N] [--json FILE]\n  \
+                 eva compare  [--jobs N] [--rate J/HR] [--durations ...] [--seed N] [--period MINS] [--threads N]\n  \
+                 eva sweep    [--jobs N] [--rate J/HR] [--durations ...] [--schedulers A,B,..] [--seeds S1,S2,..] [--threads N] [--period MINS] [--json FILE]\n  \
                  eva workloads\n  eva catalog\n\n\
-                 SCHEDULERS: eva, eva-rp, eva-single, eva-full-only, eva-partial-only,\n             no-packing, stratus, synergy, owl"
+                 SCHEDULERS: {}\n\n\
+                 `--threads 0` (the default) uses every available core; sweep results\n\
+                 are byte-identical for any thread count. A single `simulate` run is\n\
+                 one cell, so `--threads` is accepted there but has no effect.",
+                SchedulerKind::names().join(", ")
             );
         }
         Command::Workloads => {
@@ -140,7 +194,7 @@ fn run(cli: Cli) -> Result<(), String> {
         }
         Command::Simulate(args) => {
             let trace = build_trace(&args)?;
-            let kind = scheduler_by_name(&args.scheduler)?;
+            let kind = SchedulerKind::from_name(&args.scheduler)?;
             println!(
                 "simulating {} jobs at {}/hr under {} (seed {})...",
                 args.jobs,
@@ -148,7 +202,10 @@ fn run(cli: Cli) -> Result<(), String> {
                 kind.label(),
                 args.seed
             );
-            let report = run_simulation(&SimConfig::new(trace, kind));
+            let mut cfg = SimConfig::new(trace, kind);
+            cfg.seed = args.seed;
+            cfg.round_period = round_period(&args);
+            let report = run_simulation(&cfg);
             println!("{}", report.table_row(None));
             if let Some(path) = args.json {
                 let json =
@@ -159,20 +216,47 @@ fn run(cli: Cli) -> Result<(), String> {
         }
         Command::Compare(args) => {
             let trace = build_trace(&args)?;
-            let kinds = [
-                SchedulerKind::NoPacking,
-                SchedulerKind::Stratus,
-                SchedulerKind::Synergy,
-                SchedulerKind::Owl,
-                SchedulerKind::Eva(EvaConfig::eva()),
-            ];
-            let mut baseline: Option<SimReport> = None;
-            for kind in kinds {
-                let report = run_simulation(&SimConfig::new(trace.clone(), kind));
-                println!("{}", report.table_row(baseline.as_ref()));
-                if baseline.is_none() {
-                    baseline = Some(report);
-                }
+            let grid = SweepGrid::new("cli", trace)
+                .paper_schedulers()
+                .seeds(vec![args.seed])
+                .round_period(round_period(&args));
+            let result = SweepRunner::new(args.threads).run(&grid);
+            let mut baseline: Option<&SimReport> = None;
+            for cell in &result.cells {
+                println!("{}", cell.report.table_row(baseline));
+                baseline = baseline.or(Some(&cell.report));
+            }
+        }
+        Command::Sweep(args) => {
+            let trace = build_trace(&args.sim)?;
+            let names: Vec<&str> = args.schedulers.iter().map(String::as_str).collect();
+            let grid = SweepGrid::new("cli", trace)
+                .schedulers_by_name(&names)?
+                .seeds(args.seeds.clone())
+                .round_period(round_period(&args.sim));
+            let runner = SweepRunner::new(args.sim.threads);
+            println!(
+                "sweeping {} cells ({} schedulers × {} seeds, {} jobs) on {} threads...",
+                grid.cell_count(),
+                args.schedulers.len(),
+                args.seeds.len(),
+                args.sim.jobs,
+                runner.threads()
+            );
+            let result = runner.run(&grid);
+            println!("{:<16} {:>6}  report", "scheduler", "seed");
+            for cell in &result.cells {
+                println!(
+                    "{:<16} {:>6}  {}",
+                    cell.key.scheduler,
+                    cell.key.seed,
+                    cell.report.table_row(None)
+                );
+            }
+            if let Some(path) = args.sim.json {
+                std::fs::write(&path, result.to_json_pretty())
+                    .map_err(|e| format!("write {path}: {e}"))?;
+                println!("saved {path}");
             }
         }
     }
@@ -201,7 +285,7 @@ mod tests {
     #[test]
     fn parses_simulate_flags() {
         let cli = parse(&argv(
-            "simulate --jobs 100 --rate 2.5 --scheduler stratus --seed 7",
+            "simulate --jobs 100 --rate 2.5 --scheduler stratus --seed 7 --period 10 --threads 2",
         ))
         .unwrap();
         let Command::Simulate(args) = cli.command else {
@@ -211,6 +295,23 @@ mod tests {
         assert_eq!(args.rate, 2.5);
         assert_eq!(args.scheduler, "stratus");
         assert_eq!(args.seed, 7);
+        assert_eq!(args.period_mins, 10.0);
+        assert_eq!(args.threads, 2);
+    }
+
+    #[test]
+    fn parses_sweep_flags() {
+        let cli = parse(&argv(
+            "sweep --jobs 50 --schedulers eva,owl --seeds 1,2,3 --threads 4",
+        ))
+        .unwrap();
+        let Command::Sweep(args) = cli.command else {
+            panic!()
+        };
+        assert_eq!(args.schedulers, vec!["eva", "owl"]);
+        assert_eq!(args.seeds, vec![1, 2, 3]);
+        assert_eq!(args.sim.threads, 4);
+        assert_eq!(args.sim.jobs, 50);
     }
 
     #[test]
@@ -219,6 +320,34 @@ mod tests {
         assert!(parse(&argv("simulate --bogus 1")).is_err());
         assert!(parse(&argv("simulate --jobs")).is_err());
         assert!(parse(&argv("simulate --jobs abc")).is_err());
+        // Axis flags are sweep-only.
+        assert!(parse(&argv("simulate --schedulers eva,owl")).is_err());
+        assert!(parse(&argv("sweep --scheduler eva")).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_period_and_threads() {
+        for bad in [
+            "simulate --period abc",
+            "simulate --period 0",
+            "simulate --period -5",
+            "compare --threads abc",
+            "sweep --threads",
+        ] {
+            let err = parse(&argv(bad)).unwrap_err();
+            let flag = if bad.contains("--period") {
+                "--period"
+            } else {
+                "--threads"
+            };
+            assert!(err.contains(flag), "{bad} → {err}");
+        }
+    }
+
+    #[test]
+    fn rejects_bad_sweep_axes() {
+        assert!(parse(&argv("sweep --schedulers eva,slurm")).is_err());
+        assert!(parse(&argv("sweep --seeds 1,x")).is_err());
     }
 
     #[test]
@@ -228,26 +357,18 @@ mod tests {
 
     #[test]
     fn scheduler_names_resolve() {
-        for name in [
-            "eva",
-            "eva-rp",
-            "eva-single",
-            "eva-full-only",
-            "eva-partial-only",
-            "no-packing",
-            "stratus",
-            "synergy",
-            "owl",
-        ] {
-            assert!(scheduler_by_name(name).is_ok(), "{name}");
+        for name in SchedulerKind::names() {
+            assert!(SchedulerKind::from_name(name).is_ok(), "{name}");
         }
-        assert!(scheduler_by_name("slurm").is_err());
+        assert!(SchedulerKind::from_name("slurm").is_err());
     }
 
     #[test]
     fn duration_models_resolve() {
-        let mut args = SimArgs::default();
-        args.jobs = 5;
+        let mut args = SimArgs {
+            jobs: 5,
+            ..SimArgs::default()
+        };
         assert!(build_trace(&args).is_ok());
         args.durations = "gavel".into();
         assert!(build_trace(&args).is_ok());

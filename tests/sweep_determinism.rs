@@ -1,0 +1,91 @@
+//! Determinism guarantees of the layered simulator.
+//!
+//! (a) The same `SimConfig` (trace + seed + knobs) must produce an
+//!     identical `SimReport` on every run — even under stochastic delay
+//!     fidelity, where all randomness flows from the config's seed.
+//! (b) `SweepRunner` must produce results identical to the serial run of
+//!     the same grid for any worker count, down to the serialized JSON
+//!     bytes — parallelism must never leak into outcomes.
+
+use eva::prelude::*;
+use eva_cloud::FidelityMode;
+
+fn trace(jobs: usize, seed: u64) -> Trace {
+    AlibabaTraceConfig {
+        num_jobs: jobs,
+        arrival_rate_per_hour: 6.0,
+        durations: DurationModelChoice::Alibaba,
+    }
+    .generate(seed)
+}
+
+#[test]
+fn same_config_and_seed_yields_identical_report() {
+    for scheduler in [SchedulerKind::Eva(EvaConfig::eva()), SchedulerKind::Stratus] {
+        let mut cfg = SimConfig::new(trace(25, 11), scheduler);
+        cfg.seed = 913;
+        cfg.fidelity = FidelityMode::Stochastic;
+        let a = run_simulation(&cfg);
+        let b = run_simulation(&cfg);
+        assert_eq!(a, b, "{} diverged across reruns", a.scheduler);
+        assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap()
+        );
+    }
+}
+
+#[test]
+fn different_seeds_actually_change_stochastic_outcomes() {
+    // Guards against the seed being silently ignored, which would make
+    // the identity assertions above vacuous.
+    let mut a_cfg = SimConfig::new(trace(25, 11), SchedulerKind::Eva(EvaConfig::eva()));
+    a_cfg.fidelity = FidelityMode::Stochastic;
+    let mut b_cfg = a_cfg.clone();
+    b_cfg.seed = a_cfg.seed + 1;
+    let a = run_simulation(&a_cfg);
+    let b = run_simulation(&b_cfg);
+    assert_ne!(a, b, "stochastic delays must depend on the seed");
+}
+
+#[test]
+fn parallel_sweep_matches_serial_sweep_byte_for_byte() {
+    let grid = SweepGrid::new("determinism", trace(15, 3))
+        .paper_schedulers()
+        .seeds(vec![1, 2]);
+    let serial = SweepRunner::new(1).run(&grid);
+    let parallel = SweepRunner::new(4).run(&grid);
+    assert_eq!(serial.cells.len(), 10);
+    assert_eq!(serial, parallel);
+    assert_eq!(
+        serial.to_json_pretty(),
+        parallel.to_json_pretty(),
+        "aggregated JSON must be byte-identical for any thread count"
+    );
+    // And re-running the parallel sweep is stable too.
+    let again = SweepRunner::new(4).run(&grid);
+    assert_eq!(parallel, again);
+}
+
+#[test]
+fn sweep_cells_preserve_grid_order_regardless_of_threads() {
+    let grid = SweepGrid::new("order", trace(8, 5))
+        .schedulers_by_name(&["no-packing", "eva"])
+        .unwrap()
+        .seeds(vec![7, 8, 9]);
+    let result = SweepRunner::new(6).run(&grid);
+    let keys: Vec<(u64, String)> = result
+        .cells
+        .iter()
+        .map(|c| (c.key.seed, c.key.scheduler.clone()))
+        .collect();
+    let expected: Vec<(u64, String)> = [7u64, 8, 9]
+        .iter()
+        .flat_map(|&s| {
+            [("no-packing", s), ("eva", s)]
+                .into_iter()
+                .map(move |(n, s)| (s, n.to_string()))
+        })
+        .collect();
+    assert_eq!(keys, expected);
+}
