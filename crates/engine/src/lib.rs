@@ -1,9 +1,11 @@
-//! Layer 1: a generic discrete-event engine.
+//! The generic discrete-event engine every Eva subsystem runs on.
 //!
 //! The engine knows nothing about schedulers, clouds, or jobs — it owns a
 //! monotone simulated clock, a time-ordered event queue, and deterministic
-//! per-purpose RNG streams. The world model ([`crate::world::ClusterSim`])
-//! consumes it; experiment sweeps ([`crate::sweep`]) run many engines in
+//! per-purpose RNG streams. `eva-sim`'s `ClusterSim` world model consumes
+//! it to simulate a cluster; `eva-sim`'s `LiveBackend` consumes a second
+//! engine to drive the real `eva-exec` master/worker runtime from the
+//! same ordered event stream; experiment sweeps run many engines in
 //! parallel, which stays deterministic because every source of randomness
 //! is derived from the engine's master seed.
 //!

@@ -39,7 +39,8 @@ pub struct ContainerExit {
     pub task: TaskId,
     /// Why it exited.
     pub exit: TaskExit,
-    /// Checkpoint blob (position + program state) when checkpointed.
+    /// Position + program state: resumable checkpoint when checkpointed,
+    /// final-state snapshot when finished.
     pub checkpoint: Option<Bytes>,
     /// Iterations completed in total (including restored position).
     pub completed: u64,
@@ -74,15 +75,28 @@ impl Container {
     /// Launches a task program in a new thread.
     ///
     /// The program iterates `0..total_iterations`; if `checkpoint` is
-    /// given, execution resumes from the stored position.
-    pub fn launch(
+    /// given, execution resumes from the stored position. A `run_until`
+    /// bound schedules a deterministic checkpoint at that exact iteration
+    /// (the engine-ordered segment boundary); without it the program runs
+    /// until completion or a cooperative request.
+    ///
+    /// `exits` may be any channel whose element converts from
+    /// [`ContainerExit`], so callers can merge exits into a wider event
+    /// stream (the worker does) or receive them directly (tests do).
+    pub fn launch<E: From<ContainerExit> + Send + 'static>(
         task: TaskId,
         total_iterations: u64,
+        run_until: Option<u64>,
         mut program: Box<dyn TaskProgram>,
         checkpoint: Option<Bytes>,
-        exits: Sender<ContainerExit>,
+        exits: Sender<E>,
     ) -> Self {
         let control = IteratorControl::new();
+        if let Some(bound) = run_until {
+            if bound < total_iterations {
+                control.request_checkpoint_at(bound);
+            }
+        }
         let thread_control = control.clone();
         let handle = std::thread::spawn(move || {
             let position = match &checkpoint {
@@ -100,7 +114,12 @@ impl Container {
             }
             let completed = thread_control.iterations();
             let (exit, blob) = if completed >= total_iterations {
-                (TaskExit::Finished, None)
+                // The final-state snapshot lets callers audit state
+                // continuity across checkpoint/restore cycles.
+                (
+                    TaskExit::Finished,
+                    Some(encode_checkpoint(completed, &program.checkpoint())),
+                )
             } else if iter.checkpoint_pending() {
                 (
                     TaskExit::Checkpointed,
@@ -109,12 +128,12 @@ impl Container {
             } else {
                 (TaskExit::Stopped, None)
             };
-            let _ = exits.send(ContainerExit {
+            let _ = exits.send(E::from(ContainerExit {
                 task,
                 exit,
                 checkpoint: blob,
                 completed,
-            });
+            }));
         });
         Container {
             task,
@@ -194,13 +213,58 @@ mod tests {
 
     #[test]
     fn container_runs_to_completion() {
-        let (tx, rx) = unbounded();
-        let c = Container::launch(tid(), 100, Box::new(Summer { total: 0 }), None, tx);
+        let (tx, rx) = unbounded::<ContainerExit>();
+        let c = Container::launch(tid(), 100, None, Box::new(Summer { total: 0 }), None, tx);
         let exit = rx.recv().unwrap();
         c.join();
         assert_eq!(exit.exit, TaskExit::Finished);
         assert_eq!(exit.completed, 100);
-        assert!(exit.checkpoint.is_none());
+        // Finished exits snapshot the final program state.
+        let (pos, state) = decode_checkpoint(&exit.checkpoint.unwrap());
+        assert_eq!(pos, 100);
+        assert_eq!(state.len(), 8);
+        let expected: u64 = (0..100).sum();
+        assert_eq!(u64::from_le_bytes(state[..8].try_into().unwrap()), expected);
+    }
+
+    #[test]
+    fn bounded_segment_checkpoints_at_exact_iteration() {
+        let (tx, rx) = unbounded::<ContainerExit>();
+        let c = Container::launch(
+            tid(),
+            1_000_000,
+            Some(25),
+            Box::new(Summer { total: 0 }),
+            None,
+            tx.clone(),
+        );
+        let exit = rx.recv().unwrap();
+        c.join();
+        assert_eq!(exit.exit, TaskExit::Checkpointed);
+        assert_eq!(exit.completed, 25, "stops at the planned boundary");
+        let blob = exit.checkpoint.unwrap();
+        let (pos, state) = decode_checkpoint(&blob);
+        assert_eq!(pos, 25);
+        let expected: u64 = (0..25).sum();
+        assert_eq!(u64::from_le_bytes(state[..8].try_into().unwrap()), expected);
+
+        // Resume the next segment from the blob; a bound past the total
+        // means run to completion.
+        let c2 = Container::launch(
+            tid(),
+            100,
+            Some(101),
+            Box::new(Summer { total: 0 }),
+            Some(blob),
+            tx,
+        );
+        let exit2 = rx.recv().unwrap();
+        c2.join();
+        assert_eq!(exit2.exit, TaskExit::Finished);
+        assert_eq!(exit2.completed, 100);
+        let (_, state2) = decode_checkpoint(&exit2.checkpoint.unwrap());
+        let full: u64 = (0..100).sum();
+        assert_eq!(u64::from_le_bytes(state2[..8].try_into().unwrap()), full);
     }
 
     #[test]
@@ -220,9 +284,10 @@ mod tests {
                 self.0.restore(blob);
             }
         }
-        let c = Container::launch(
+        let c = Container::launch::<ContainerExit>(
             tid(),
             10_000,
+            None,
             Box::new(Slow(Summer { total: 0 })),
             None,
             tx.clone(),
@@ -239,10 +304,11 @@ mod tests {
 
         // Resume: the restored container finishes the remaining work and
         // the final sum matches an uninterrupted run.
-        let (tx2, rx2) = unbounded();
+        let (tx2, rx2) = unbounded::<ContainerExit>();
         let c2 = Container::launch(
             tid(),
             10_000,
+            None,
             Box::new(Slow(Summer { total: 0 })),
             Some(blob),
             tx2,
@@ -255,14 +321,14 @@ mod tests {
 
     #[test]
     fn stop_without_checkpoint() {
-        let (tx, rx) = unbounded();
+        let (tx, rx) = unbounded::<ContainerExit>();
         struct Slow;
         impl TaskProgram for Slow {
             fn step(&mut self, _: u64) {
                 std::thread::sleep(std::time::Duration::from_millis(1));
             }
         }
-        let c = Container::launch(tid(), 1_000_000, Box::new(Slow), None, tx);
+        let c = Container::launch(tid(), 1_000_000, None, Box::new(Slow), None, tx);
         std::thread::sleep(std::time::Duration::from_millis(10));
         c.request_stop();
         let exit = rx.recv().unwrap();

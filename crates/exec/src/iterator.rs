@@ -14,11 +14,24 @@ use std::time::{Duration, Instant};
 use parking_lot::Mutex;
 
 /// Shared control block between a running task and its worker.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct IteratorControl {
     stop: AtomicBool,
     checkpoint: AtomicBool,
+    /// Iteration at which the task checkpoints itself (`u64::MAX` = never).
+    checkpoint_at: AtomicU64,
     iterations: AtomicU64,
+}
+
+impl Default for IteratorControl {
+    fn default() -> Self {
+        IteratorControl {
+            stop: AtomicBool::new(false),
+            checkpoint: AtomicBool::new(false),
+            checkpoint_at: AtomicU64::new(u64::MAX),
+            iterations: AtomicU64::new(0),
+        }
+    }
 }
 
 impl IteratorControl {
@@ -35,6 +48,29 @@ impl IteratorControl {
     /// Requests a checkpoint at the next iteration boundary.
     pub fn request_checkpoint(&self) {
         self.checkpoint.store(true, Ordering::SeqCst);
+    }
+
+    /// Schedules a checkpoint at an exact iteration position: the task
+    /// checkpoints itself upon reaching `iteration` instead of being
+    /// interrupted at an arbitrary real-time instant, which makes the
+    /// checkpointed position — and hence the blob — deterministic.
+    pub fn request_checkpoint_at(&self, iteration: u64) {
+        self.checkpoint_at.store(iteration, Ordering::SeqCst);
+    }
+
+    /// The scheduled checkpoint position, if any.
+    pub fn checkpoint_bound(&self) -> Option<u64> {
+        match self.checkpoint_at.load(Ordering::SeqCst) {
+            u64::MAX => None,
+            at => Some(at),
+        }
+    }
+
+    /// True when a checkpoint is due: either requested cooperatively or
+    /// the scheduled position has been reached.
+    pub fn checkpoint_due(&self) -> bool {
+        self.checkpoint.load(Ordering::SeqCst)
+            || self.iterations.load(Ordering::SeqCst) >= self.checkpoint_at.load(Ordering::SeqCst)
     }
 
     /// Total iterations completed so far.
@@ -97,12 +133,10 @@ impl<I: Iterator> EvaIterator<I> {
         self
     }
 
-    /// The next work item, or `None` on exhaustion, stop request, or
-    /// pending checkpoint request.
+    /// The next work item, or `None` on exhaustion, stop request, or a
+    /// due checkpoint (requested cooperatively or scheduled by position).
     pub fn next_item(&mut self) -> Option<I::Item> {
-        if self.control.stop.load(Ordering::SeqCst)
-            || self.control.checkpoint.load(Ordering::SeqCst)
-        {
+        if self.control.stop.load(Ordering::SeqCst) || self.control.checkpoint_due() {
             return None;
         }
         let item = self.inner.next()?;
@@ -115,9 +149,9 @@ impl<I: Iterator> EvaIterator<I> {
         Some(item)
     }
 
-    /// Whether a checkpoint was requested (and `next_item` stopped).
+    /// Whether a checkpoint is due (and `next_item` stopped).
     pub fn checkpoint_pending(&self) -> bool {
-        self.control.checkpoint.load(Ordering::SeqCst)
+        self.control.checkpoint_due()
     }
 
     /// Iterations completed in the current run (excluding restored ones).
@@ -184,6 +218,21 @@ mod tests {
         assert!(it.next_item().is_none());
         assert!(it.checkpoint_pending());
         assert_eq!(control.iterations(), 7);
+    }
+
+    #[test]
+    fn scheduled_checkpoint_stops_at_exact_position() {
+        let control = IteratorControl::new();
+        control.request_checkpoint_at(13);
+        let mut it = EvaIterator::new(0..1000u32, control.clone());
+        let mut n = 0;
+        while it.next_item().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 13, "runs to the bound, never past it");
+        assert!(it.checkpoint_pending());
+        assert_eq!(control.iterations(), 13);
+        assert_eq!(control.checkpoint_bound(), Some(13));
     }
 
     #[test]

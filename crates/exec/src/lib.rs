@@ -18,6 +18,12 @@
 //!
 //! Communication uses crossbeam channels in place of gRPC; the message
 //! protocol (launch / checkpoint / report / finish) has the same shape.
+//! Every wait on the launch/checkpoint/migrate path is a blocking channel
+//! receive (workers merge commands and container exits into one event
+//! channel; the master waits with [`Master::wait_task_exit`]) — there is
+//! no polling loop. Launches carry an optional `run_until` iteration
+//! bound so an engine (`eva_sim::LiveBackend`) can segment a task's
+//! execution at exact, deterministic positions.
 
 pub mod container;
 pub mod iterator;
@@ -25,9 +31,9 @@ pub mod master;
 pub mod messages;
 pub mod worker;
 
-pub use container::{Container, TaskProgram};
+pub use container::{decode_checkpoint, encode_checkpoint, Container, ContainerExit, TaskProgram};
 pub use iterator::{EvaIterator, IteratorControl};
-pub use master::{Master, TaskHandle};
+pub use master::{Master, TaskExitInfo, TaskHandle, TaskStatus};
 pub use messages::{MasterToWorker, TaskExit, WorkerToMaster};
 pub use worker::Worker;
 

@@ -4,6 +4,11 @@
 //! worker per instance, routes task launches, polls throughput, and drives
 //! the checkpoint → store → relaunch cycle of a migration with checkpoints
 //! kept in the shared [`GlobalStorage`] (the S3 stand-in).
+//!
+//! All waiting happens as blocking channel receives with a deadline
+//! ([`Master::wait_task_exit`]) — the master never spin-sleeps. Callers
+//! that used to poll `drain_reports` in a sleep loop should block on
+//! `wait_task_exit` instead.
 
 use std::collections::HashMap;
 use std::time::Duration;
@@ -37,6 +42,21 @@ pub struct TaskHandle {
     /// Total iterations the task runs.
     pub total_iterations: u64,
     /// Last reported completed iterations.
+    pub completed: u64,
+}
+
+/// One task's exit, as observed by the master.
+#[derive(Debug, Clone)]
+pub struct TaskExitInfo {
+    /// The task that exited.
+    pub task: TaskId,
+    /// The instance it exited on.
+    pub instance: InstanceId,
+    /// Why it exited.
+    pub exit: TaskExit,
+    /// Checkpoint / final-state blob, if the exit carried one.
+    pub checkpoint: Option<Bytes>,
+    /// Completed iterations at exit.
     pub completed: u64,
 }
 
@@ -74,34 +94,58 @@ impl Master {
         self.workers.insert(instance, worker);
     }
 
+    /// True when `instance` has a registered worker.
+    pub fn has_instance(&self, instance: InstanceId) -> bool {
+        self.workers.contains_key(&instance)
+    }
+
     /// Number of registered workers.
     pub fn worker_count(&self) -> usize {
         self.workers.len()
     }
 
-    /// Launches a task on an instance.
+    /// Launches a task on an instance, running to completion.
     pub fn launch_task(
         &self,
         instance: InstanceId,
         task: TaskId,
         total_iterations: u64,
     ) -> Result<()> {
+        self.launch_segment(instance, task, total_iterations, None, None)
+    }
+
+    /// Launches one execution segment of a task: start (or resume from
+    /// `checkpoint`) on `instance` and run until `run_until` — the
+    /// engine-planned segment boundary — or to completion when unbounded.
+    pub fn launch_segment(
+        &self,
+        instance: InstanceId,
+        task: TaskId,
+        total_iterations: u64,
+        run_until: Option<u64>,
+        checkpoint: Option<Bytes>,
+    ) -> Result<()> {
         let worker = self
             .workers
             .get(&instance)
             .ok_or(EvaError::UnknownInstance(instance))?;
+        let resumed_at = checkpoint
+            .as_ref()
+            .map(|b| crate::container::decode_checkpoint(b).0)
+            .unwrap_or(0);
         self.tasks.lock().insert(
             task,
             TaskHandle {
                 status: TaskStatus::Running(instance),
                 total_iterations,
-                completed: 0,
+                completed: resumed_at,
             },
         );
         worker.send(MasterToWorker::LaunchTask {
             task,
             total_iterations,
-            checkpoint: None,
+            run_until,
+            checkpoint,
         });
         Ok(())
     }
@@ -118,15 +162,72 @@ impl Master {
         }
     }
 
+    /// Blocks until `task`'s container exits, applying every other report
+    /// that streams in meanwhile. Fails once `timeout` expires.
+    pub fn wait_task_exit(&self, task: TaskId, timeout: Duration) -> Result<TaskExitInfo> {
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+            if remaining.is_zero() {
+                return Err(EvaError::InvalidInput(format!(
+                    "timed out waiting for exit of {task}"
+                )));
+            }
+            match self.reports_rx.recv_timeout(remaining) {
+                Ok(report) => {
+                    self.apply_report(report.clone());
+                    if let WorkerToMaster::TaskExited {
+                        instance,
+                        task: t,
+                        exit,
+                        checkpoint,
+                        completed,
+                    } = report
+                    {
+                        if t == task {
+                            return Ok(TaskExitInfo {
+                                task,
+                                instance,
+                                exit,
+                                checkpoint,
+                                completed,
+                            });
+                        }
+                    }
+                }
+                Err(_) => {
+                    return Err(EvaError::InvalidInput(format!(
+                        "timed out waiting for exit of {task}"
+                    )))
+                }
+            }
+        }
+    }
+
+    /// Stashes a task's checkpoint blob in global storage (workers mount
+    /// it — the shared S3 bucket of the paper).
+    pub fn stash_checkpoint(&self, task: TaskId, blob: &Bytes) {
+        self.storage.lock().put(&checkpoint_key(task), blob.to_vec());
+    }
+
+    /// Fetches a task's checkpoint blob from global storage.
+    pub fn fetch_checkpoint(&self, task: TaskId) -> Option<Bytes> {
+        self.storage
+            .lock()
+            .get(&checkpoint_key(task))
+            .map(Bytes::copy_from_slice)
+    }
+
     /// Migrates a task: checkpoint on the source, stash the blob in global
     /// storage, relaunch on the destination from the checkpoint. Blocks
     /// until the relaunch is issued or `timeout` expires.
     pub fn migrate_task(&self, task: TaskId, to: InstanceId, timeout: Duration) -> Result<()> {
-        let from = match self.tasks.lock().get(&task) {
+        let (from, total) = match self.tasks.lock().get(&task) {
             Some(TaskHandle {
                 status: TaskStatus::Running(i),
+                total_iterations,
                 ..
-            }) => *i,
+            }) => (*i, *total_iterations),
             _ => {
                 return Err(EvaError::InvalidInput(format!(
                     "task {task} is not running"
@@ -139,72 +240,40 @@ impl Master {
             .ok_or(EvaError::UnknownInstance(from))?;
         source.send(MasterToWorker::CheckpointTask(task));
 
-        // Wait for the checkpointed exit, processing other reports as they
-        // stream in.
-        let deadline = std::time::Instant::now() + timeout;
-        let blob: Bytes = loop {
-            let remaining = deadline.saturating_duration_since(std::time::Instant::now());
-            if remaining.is_zero() {
+        // The checkpointed exit lands in global storage via apply_report
+        // on whichever receive path observes it first — so even a
+        // concurrent drain_reports cannot strand the blob.
+        match self.wait_task_exit(task, timeout) {
+            Ok(info) if info.exit == TaskExit::Checkpointed => {}
+            Ok(info) => {
                 return Err(EvaError::InvalidInput(format!(
-                    "timed out waiting for checkpoint of {task}"
-                )));
+                    "task {task} exited with {:?} instead of a checkpoint",
+                    info.exit
+                )))
             }
-            match self.reports_rx.recv_timeout(remaining) {
-                Ok(report) => {
-                    if let WorkerToMaster::TaskExited {
-                        task: t,
-                        exit: TaskExit::Checkpointed,
-                        checkpoint: Some(blob),
-                        completed,
+            Err(e) => {
+                // A concurrent receiver may have consumed the exit; the
+                // applied status + stashed blob are then the evidence.
+                let checkpointed = matches!(
+                    self.tasks.lock().get(&task),
+                    Some(TaskHandle {
+                        status: TaskStatus::Checkpointed,
                         ..
-                    } = &report
-                    {
-                        if *t == task {
-                            let blob = blob.clone();
-                            let completed = *completed;
-                            let mut tasks = self.tasks.lock();
-                            if let Some(h) = tasks.get_mut(&task) {
-                                h.status = TaskStatus::Checkpointed;
-                                h.completed = completed;
-                            }
-                            break blob;
-                        }
-                    }
-                    self.apply_report(report);
-                }
-                Err(_) => {
-                    return Err(EvaError::InvalidInput(format!(
-                        "timed out waiting for checkpoint of {task}"
-                    )))
+                    })
+                );
+                if !(checkpointed && self.fetch_checkpoint(task).is_some()) {
+                    return Err(e);
                 }
             }
-        };
-
-        // Store the checkpoint in global storage (workers mount it).
-        let key = format!("ckpt/{task}");
-        self.storage.lock().put(&key, blob.to_vec());
-
-        let dest = self.workers.get(&to).ok_or(EvaError::UnknownInstance(to))?;
-        let total = self
-            .tasks
-            .lock()
-            .get(&task)
-            .map(|h| h.total_iterations)
-            .unwrap_or(0);
-        let stored = self
-            .storage
-            .lock()
-            .get(&key)
-            .map(Bytes::copy_from_slice)
-            .unwrap_or_default();
-        dest.send(MasterToWorker::LaunchTask {
-            task,
-            total_iterations: total,
-            checkpoint: Some(stored),
-        });
-        if let Some(h) = self.tasks.lock().get_mut(&task) {
-            h.status = TaskStatus::Running(to);
         }
+
+        if !self.workers.contains_key(&to) {
+            return Err(EvaError::UnknownInstance(to));
+        }
+        let stored = self
+            .fetch_checkpoint(task)
+            .ok_or_else(|| EvaError::InvalidInput(format!("no stored checkpoint for {task}")))?;
+        self.launch_segment(to, task, total, None, Some(stored))?;
         Ok(())
     }
 
@@ -218,7 +287,8 @@ impl Master {
         out
     }
 
-    /// Blocks for the next report (test/demo helper).
+    /// Blocks for the next report with a deadline (a real channel wait,
+    /// not a sleep loop); `None` once `timeout` expires.
     pub fn recv_report(&self, timeout: Duration) -> Option<WorkerToMaster> {
         match self.reports_rx.recv_timeout(timeout) {
             Ok(report) => {
@@ -234,9 +304,18 @@ impl Master {
             WorkerToMaster::TaskExited {
                 task,
                 exit,
+                checkpoint,
                 completed,
                 ..
             } => {
+                // Checkpoint blobs go to global storage on whichever
+                // receive path applies the exit first, so no consumer of
+                // the report channel can strand one.
+                if exit == TaskExit::Checkpointed {
+                    if let Some(blob) = &checkpoint {
+                        self.stash_checkpoint(task, blob);
+                    }
+                }
                 let mut tasks = self.tasks.lock();
                 if let Some(h) = tasks.get_mut(&task) {
                     h.completed = completed;
@@ -259,12 +338,17 @@ impl Master {
         }
     }
 
-    /// Shuts every worker down.
+    /// Shuts every worker down (each shutdown is a blocking thread join
+    /// behind a channel send — no polling).
     pub fn shutdown(mut self) {
         for (_, worker) in self.workers.drain() {
             worker.shutdown();
         }
     }
+}
+
+fn checkpoint_key(task: TaskId) -> String {
+    format!("ckpt/{task}")
 }
 
 #[cfg(test)]
@@ -291,15 +375,10 @@ mod tests {
         master.register_instance(InstanceId(0), Box::new(|_| Box::new(Fast)));
         let task = TaskId::new(JobId(1), 0);
         master.launch_task(InstanceId(0), task, 100).unwrap();
-        // Wait for the exit report.
-        let deadline = std::time::Instant::now() + Duration::from_secs(5);
-        while std::time::Instant::now() < deadline {
-            master.drain_reports();
-            if master.task_handle(task).unwrap().status == TaskStatus::Finished {
-                break;
-            }
-            std::thread::sleep(Duration::from_millis(5));
-        }
+        // Block on the exit report — no drain/sleep polling.
+        let info = master.wait_task_exit(task, Duration::from_secs(5)).unwrap();
+        assert_eq!(info.exit, TaskExit::Finished);
+        assert_eq!(info.completed, 100);
         let h = master.task_handle(task).unwrap();
         assert_eq!(h.status, TaskStatus::Finished);
         assert_eq!(h.completed, 100);
@@ -320,6 +399,31 @@ mod tests {
         let h = master.task_handle(task).unwrap();
         assert_eq!(h.status, TaskStatus::Running(InstanceId(1)));
         assert!(h.completed > 0);
+        assert!(master.fetch_checkpoint(task).is_some());
+        master.shutdown();
+    }
+
+    #[test]
+    fn bounded_segments_relay_deterministically() {
+        // Segment a task into engine-planned [0,40) and [40,100) ranges:
+        // the checkpointed position is exact, so so is the resumed run.
+        let mut master = Master::new();
+        master.register_instance(InstanceId(0), Box::new(|_| Box::new(Fast)));
+        master.register_instance(InstanceId(1), Box::new(|_| Box::new(Fast)));
+        let task = TaskId::new(JobId(3), 0);
+        master
+            .launch_segment(InstanceId(0), task, 100, Some(40), None)
+            .unwrap();
+        let info = master.wait_task_exit(task, Duration::from_secs(5)).unwrap();
+        assert_eq!(info.exit, TaskExit::Checkpointed);
+        assert_eq!(info.completed, 40);
+        master.stash_checkpoint(task, info.checkpoint.as_ref().unwrap());
+        master
+            .launch_segment(InstanceId(1), task, 100, None, master.fetch_checkpoint(task))
+            .unwrap();
+        let done = master.wait_task_exit(task, Duration::from_secs(5)).unwrap();
+        assert_eq!(done.exit, TaskExit::Finished);
+        assert_eq!(done.completed, 100);
         master.shutdown();
     }
 

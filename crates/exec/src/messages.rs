@@ -9,7 +9,8 @@ use eva_types::{InstanceId, TaskId};
 pub enum TaskExit {
     /// All work completed.
     Finished,
-    /// Checkpointed on request; payload stored in global storage.
+    /// Checkpointed on request or at its iteration bound; payload stored
+    /// in global storage.
     Checkpointed,
     /// Stopped on request without a checkpoint.
     Stopped,
@@ -24,10 +25,16 @@ pub enum MasterToWorker {
         task: TaskId,
         /// Total iterations the task must complete.
         total_iterations: u64,
+        /// Exit with a checkpoint upon reaching this iteration. Bounded
+        /// launches are how engine-ordered execution segments a task: the
+        /// container checkpoints at exactly the planned boundary instead
+        /// of being interrupted at an arbitrary real-time instant.
+        run_until: Option<u64>,
         /// Checkpoint to resume from, if any.
         checkpoint: Option<Bytes>,
     },
-    /// Checkpoint a running task (it will exit with a checkpoint blob).
+    /// Checkpoint a running task at its next iteration boundary (it will
+    /// exit with a checkpoint blob).
     CheckpointTask(TaskId),
     /// Report the throughput of all running tasks.
     ReportThroughput,
@@ -64,7 +71,10 @@ pub enum WorkerToMaster {
         task: TaskId,
         /// Exit reason.
         exit: TaskExit,
-        /// Checkpoint blob for `TaskExit::Checkpointed`.
+        /// Position + program state: the resumable checkpoint for
+        /// `TaskExit::Checkpointed`, the final-state snapshot for
+        /// `TaskExit::Finished` (used to audit state continuity across
+        /// migrations), `None` for `TaskExit::Stopped`.
         checkpoint: Option<Bytes>,
         /// Completed iterations at exit.
         completed: u64,
@@ -83,6 +93,7 @@ mod tests {
         let m = MasterToWorker::LaunchTask {
             task: TaskId::new(JobId(1), 0),
             total_iterations: 100,
+            run_until: Some(40),
             checkpoint: Some(Bytes::from_static(b"ckpt")),
         };
         let m2 = m.clone();

@@ -3,6 +3,11 @@
 //! One worker runs per cloud instance (the paper launches it during
 //! instance setup). It receives commands from the master, manages the
 //! instance's containers, and streams throughput reports back.
+//!
+//! The worker thread blocks on **one** merged event channel carrying both
+//! master commands and container exits, so it parks on a genuine channel
+//! wait between events — there is no polling loop anywhere on the
+//! launch/checkpoint/migrate path.
 
 use std::collections::HashMap;
 use std::thread::JoinHandle;
@@ -18,10 +23,24 @@ use crate::messages::{MasterToWorker, WorkerToMaster};
 /// the task's Docker image).
 pub type ProgramFactory = Box<dyn Fn(TaskId) -> Box<dyn TaskProgram> + Send>;
 
+/// Everything a worker thread reacts to: a command from the master or an
+/// exit record from one of its own containers, merged into one channel so
+/// the worker blocks on a single `recv`.
+enum WorkerEvent {
+    Command(MasterToWorker),
+    Exit(ContainerExit),
+}
+
+impl From<ContainerExit> for WorkerEvent {
+    fn from(exit: ContainerExit) -> Self {
+        WorkerEvent::Exit(exit)
+    }
+}
+
 /// A worker agent bound to one instance.
 pub struct Worker {
     instance: InstanceId,
-    commands: Sender<MasterToWorker>,
+    events: Sender<WorkerEvent>,
     handle: Option<JoinHandle<()>>,
 }
 
@@ -32,13 +51,14 @@ impl Worker {
         reports: Sender<WorkerToMaster>,
         factory: ProgramFactory,
     ) -> Self {
-        let (cmd_tx, cmd_rx) = unbounded::<MasterToWorker>();
+        let (event_tx, event_rx) = unbounded::<WorkerEvent>();
+        let exit_tx = event_tx.clone();
         let handle = std::thread::spawn(move || {
-            worker_loop(instance, cmd_rx, reports, factory);
+            worker_loop(instance, event_rx, exit_tx, reports, factory);
         });
         Worker {
             instance,
-            commands: cmd_tx,
+            events: event_tx,
             handle: Some(handle),
         }
     }
@@ -50,12 +70,12 @@ impl Worker {
 
     /// Sends a command to the worker.
     pub fn send(&self, cmd: MasterToWorker) {
-        let _ = self.commands.send(cmd);
+        let _ = self.events.send(WorkerEvent::Command(cmd));
     }
 
     /// Requests shutdown and waits for the worker thread.
     pub fn shutdown(mut self) {
-        let _ = self.commands.send(MasterToWorker::Shutdown);
+        let _ = self.events.send(WorkerEvent::Command(MasterToWorker::Shutdown));
         if let Some(h) = self.handle.take() {
             let _ = h.join();
         }
@@ -64,7 +84,7 @@ impl Worker {
 
 impl Drop for Worker {
     fn drop(&mut self) {
-        let _ = self.commands.send(MasterToWorker::Shutdown);
+        let _ = self.events.send(WorkerEvent::Command(MasterToWorker::Shutdown));
         if let Some(h) = self.handle.take() {
             let _ = h.join();
         }
@@ -73,79 +93,87 @@ impl Drop for Worker {
 
 fn worker_loop(
     instance: InstanceId,
-    commands: Receiver<MasterToWorker>,
+    events: Receiver<WorkerEvent>,
+    exit_tx: Sender<WorkerEvent>,
     reports: Sender<WorkerToMaster>,
     factory: ProgramFactory,
 ) {
-    let (exit_tx, exit_rx) = unbounded::<ContainerExit>();
     let mut containers: HashMap<TaskId, Container> = HashMap::new();
     loop {
-        crossbeam::channel::select! {
-            recv(commands) -> cmd => {
-                match cmd {
-                    Ok(MasterToWorker::LaunchTask { task, total_iterations, checkpoint }) => {
-                        let program = factory(task);
-                        let container = Container::launch(
-                            task,
-                            total_iterations,
-                            program,
-                            checkpoint,
-                            exit_tx.clone(),
-                        );
-                        containers.insert(task, container);
-                        let _ = reports.send(WorkerToMaster::TaskStarted { instance, task });
-                    }
-                    Ok(MasterToWorker::CheckpointTask(task)) => {
-                        if let Some(c) = containers.get(&task) {
-                            c.request_checkpoint();
-                        }
-                    }
-                    Ok(MasterToWorker::ReportThroughput) => {
-                        for (task, c) in &containers {
-                            let _ = reports.send(WorkerToMaster::Throughput {
-                                instance,
-                                task: *task,
-                                // Window metering lives in the iterator;
-                                // completed count is the robust signal the
-                                // master aggregates here.
-                                iters_per_sec: 0.0,
-                                completed: c.control().iterations(),
-                            });
-                        }
-                    }
-                    Ok(MasterToWorker::Shutdown) | Err(_) => {
-                        for (_, c) in containers.drain() {
-                            c.request_stop();
-                            c.join();
-                        }
-                        // Drain any final exits without blocking.
-                        while let Ok(exit) = exit_rx.try_recv() {
-                            let _ = reports.send(WorkerToMaster::TaskExited {
-                                instance,
-                                task: exit.task,
-                                exit: exit.exit,
-                                checkpoint: exit.checkpoint,
-                                completed: exit.completed,
-                            });
-                        }
-                        let _ = reports.send(WorkerToMaster::WorkerStopped(instance));
-                        return;
-                    }
+        // The worker owns a sender clone (for container exits), so recv
+        // only errors if the process is tearing the channel down.
+        let Ok(event) = events.recv() else {
+            return;
+        };
+        match event {
+            WorkerEvent::Command(MasterToWorker::LaunchTask {
+                task,
+                total_iterations,
+                run_until,
+                checkpoint,
+            }) => {
+                let program = factory(task);
+                let container = Container::launch(
+                    task,
+                    total_iterations,
+                    run_until,
+                    program,
+                    checkpoint,
+                    exit_tx.clone(),
+                );
+                containers.insert(task, container);
+                let _ = reports.send(WorkerToMaster::TaskStarted { instance, task });
+            }
+            WorkerEvent::Command(MasterToWorker::CheckpointTask(task)) => {
+                if let Some(c) = containers.get(&task) {
+                    c.request_checkpoint();
                 }
             }
-            recv(exit_rx) -> exit => {
-                if let Ok(exit) = exit {
-                    if let Some(c) = containers.remove(&exit.task) {
-                        c.join();
-                    }
-                    let _ = reports.send(WorkerToMaster::TaskExited {
+            WorkerEvent::Command(MasterToWorker::ReportThroughput) => {
+                for (task, c) in &containers {
+                    let _ = reports.send(WorkerToMaster::Throughput {
                         instance,
-                        task: exit.task,
-                        exit: exit.exit,
-                        checkpoint: exit.checkpoint,
-                        completed: exit.completed,
+                        task: *task,
+                        // Window metering lives in the iterator;
+                        // completed count is the robust signal the
+                        // master aggregates here.
+                        iters_per_sec: 0.0,
+                        completed: c.control().iterations(),
                     });
                 }
+            }
+            WorkerEvent::Command(MasterToWorker::Shutdown) => {
+                for (_, c) in containers.drain() {
+                    c.request_stop();
+                    c.join();
+                }
+                // Joined containers have already queued their exits;
+                // forward them before announcing the stop.
+                while let Ok(event) = events.try_recv() {
+                    if let WorkerEvent::Exit(exit) = event {
+                        let _ = reports.send(WorkerToMaster::TaskExited {
+                            instance,
+                            task: exit.task,
+                            exit: exit.exit,
+                            checkpoint: exit.checkpoint,
+                            completed: exit.completed,
+                        });
+                    }
+                }
+                let _ = reports.send(WorkerToMaster::WorkerStopped(instance));
+                return;
+            }
+            WorkerEvent::Exit(exit) => {
+                if let Some(c) = containers.remove(&exit.task) {
+                    c.join();
+                }
+                let _ = reports.send(WorkerToMaster::TaskExited {
+                    instance,
+                    task: exit.task,
+                    exit: exit.exit,
+                    checkpoint: exit.checkpoint,
+                    completed: exit.completed,
+                });
             }
         }
     }
@@ -174,6 +202,7 @@ mod tests {
         worker.send(MasterToWorker::LaunchTask {
             task,
             total_iterations: 50,
+            run_until: None,
             checkpoint: None,
         });
         let started = report_rx.recv().unwrap();
@@ -210,6 +239,7 @@ mod tests {
         worker.send(MasterToWorker::LaunchTask {
             task,
             total_iterations: 1_000_000,
+            run_until: None,
             checkpoint: None,
         });
         let _started = report_rx.recv().unwrap();
@@ -221,6 +251,35 @@ mod tests {
                 exit, checkpoint, ..
             } => {
                 assert_eq!(exit, TaskExit::Checkpointed);
+                assert!(checkpoint.is_some());
+            }
+            other => panic!("unexpected report {other:?}"),
+        }
+        worker.shutdown();
+    }
+
+    #[test]
+    fn worker_runs_bounded_segment_to_its_boundary() {
+        let (report_tx, report_rx) = unbounded();
+        let worker = Worker::spawn(InstanceId(4), report_tx, factory());
+        let task = TaskId::new(JobId(4), 0);
+        worker.send(MasterToWorker::LaunchTask {
+            task,
+            total_iterations: 1_000_000,
+            run_until: Some(33),
+            checkpoint: None,
+        });
+        let _started = report_rx.recv().unwrap();
+        let exited = report_rx.recv().unwrap();
+        match exited {
+            WorkerToMaster::TaskExited {
+                exit,
+                completed,
+                checkpoint,
+                ..
+            } => {
+                assert_eq!(exit, TaskExit::Checkpointed);
+                assert_eq!(completed, 33, "exact, deterministic boundary");
                 assert!(checkpoint.is_some());
             }
             other => panic!("unexpected report {other:?}"),
@@ -242,6 +301,7 @@ mod tests {
         worker.send(MasterToWorker::LaunchTask {
             task,
             total_iterations: 1_000_000,
+            run_until: None,
             checkpoint: None,
         });
         let _started = report_rx.recv().unwrap();

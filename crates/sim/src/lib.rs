@@ -1,16 +1,22 @@
-//! High-fidelity discrete-event simulator (§5), layered three ways.
+//! High-fidelity discrete-event simulator (§5), layered four ways.
 //!
-//! * [`engine`] — **layer 1**: a generic discrete-event engine (monotone
-//!   clock, time/priority/FIFO-ordered event queue, deterministic RNG
-//!   streams) with no knowledge of schedulers or clouds.
+//! * [`engine`] — **layer 1**: the generic discrete-event engine
+//!   (monotone clock, time/priority/FIFO-ordered event queue,
+//!   deterministic RNG streams), now its own `eva-engine` crate with no
+//!   knowledge of schedulers or clouds, re-exported here so downstream
+//!   code keeps compiling.
 //! * [`world`] — **layer 2**: the [`ClusterSim`] world model. It owns the
 //!   provider, instances, jobs, and task lifecycles, consumes engine
 //!   events, applies ground-truth co-location interference (Figure 1) to
 //!   task throughput, and feeds the scheduler only *observed* throughput
 //!   — the scheduler never sees the ground-truth interference model.
+//! * [`backend`] — **layer 2b**: how a cell's schedule executes. The
+//!   [`SimBackend`] is the pure world model; the [`LiveBackend`] replays
+//!   the same engine-ordered schedule through the real `eva-exec`
+//!   master/worker runtime (Table 12's sim-vs-real axis).
 //! * [`sweep`] — **layer 3**: declarative `(scheduler × trace × seed ×
-//!   fidelity × interference)` experiment grids ([`SweepGrid`]) with a
-//!   multi-threaded [`SweepRunner`] whose merged results are
+//!   fidelity × interference × backend)` experiment grids ([`SweepGrid`])
+//!   with a multi-threaded [`SweepRunner`] whose merged results are
 //!   byte-identical for any thread count.
 //!
 //! Job progress integrates throughput over time exactly: throughput is
@@ -21,18 +27,23 @@
 //! entry point used by every table/figure binary in `eva-bench`; the
 //! sweep layer is the batch entry point behind `eva sweep`.
 
-pub mod engine;
+pub use eva_engine as engine;
+
+pub mod backend;
 pub mod metrics;
 mod observe;
 mod report;
 pub mod runner;
+pub mod script;
 pub mod state;
 pub mod sweep;
 pub mod world;
 
-pub use engine::{derive_seed, EventEngine, RngStreams, Scheduled, SimEvent};
+pub use backend::{BackendKind, ExecBackend, LiveBackend, LiveOutcome, SimBackend};
+pub use eva_engine::{derive_seed, EventEngine, RngStreams, Scheduled, SimEvent};
 pub use metrics::{CdfPoint, SimReport};
-pub use runner::{run_simulation, InterferenceSpec, SchedulerKind, SimConfig};
+pub use runner::{run_recorded, run_simulation, InterferenceSpec, SchedulerKind, SimConfig};
+pub use script::{ExecAction, ExecActionKind, ExecScript};
 pub use state::{JobProgress, TaskState};
 pub use sweep::{
     fidelity_label, CellKey, CellOutcome, Experiment, SweepCell, SweepGrid, SweepResult,

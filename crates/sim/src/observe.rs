@@ -14,6 +14,7 @@ use eva_types::{InstanceId, TaskId, WorkloadKind};
 
 use eva_types::SimTime;
 
+use crate::script::ExecActionKind;
 use crate::state::TaskState;
 use crate::world::{ClusterSim, Event};
 
@@ -54,6 +55,13 @@ impl ClusterSim {
                 let busy = self.now() + checkpoint;
                 let entry = self.busy_until.entry(old_id).or_insert(busy);
                 *entry = (*entry).max(busy);
+                if self.recorder.is_some() {
+                    let progress = self.job_progress_fraction(tid.job);
+                    self.record(ExecActionKind::Stop {
+                        task: tid,
+                        progress,
+                    });
+                }
             }
         }
 
@@ -239,6 +247,7 @@ impl ClusterSim {
     /// round while work remains.
     pub(crate) fn handle_round(&mut self) {
         self.round_pending = false;
+        self.record(ExecActionKind::Round);
         let observations = self.build_observations();
         self.scheduler.observe(&observations);
         let (tasks, instances) = self.build_snapshot();

@@ -149,6 +149,17 @@ pub fn run_simulation(cfg: &SimConfig) -> SimReport {
     ClusterSim::new(cfg).run()
 }
 
+/// Runs one experiment while recording the control-plane action stream
+/// (see [`crate::script::ExecScript`]) — the schedule the live backend
+/// replays through the real master/worker runtime.
+pub fn run_recorded(cfg: &SimConfig) -> (SimReport, crate::script::ExecScript) {
+    let mut sim = ClusterSim::new(cfg);
+    sim.enable_recording();
+    while sim.step() {}
+    let script = sim.take_script();
+    (crate::report::finalize(sim), script)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

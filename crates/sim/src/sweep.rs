@@ -1,13 +1,25 @@
 //! Layer 3: declarative experiment grids and the parallel sweep runner.
 //!
 //! Every result in the paper is a grid of `(scheduler × trace × seed ×
-//! fidelity × interference)` simulation cells. [`SweepGrid`] declares such
+//! fidelity × interference × backend)` cells. [`SweepGrid`] declares such
 //! a grid once; [`SweepRunner`] fans the cells out across scoped worker
 //! threads and merges the per-cell [`SimReport`]s back **in stable cell
 //! order**, so the aggregated result — including its JSON serialization —
 //! is byte-identical for any thread count. Determinism holds because each
 //! cell's randomness comes solely from its own declared seed.
+//!
+//! Two schedule optimizations run before the fan-out, neither of which
+//! can change the merged bytes:
+//!
+//! * **deduplication** — cells whose effective configuration is identical
+//!   (e.g. No-Packing repeated across an interference axis it cannot
+//!   observe) run once, and the shared report fans out to every
+//!   duplicate;
+//! * **cost-aware ordering** — unique cells are claimed longest-first
+//!   (estimated from trace size, fidelity, and backend weight), so the
+//!   pool never tail-blocks on a big cell claimed last.
 
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -17,16 +29,18 @@ use eva_cloud::FidelityMode;
 use eva_types::SimDuration;
 use eva_workloads::Trace;
 
+use crate::backend::BackendKind;
 use crate::metrics::SimReport;
-use crate::runner::{run_simulation, InterferenceSpec, SchedulerKind, SimConfig};
+use crate::runner::{InterferenceSpec, SchedulerKind, SimConfig};
 
 /// A declarative grid of simulation cells.
 ///
 /// Axes default to single paper-standard values; every `Vec`-valued axis
 /// multiplies the cell count. Cells expand in a fixed nested order
-/// (trace ▸ interference ▸ migration scale ▸ fidelity ▸ seed ▸ scheduler),
-/// with schedulers innermost so each block of `schedulers.len()` cells
-/// forms one comparison row whose first entry is the baseline.
+/// (trace ▸ backend ▸ interference ▸ migration scale ▸ fidelity ▸ seed ▸
+/// scheduler), with schedulers innermost so each block of
+/// `schedulers.len()` cells forms one comparison row whose first entry is
+/// the baseline.
 #[derive(Debug, Clone)]
 pub struct SweepGrid {
     traces: Vec<(String, Trace)>,
@@ -35,6 +49,7 @@ pub struct SweepGrid {
     fidelities: Vec<FidelityMode>,
     interferences: Vec<InterferenceSpec>,
     migration_scales: Vec<f64>,
+    backends: Vec<BackendKind>,
     round_period: SimDuration,
 }
 
@@ -50,6 +65,7 @@ impl SweepGrid {
             fidelities: vec![FidelityMode::Stochastic],
             interferences: vec![InterferenceSpec::Measured],
             migration_scales: vec![1.0],
+            backends: vec![BackendKind::Sim],
             round_period: SimDuration::from_mins(5),
         }
     }
@@ -108,6 +124,12 @@ impl SweepGrid {
         self
     }
 
+    /// Replaces the execution-backend axis (default: sim only).
+    pub fn backends(mut self, backends: impl Into<Vec<BackendKind>>) -> Self {
+        self.backends = backends.into();
+        self
+    }
+
     /// Sets the scheduling round period for every cell.
     pub fn round_period(mut self, period: SimDuration) -> Self {
         self.round_period = period;
@@ -122,6 +144,7 @@ impl SweepGrid {
     /// Total number of cells the grid expands to.
     pub fn cell_count(&self) -> usize {
         self.traces.len()
+            * self.backends.len()
             * self.interferences.len()
             * self.migration_scales.len()
             * self.fidelities.len()
@@ -129,33 +152,43 @@ impl SweepGrid {
             * self.schedulers.len()
     }
 
+    /// Cells that will actually execute after deduplication.
+    pub fn unique_cell_count(&self) -> usize {
+        let cells = self.cells();
+        RunPlan::build(self, &cells).unique_count()
+    }
+
     /// Expands the grid into its cells in stable order.
     pub fn cells(&self) -> Vec<SweepCell> {
         let mut cells = Vec::with_capacity(self.cell_count());
         for (trace_idx, (trace_label, _)) in self.traces.iter().enumerate() {
-            for &interference in &self.interferences {
-                for &scale in &self.migration_scales {
-                    for &fidelity in &self.fidelities {
-                        for &seed in &self.seeds {
-                            for (name, kind) in &self.schedulers {
-                                cells.push(SweepCell {
-                                    index: cells.len(),
-                                    trace_index: trace_idx,
-                                    key: CellKey {
-                                        trace: trace_label.clone(),
-                                        scheduler: name.clone(),
+            for &backend in &self.backends {
+                for &interference in &self.interferences {
+                    for &scale in &self.migration_scales {
+                        for &fidelity in &self.fidelities {
+                            for &seed in &self.seeds {
+                                for (name, kind) in &self.schedulers {
+                                    cells.push(SweepCell {
+                                        index: cells.len(),
+                                        trace_index: trace_idx,
+                                        key: CellKey {
+                                            trace: trace_label.clone(),
+                                            scheduler: name.clone(),
+                                            seed,
+                                            fidelity: fidelity_label(fidelity).to_string(),
+                                            interference: interference.label(),
+                                            migration_delay_scale: scale,
+                                            backend: backend.label().to_string(),
+                                        },
+                                        scheduler: kind.clone(),
                                         seed,
-                                        fidelity: fidelity_label(fidelity).to_string(),
-                                        interference: interference.label(),
+                                        fidelity,
+                                        interference,
                                         migration_delay_scale: scale,
-                                    },
-                                    scheduler: kind.clone(),
-                                    seed,
-                                    fidelity,
-                                    interference,
-                                    migration_delay_scale: scale,
-                                    round_period: self.round_period,
-                                });
+                                        backend,
+                                        round_period: self.round_period,
+                                    });
+                                }
                             }
                         }
                     }
@@ -176,6 +209,49 @@ impl SweepGrid {
             interference: cell.interference,
             migration_delay_scale: cell.migration_delay_scale,
         }
+    }
+
+    /// Identity of the *work* a cell performs. Two cells with equal
+    /// fingerprints produce byte-identical reports, so the runner
+    /// executes one and fans the report out.
+    ///
+    /// Interference is normalized away under No-Packing: it never
+    /// co-locates tasks, so the ground-truth interference model is
+    /// unobservable — fig4-style grids then run one No-Packing cell per
+    /// `(trace, seed, fidelity, scale)` instead of one per interference
+    /// level.
+    pub(crate) fn fingerprint(&self, cell: &SweepCell) -> String {
+        let interference = match cell.scheduler {
+            SchedulerKind::NoPacking => "-".to_string(),
+            _ => cell.interference.label(),
+        };
+        format!(
+            "{}|{:?}|{}|{}|{}|{}|{:?}|{}",
+            cell.trace_index,
+            cell.scheduler,
+            cell.seed,
+            fidelity_label(cell.fidelity),
+            interference,
+            cell.migration_delay_scale,
+            self.round_period,
+            cell.backend.label(),
+        )
+    }
+
+    /// Rough relative runtime of a cell, for longest-first scheduling:
+    /// trace job count scaled by fidelity (stochastic samples delays) and
+    /// backend weight (live = simulate + replay on real threads).
+    pub(crate) fn cost_estimate(&self, cell: &SweepCell) -> u64 {
+        let jobs = self.traces[cell.trace_index].1.len().max(1) as u64;
+        let fidelity = match cell.fidelity {
+            FidelityMode::Stochastic => 3,
+            FidelityMode::Nominal => 2,
+        };
+        let backend = match cell.backend {
+            BackendKind::Sim => 1,
+            BackendKind::Live => 3,
+        };
+        jobs * fidelity * backend
     }
 }
 
@@ -206,6 +282,8 @@ pub struct SweepCell {
     pub interference: InterferenceSpec,
     /// Migration-delay multiplier.
     pub migration_delay_scale: f64,
+    /// Execution backend the cell runs on.
+    pub backend: BackendKind,
     /// Scheduling round period.
     pub round_period: SimDuration,
 }
@@ -225,6 +303,8 @@ pub struct CellKey {
     pub interference: String,
     /// Migration-delay multiplier.
     pub migration_delay_scale: f64,
+    /// Execution backend label (`sim`/`live`).
+    pub backend: String,
 }
 
 /// One finished cell: its identity plus its report.
@@ -293,12 +373,42 @@ impl Experiment {
     }
 }
 
+/// The pre-computed execution schedule of a grid: which cells actually
+/// run (deduplicated representatives, longest first) and which
+/// representative each cell's report comes from.
+#[derive(Debug, Clone)]
+pub(crate) struct RunPlan {
+    /// For every cell index, the index of its representative.
+    pub rep_of: Vec<usize>,
+    /// Representative cell indices in execution order (longest first,
+    /// index-tiebroken — fully deterministic).
+    pub order: Vec<usize>,
+}
+
+impl RunPlan {
+    pub(crate) fn build(grid: &SweepGrid, cells: &[SweepCell]) -> RunPlan {
+        let mut first: BTreeMap<String, usize> = BTreeMap::new();
+        let mut rep_of = Vec::with_capacity(cells.len());
+        for (i, cell) in cells.iter().enumerate() {
+            rep_of.push(*first.entry(grid.fingerprint(cell)).or_insert(i));
+        }
+        let mut order: Vec<usize> = first.into_values().collect();
+        order.sort_by_key(|&i| (std::cmp::Reverse(grid.cost_estimate(&cells[i])), i));
+        RunPlan { rep_of, order }
+    }
+
+    /// Cells that actually execute after deduplication.
+    pub(crate) fn unique_count(&self) -> usize {
+        self.order.len()
+    }
+}
+
 /// Multi-threaded executor for [`SweepGrid`]s.
 ///
-/// Workers claim cells from a shared atomic cursor, run each cell with
-/// [`run_simulation`], and write the outcome into the cell's own slot —
-/// so the merged result is independent of scheduling order and thread
-/// count.
+/// Workers claim deduplicated cells — longest first — from a shared
+/// atomic cursor, run each on its cell's backend, and write the outcome
+/// into the cell's own slot, so the merged result is independent of
+/// scheduling order and thread count.
 #[derive(Debug, Clone, Copy)]
 pub struct SweepRunner {
     threads: usize,
@@ -324,35 +434,50 @@ impl SweepRunner {
     }
 
     /// Runs every cell of `grid` and merges outcomes in stable cell order.
+    ///
+    /// Identical cells run once (their report fans out to every
+    /// duplicate) and unique cells are claimed longest-first; neither
+    /// optimization can change the merged bytes, because duplicate cells
+    /// would have produced byte-identical reports anyway and every report
+    /// lands in its cell's own slot.
     pub fn run(&self, grid: &SweepGrid) -> SweepResult {
         let cells = grid.cells();
-        let slots: Vec<Mutex<Option<CellOutcome>>> =
+        let plan = RunPlan::build(grid, &cells);
+        let slots: Vec<Mutex<Option<SimReport>>> =
             cells.iter().map(|_| Mutex::new(None)).collect();
         let next = AtomicUsize::new(0);
-        let workers = self.threads.min(cells.len()).max(1);
+        let workers = self.threads.min(plan.order.len()).max(1);
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(cell) = cells.get(i) else {
+                    let k = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(&i) = plan.order.get(k) else {
                         break;
                     };
+                    let cell = &cells[i];
                     let cfg = grid.sim_config(cell);
-                    let report = run_simulation(&cfg);
-                    *slots[i].lock().unwrap() = Some(CellOutcome {
-                        key: cell.key.clone(),
-                        report,
-                    });
+                    let report = cell.backend.backend().run(&cfg);
+                    *slots[i].lock().unwrap() = Some(report);
                 });
             }
         });
+        let reports: Vec<Option<SimReport>> = slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("no worker panicked holding a slot lock")
+            })
+            .collect();
         SweepResult {
-            cells: slots
-                .into_iter()
-                .map(|slot| {
-                    slot.into_inner()
-                        .expect("no worker panicked holding a slot lock")
-                        .expect("every cell was claimed and completed")
+            cells: cells
+                .iter()
+                .enumerate()
+                .map(|(i, cell)| CellOutcome {
+                    key: cell.key.clone(),
+                    report: reports[plan.rep_of[i]]
+                        .as_ref()
+                        .expect("every representative cell was claimed and completed")
+                        .clone(),
                 })
                 .collect(),
             schedulers_per_block: grid.schedulers_per_block(),
@@ -449,5 +574,106 @@ mod tests {
     fn runner_zero_resolves_to_available_parallelism() {
         assert!(SweepRunner::new(0).threads() >= 1);
         assert_eq!(SweepRunner::new(3).threads(), 3);
+    }
+
+    #[test]
+    fn no_packing_cells_dedup_across_interference_axis() {
+        // fig4's shape: an interference axis No-Packing cannot observe.
+        let grid = SweepGrid::new("fig4", tiny_trace(4))
+            .schedulers_by_name(&["no-packing", "owl"])
+            .unwrap()
+            .interferences(vec![
+                InterferenceSpec::Uniform(1.0),
+                InterferenceSpec::Uniform(0.9),
+                InterferenceSpec::Uniform(0.8),
+            ])
+            .fidelities(vec![FidelityMode::Nominal]);
+        assert_eq!(grid.cell_count(), 6);
+        // One No-Packing run + three Owl runs.
+        assert_eq!(grid.unique_cell_count(), 4);
+        // Dedup must not change results: every No-Packing report equals
+        // the representative's, and each cell keeps its own key.
+        let result = SweepRunner::new(2).run(&grid);
+        assert_eq!(result.cells.len(), 6);
+        let np: Vec<_> = result
+            .cells
+            .iter()
+            .filter(|c| c.key.scheduler == "no-packing")
+            .collect();
+        assert_eq!(np.len(), 3);
+        assert!(np.iter().all(|c| c.report == np[0].report));
+        assert_eq!(np[1].key.interference, "uniform(0.9)");
+    }
+
+    #[test]
+    fn dedup_fans_out_reports_identical_to_direct_per_cell_runs() {
+        // The guard for the dedup premise: every fanned-out report must
+        // equal what running the cell's own config directly produces —
+        // in particular No-Packing under each interference level it was
+        // deduplicated across. If No-Packing ever becomes
+        // interference-sensitive, this fails.
+        let grid = SweepGrid::new("guard", tiny_trace(4))
+            .schedulers_by_name(&["no-packing", "eva"])
+            .unwrap()
+            .interferences(vec![
+                InterferenceSpec::Measured,
+                InterferenceSpec::Uniform(0.85),
+            ])
+            .fidelities(vec![FidelityMode::Nominal]);
+        assert!(grid.unique_cell_count() < grid.cell_count());
+        let result = SweepRunner::new(2).run(&grid);
+        for (cell, outcome) in grid.cells().iter().zip(&result.cells) {
+            let direct = crate::runner::run_simulation(&grid.sim_config(cell));
+            assert_eq!(
+                outcome.report, direct,
+                "deduped report diverges from a direct run of {:?}",
+                cell.key
+            );
+        }
+    }
+
+    #[test]
+    fn literal_duplicate_cells_dedup_too() {
+        let grid = SweepGrid::new("dup", tiny_trace(3))
+            .scheduler("stratus-a", SchedulerKind::Stratus)
+            .scheduler("stratus-b", SchedulerKind::Stratus)
+            .fidelities(vec![FidelityMode::Nominal]);
+        assert_eq!(grid.cell_count(), 2);
+        assert_eq!(grid.unique_cell_count(), 1);
+        let result = SweepRunner::new(2).run(&grid);
+        assert_eq!(result.cells[0].report, result.cells[1].report);
+        assert_eq!(result.cells[0].key.scheduler, "stratus-a");
+        assert_eq!(result.cells[1].key.scheduler, "stratus-b");
+    }
+
+    #[test]
+    fn execution_order_is_longest_first_and_deterministic() {
+        let big = tiny_trace(9);
+        let grid = SweepGrid::new("small", tiny_trace(2))
+            .trace("big", big)
+            .scheduler("No-Packing", SchedulerKind::NoPacking)
+            .fidelities(vec![FidelityMode::Nominal, FidelityMode::Stochastic]);
+        let cells = grid.cells();
+        let plan = RunPlan::build(&grid, &cells);
+        assert_eq!(plan.unique_count(), 4);
+        // Big-trace stochastic first, ties broken by cell index.
+        let costs: Vec<u64> = plan
+            .order
+            .iter()
+            .map(|&i| grid.cost_estimate(&cells[i]))
+            .collect();
+        assert!(costs.windows(2).all(|w| w[0] >= w[1]), "{costs:?}");
+        assert_eq!(plan.order, RunPlan::build(&grid, &cells).order);
+    }
+
+    #[test]
+    fn backend_axis_doubles_cells_and_labels_keys() {
+        let grid = tiny_grid().backends(vec![BackendKind::Sim, BackendKind::Live]);
+        assert_eq!(grid.cell_count(), 8);
+        let cells = grid.cells();
+        assert!(cells[..4].iter().all(|c| c.key.backend == "sim"));
+        assert!(cells[4..].iter().all(|c| c.key.backend == "live"));
+        // Sim and live cells never share a fingerprint.
+        assert_eq!(grid.unique_cell_count(), 8);
     }
 }

@@ -22,6 +22,7 @@ use eva_workloads::{InterferenceModel, Trace, WorkloadCatalog};
 use crate::engine::{EventEngine, RngStreams, SimEvent, DELAY_STREAM};
 use crate::metrics::SimReport;
 use crate::runner::{InterferenceSpec, SchedulerKind, SimConfig};
+use crate::script::{ExecAction, ExecActionKind, ExecScript};
 use crate::state::{JobProgress, TaskRuntime, TaskState};
 
 /// Events the cluster world reacts to.
@@ -67,6 +68,7 @@ pub struct ClusterSim {
     pub(crate) engine: EventEngine<Event>,
     pub(crate) round_pending: bool,
     pub(crate) arrivals_remaining: usize,
+    pub(crate) recorder: Option<ExecScript>,
 
     // Metric accumulators (time integrals in hours).
     pub(crate) task_running_hours: f64,
@@ -145,6 +147,7 @@ impl ClusterSim {
             engine: EventEngine::new(),
             round_pending: false,
             arrivals_remaining: cfg.trace.len(),
+            recorder: None,
             task_running_hours: 0.0,
             alloc_integral: [0.0; 3],
             capacity_integral: [0.0; 3],
@@ -168,6 +171,37 @@ impl ClusterSim {
     /// Scheduling rounds executed so far.
     pub fn rounds_executed(&self) -> u64 {
         self.rounds
+    }
+
+    /// Starts recording the control-plane action stream (see
+    /// [`ExecScript`]); call before the first [`ClusterSim::step`].
+    pub fn enable_recording(&mut self) {
+        self.recorder = Some(ExecScript::default());
+    }
+
+    /// Takes the recorded script, ending recording.
+    pub fn take_script(&mut self) -> ExecScript {
+        self.recorder.take().unwrap_or_default()
+    }
+
+    pub(crate) fn record(&mut self, kind: ExecActionKind) {
+        if let Some(script) = self.recorder.as_mut() {
+            let at = self.engine.now();
+            script.actions.push(ExecAction { at, kind });
+        }
+    }
+
+    /// Fraction of `job`'s work already completed, in `[0, 1]`.
+    pub(crate) fn job_progress_fraction(&self, job: JobId) -> f64 {
+        let Some(j) = self.jobs.get(&job) else {
+            return 0.0;
+        };
+        let total = j.spec.duration_at_full_tput.as_hours_f64();
+        if total <= 0.0 {
+            1.0
+        } else {
+            (1.0 - j.remaining_hours / total).clamp(0.0, 1.0)
+        }
     }
 
     /// Processes the next event, integrating world state up to its due
@@ -219,7 +253,16 @@ impl ClusterSim {
                     })
                     .unwrap_or(false);
                 if matches {
-                    self.tasks.get_mut(&task).unwrap().state = TaskState::Running;
+                    let rt = self.tasks.get_mut(&task).unwrap();
+                    rt.state = TaskState::Running;
+                    if let (Some(instance), true) = (rt.assigned_to, self.recorder.is_some()) {
+                        let progress = self.job_progress_fraction(task.job);
+                        self.record(ExecActionKind::Start {
+                            task,
+                            instance,
+                            progress,
+                        });
+                    }
                     self.recompute_completions();
                 }
             }
@@ -243,6 +286,7 @@ impl ClusterSim {
             j.completed_at = Some(self.engine.now());
             j.spec.tasks.iter().map(|t| t.id).collect()
         };
+        self.record(ExecActionKind::JobDone { job });
         for tid in task_ids {
             if let Some(rt) = self.tasks.get_mut(&tid) {
                 rt.state = TaskState::Done;

@@ -64,23 +64,14 @@ fn main() {
         .migrate_task(task, InstanceId(1), Duration::from_secs(10))
         .unwrap();
 
-    // Let it finish.
-    let deadline = std::time::Instant::now() + Duration::from_secs(60);
-    loop {
-        master.drain_reports();
-        let h = master.task_handle(task).unwrap();
-        if matches!(h.status, eva::exec::master::TaskStatus::Finished) {
-            println!(
-                "Task finished with {} iterations — no work lost across migration.",
-                h.completed
-            );
-            break;
-        }
-        if std::time::Instant::now() > deadline {
-            println!("(timed out waiting — status {:?})", h.status);
-            break;
-        }
-        std::thread::sleep(Duration::from_millis(50));
+    // Block on the exit report — a channel wait with a deadline, not a
+    // poll loop.
+    match master.wait_task_exit(task, Duration::from_secs(60)) {
+        Ok(info) => println!(
+            "Task finished ({:?}) with {} iterations — no work lost across migration.",
+            info.exit, info.completed
+        ),
+        Err(e) => println!("(timed out waiting — {e:?})"),
     }
     master.shutdown();
 }

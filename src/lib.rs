@@ -37,7 +37,8 @@ pub mod prelude {
     pub use eva_cloud::{Catalog, CloudProvider, DelayModel, FidelityMode};
     pub use eva_core::{EvaConfig, EvaScheduler, Plan, Scheduler, SchedulerContext, TaskSnapshot};
     pub use eva_sim::{
-        run_simulation, ClusterSim, Experiment, SchedulerKind, SimConfig, SimReport, SweepGrid,
+        run_recorded, run_simulation, BackendKind, ClusterSim, ExecBackend, Experiment,
+        LiveBackend, LiveOutcome, SchedulerKind, SimBackend, SimConfig, SimReport, SweepGrid,
         SweepResult, SweepRunner,
     };
     pub use eva_types::{

@@ -7,7 +7,8 @@
 //! eva compare  [--jobs N] [--rate JOBS_PER_HR] [--durations ...] [--seed N]
 //!              [--period MINS] [--threads N]
 //! eva sweep    [--jobs N] [--rate JOBS_PER_HR] [--durations ...]
-//!              [--schedulers A,B,..] [--seeds S1,S2,..] [--threads N]
+//!              [--schedulers A,B,..] [--seeds S1,S2,..]
+//!              [--backend sim|live|sim,live] [--threads N]
 //!              [--period MINS] [--json FILE]
 //! eva workloads        # print the Table 7 workload catalog
 //! eva catalog          # print the 21-type AWS instance catalog
@@ -61,12 +62,13 @@ impl Default for SimArgs {
 }
 
 /// Arguments of the `sweep` subcommand: the shared simulation knobs plus
-/// the scheduler and seed axes of the grid.
+/// the scheduler, seed, and backend axes of the grid.
 #[derive(Debug, Clone, PartialEq)]
 struct SweepArgs {
     sim: SimArgs,
     schedulers: Vec<String>,
     seeds: Vec<u64>,
+    backends: Vec<String>,
 }
 
 impl Default for SweepArgs {
@@ -81,6 +83,7 @@ impl Default for SweepArgs {
                 "eva".into(),
             ],
             seeds: vec![42],
+            backends: vec!["sim".into()],
         }
     }
 }
@@ -138,6 +141,12 @@ fn parse_sim_args<'a>(
                     .map(|s| s.parse().map_err(|e| format!("--seeds: {e}")))
                     .collect::<Result<Vec<u64>, String>>()?;
             }
+            "--backend" if sweep => {
+                args.backends = value()?.split(',').map(str::to_string).collect();
+                for name in &args.backends {
+                    BackendKind::from_name(name).map_err(|e| format!("--backend: {e}"))?;
+                }
+            }
             "--json" => args.sim.json = Some(value()?),
             other => return Err(format!("unknown flag `{other}`")),
         }
@@ -170,13 +179,16 @@ fn run(cli: Cli) -> Result<(), String> {
                 "eva — cost-efficient cloud-based cluster scheduling (EuroSys '25 reproduction)\n\n\
                  USAGE:\n  eva simulate [--jobs N] [--rate J/HR] [--scheduler NAME] [--durations alibaba|gavel] [--seed N] [--period MINS] [--threads N] [--json FILE]\n  \
                  eva compare  [--jobs N] [--rate J/HR] [--durations ...] [--seed N] [--period MINS] [--threads N]\n  \
-                 eva sweep    [--jobs N] [--rate J/HR] [--durations ...] [--schedulers A,B,..] [--seeds S1,S2,..] [--threads N] [--period MINS] [--json FILE]\n  \
+                 eva sweep    [--jobs N] [--rate J/HR] [--durations ...] [--schedulers A,B,..] [--seeds S1,S2,..] [--backend sim|live|sim,live] [--threads N] [--period MINS] [--json FILE]\n  \
                  eva workloads\n  eva catalog\n\n\
-                 SCHEDULERS: {}\n\n\
+                 SCHEDULERS: {}\n  BACKENDS: {} (`--backend sim,live` adds a grid axis: live cells\n\
+                 replay the schedule through the real master/worker runtime)\n\n\
                  `--threads 0` (the default) uses every available core; sweep results\n\
-                 are byte-identical for any thread count. A single `simulate` run is\n\
+                 are byte-identical for any thread count, identical cells run once,\n\
+                 and the longest cells are claimed first. A single `simulate` run is\n\
                  one cell, so `--threads` is accepted there but has no effect.",
-                SchedulerKind::names().join(", ")
+                SchedulerKind::names().join(", "),
+                BackendKind::names().join(", ")
             );
         }
         Command::Workloads => {
@@ -230,26 +242,35 @@ fn run(cli: Cli) -> Result<(), String> {
         Command::Sweep(args) => {
             let trace = build_trace(&args.sim)?;
             let names: Vec<&str> = args.schedulers.iter().map(String::as_str).collect();
+            let backends = args
+                .backends
+                .iter()
+                .map(|name| BackendKind::from_name(name))
+                .collect::<Result<Vec<_>, String>>()?;
             let grid = SweepGrid::new("cli", trace)
                 .schedulers_by_name(&names)?
                 .seeds(args.seeds.clone())
+                .backends(backends)
                 .round_period(round_period(&args.sim));
             let runner = SweepRunner::new(args.sim.threads);
             println!(
-                "sweeping {} cells ({} schedulers × {} seeds, {} jobs) on {} threads...",
+                "sweeping {} cells ({} unique: {} schedulers × {} seeds × {} backends, {} jobs) on {} threads...",
                 grid.cell_count(),
+                grid.unique_cell_count(),
                 args.schedulers.len(),
                 args.seeds.len(),
+                args.backends.len(),
                 args.sim.jobs,
                 runner.threads()
             );
             let result = runner.run(&grid);
-            println!("{:<16} {:>6}  report", "scheduler", "seed");
+            println!("{:<16} {:>6} {:>6}  report", "scheduler", "seed", "exec");
             for cell in &result.cells {
                 println!(
-                    "{:<16} {:>6}  {}",
+                    "{:<16} {:>6} {:>6}  {}",
                     cell.key.scheduler,
                     cell.key.seed,
+                    cell.key.backend,
                     cell.report.table_row(None)
                 );
             }
@@ -348,6 +369,21 @@ mod tests {
     fn rejects_bad_sweep_axes() {
         assert!(parse(&argv("sweep --schedulers eva,slurm")).is_err());
         assert!(parse(&argv("sweep --seeds 1,x")).is_err());
+        assert!(parse(&argv("sweep --backend hardware")).is_err());
+        assert!(parse(&argv("simulate --backend live")).is_err(), "sweep-only");
+    }
+
+    #[test]
+    fn parses_backend_axis() {
+        let cli = parse(&argv("sweep --backend sim,live")).unwrap();
+        let Command::Sweep(args) = cli.command else {
+            panic!()
+        };
+        assert_eq!(args.backends, vec!["sim", "live"]);
+        let Command::Sweep(default_args) = parse(&argv("sweep")).unwrap().command else {
+            panic!()
+        };
+        assert_eq!(default_args.backends, vec!["sim"]);
     }
 
     #[test]
