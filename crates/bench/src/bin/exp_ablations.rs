@@ -11,9 +11,9 @@
 //! All variants are declared as one sweep grid (No-Packing first as the
 //! normalization baseline) and run concurrently.
 
-use eva_bench::{default_threads, is_full_scale, save_json};
+use eva_bench::{is_full_scale, print_stats, runner, save_json};
 use eva_core::EvaConfig;
-use eva_sim::{SchedulerKind, SweepGrid, SweepRunner, SweepResult};
+use eva_sim::{SchedulerKind, SweepGrid, SweepResult};
 use eva_workloads::{AlibabaTraceConfig, DurationModelChoice};
 
 fn main() {
@@ -78,7 +78,8 @@ fn main() {
     for (label, cfg) in &variants {
         grid = grid.scheduler(*label, SchedulerKind::Eva(cfg.clone()));
     }
-    let result = SweepRunner::new(default_threads()).run(&grid);
+    let (result, stats) = runner().run_with_stats(&grid);
+    print_stats(&stats);
     let base = result.cells[0].report.total_cost_dollars;
 
     // `shown` lets one cell appear under several section labels (the

@@ -5,9 +5,9 @@
 //! and fans the 20 cells out across sweep workers. Eva-RP's cost should
 //! blow up as interference grows while Eva-TNRP stays below No-Packing.
 
-use eva_bench::{default_threads, is_full_scale, save_json};
+use eva_bench::{is_full_scale, print_stats, runner, save_json};
 use eva_core::EvaConfig;
-use eva_sim::{InterferenceSpec, SchedulerKind, SweepGrid, SweepRunner};
+use eva_sim::{InterferenceSpec, SchedulerKind, SweepGrid};
 use eva_workloads::{AlibabaTraceConfig, DurationModelChoice};
 
 fn main() {
@@ -27,7 +27,8 @@ fn main() {
                 .map(|&t| InterferenceSpec::Uniform(t))
                 .collect::<Vec<_>>(),
         );
-    let result = SweepRunner::new(default_threads()).run(&grid);
+    let (result, stats) = runner().run_with_stats(&grid);
+    print_stats(&stats);
     println!(
         "{:<8} {:<12} {:>12} {:>12} {:>10}",
         "tput", "scheduler", "norm cost", "norm tput", "JCT (h)"

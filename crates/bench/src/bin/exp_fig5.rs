@@ -5,9 +5,9 @@
 //! Reconfiguration adoption proportion and migrations per job, and
 //! (b) total cost normalized against a No-Packing baseline cell.
 
-use eva_bench::{default_threads, is_full_scale, save_json};
+use eva_bench::{is_full_scale, print_stats, runner, save_json};
 use eva_core::EvaConfig;
-use eva_sim::{run_simulation, SchedulerKind, SimConfig, SweepGrid, SweepRunner};
+use eva_sim::{run_simulation, SchedulerKind, SimConfig, SweepGrid};
 use eva_workloads::{AlibabaTraceConfig, DurationModelChoice};
 
 fn main() {
@@ -23,7 +23,8 @@ fn main() {
         .scheduler("Eva w/o Partial", SchedulerKind::Eva(EvaConfig::without_partial()))
         .scheduler("Stratus", SchedulerKind::Stratus)
         .migration_scales(scales.to_vec());
-    let result = SweepRunner::new(default_threads()).run(&grid);
+    let (result, stats) = runner().run_with_stats(&grid);
+    print_stats(&stats);
     println!("(a) Eva under scaled migration delays; (b) cost vs baselines");
     println!(
         "{:<7} {:>11} {:>10} | {:>10} {:>12} {:>10}",

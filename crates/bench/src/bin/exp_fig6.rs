@@ -5,9 +5,9 @@
 //! comparing No-Packing, Stratus, Synergy, Eva w/o Full Reconfiguration,
 //! and Eva.
 
-use eva_bench::{default_threads, is_full_scale, save_json};
+use eva_bench::{is_full_scale, print_stats, runner, save_json};
 use eva_core::EvaConfig;
-use eva_sim::{SchedulerKind, SweepGrid, SweepRunner};
+use eva_sim::{SchedulerKind, SweepGrid};
 use eva_workloads::{AlibabaTraceConfig, DurationModelChoice, MultiGpuMix};
 
 fn main() {
@@ -32,7 +32,8 @@ fn main() {
         .scheduler("Synergy", SchedulerKind::Synergy)
         .scheduler("Eva w/o Full", SchedulerKind::Eva(EvaConfig::without_full()))
         .scheduler("Eva", SchedulerKind::Eva(EvaConfig::eva()));
-    let result = SweepRunner::new(default_threads()).run(&grid);
+    let (result, stats) = runner().run_with_stats(&grid);
+    print_stats(&stats);
     println!(
         "{:<8} {:>10} {:>10} {:>12} {:>14} {:>8}",
         "multi%", "Stratus", "Synergy", "Eva w/o Full", "Eva", "(vs NP)"

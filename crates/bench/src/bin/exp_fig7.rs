@@ -4,9 +4,9 @@
 //! (1:1); each mix is one trace-axis value of a single sweep grid
 //! comparing the schedulers plus Eva-Single (no §4.4 extension).
 
-use eva_bench::{default_threads, is_full_scale, save_json};
+use eva_bench::{is_full_scale, print_stats, runner, save_json};
 use eva_core::EvaConfig;
-use eva_sim::{SchedulerKind, SweepGrid, SweepRunner};
+use eva_sim::{SchedulerKind, SweepGrid};
 use eva_workloads::{AlibabaTraceConfig, DurationModelChoice, MultiTaskMix};
 
 fn main() {
@@ -31,7 +31,8 @@ fn main() {
         .scheduler("Synergy", SchedulerKind::Synergy)
         .scheduler("Eva-Single", SchedulerKind::Eva(EvaConfig::eva_single()))
         .scheduler("Eva", SchedulerKind::Eva(EvaConfig::eva()));
-    let result = SweepRunner::new(default_threads()).run(&grid);
+    let (result, stats) = runner().run_with_stats(&grid);
+    print_stats(&stats);
     println!(
         "{:<8} {:>10} {:>10} {:>12} {:>10}",
         "multi%", "Stratus", "Synergy", "Eva-Single", "Eva"

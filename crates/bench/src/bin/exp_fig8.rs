@@ -5,8 +5,8 @@
 //! rates mean fewer co-resident jobs and therefore smaller packing
 //! benefits, but Eva should stay the cheapest packer throughout.
 
-use eva_bench::{default_threads, is_full_scale, save_json};
-use eva_sim::{SweepGrid, SweepRunner};
+use eva_bench::{is_full_scale, print_stats, runner, save_json};
+use eva_sim::{SweepGrid};
 use eva_workloads::{AlibabaTraceConfig, DurationModelChoice};
 
 fn main() {
@@ -22,7 +22,8 @@ fn main() {
     for &rate in &rates[1..] {
         grid = grid.trace(format!("{rate} jobs/hr"), trace_for(rate));
     }
-    let result = SweepRunner::new(default_threads()).run(&grid.paper_schedulers());
+    let (result, stats) = runner().run_with_stats(&grid.paper_schedulers());
+    print_stats(&stats);
     println!(
         "{:<10} {:>10} {:>10} {:>10} {:>10}",
         "jobs/hr", "Stratus", "Synergy", "Owl", "Eva"

@@ -11,8 +11,8 @@
 //! performed as live checkpoints, and executed iterations. Nonzero job
 //! or iteration deltas would mean the control plane lost work.
 
-use eva_bench::{default_threads, save_json};
-use eva_sim::{BackendKind, LiveBackend, SweepGrid, SweepRunner};
+use eva_bench::{print_stats, runner, save_json};
+use eva_sim::{BackendKind, LiveBackend, SweepGrid};
 use eva_workloads::SyntheticTraceConfig;
 
 fn main() {
@@ -21,7 +21,8 @@ fn main() {
     let grid = SweepGrid::new("synthetic", trace)
         .paper_schedulers()
         .backends(vec![BackendKind::Sim, BackendKind::Live]);
-    let result = SweepRunner::new(default_threads()).run(&grid);
+    let (result, stats) = runner().run_with_stats(&grid);
+    print_stats(&stats);
     let blocks: Vec<_> = result.blocks().collect();
     let (sim, live) = (blocks[0], blocks[1]);
     println!(
@@ -49,7 +50,7 @@ fn main() {
         .iter()
         .find(|c| c.key.scheduler == "Eva")
         .expect("Eva is in the paper set");
-    let cfg = grid.sim_config(
+    let cfg = grid.cell_config(
         &grid
             .cells()
             .into_iter()

@@ -4,17 +4,65 @@
 //! No-Packing cost, the Full Reconfiguration heuristic, and the exact
 //! branch-and-bound solver (Gurobi stand-in) under a time limit. Costs are
 //! normalized to the solver's best solution per trial, as in the paper.
+//!
+//! Declared as a [`SolverSweep`]: one cell per trial, sharing the
+//! harness's cell pool, persistent cache (`--no-cache` to re-measure
+//! runtimes), and `results/table4.json` output convention.
 
 use std::time::{Duration, Instant};
 
 use eva_bench::is_full_scale;
+use eva_bench::solver::{random_tasks, SolverSweep};
 use eva_cloud::Catalog;
-use eva_core::{full_reconfiguration, ReservationPrices, TaskSnapshot, TnrpEvaluator, UnitTput};
+use eva_core::{full_reconfiguration, ReservationPrices, TnrpEvaluator, UnitTput};
 use eva_solver::{branch_and_bound, BnbConfig, Item, PackingProblem};
-use eva_types::{JobId, SimDuration, TaskId};
-use eva_workloads::WorkloadCatalog;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// One trial's measurements (serialized into the cache and the artifact).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Table4Trial {
+    trial: usize,
+    np_ratio: f64,
+    fr_ratio: f64,
+    fr_runtime_ms: f64,
+    solver_timed_out: bool,
+}
+
+fn run_trial(trial: usize, tasks_per_trial: usize, time_limit: Duration) -> Table4Trial {
+    let catalog = Catalog::aws_eval_2025();
+    let tasks = random_tasks(1000 + trial as u64, tasks_per_trial);
+    let prices = ReservationPrices::compute(&catalog, tasks.iter());
+    let no_packing: f64 = tasks.iter().map(|t| prices.rp_dollars(t.id)).sum();
+
+    let eval = TnrpEvaluator::new(&UnitTput, &prices, true);
+    let t0 = Instant::now();
+    let fr = full_reconfiguration(&tasks, &catalog, &eval);
+    let fr_runtime_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let items: Vec<Item> = tasks
+        .iter()
+        .enumerate()
+        .map(|(i, t)| Item {
+            id: i,
+            demand: t.demand.clone(),
+        })
+        .collect();
+    let problem = PackingProblem::new(items, catalog.clone());
+    let solution = branch_and_bound(
+        &problem,
+        BnbConfig {
+            time_limit,
+            ..Default::default()
+        },
+    );
+    Table4Trial {
+        trial,
+        np_ratio: no_packing / solution.cost_dollars,
+        fr_ratio: fr.total_cost_dollars() / solution.cost_dollars,
+        fr_runtime_ms,
+        solver_timed_out: !solution.proven_optimal,
+    }
+}
 
 fn main() {
     let trials = if is_full_scale() { 30 } else { 10 };
@@ -26,62 +74,21 @@ fn main() {
     };
     println!("== Table 4: cost minimization micro-benchmark ({trials} trials × {tasks_per_trial} tasks, solver limit {time_limit:?}) ==");
 
-    let catalog = Catalog::aws_eval_2025();
-    let workloads = WorkloadCatalog::table7();
-    let pool: Vec<_> = workloads.iter().collect();
-
-    let mut np_ratio = Vec::new();
-    let mut fr_ratio = Vec::new();
-    let mut fr_runtime_ms = Vec::new();
-    let mut solver_timeouts = 0;
+    let mut sweep = SolverSweep::new("table4").timing();
     for trial in 0..trials {
-        let mut rng = StdRng::seed_from_u64(1000 + trial as u64);
-        let tasks: Vec<TaskSnapshot> = (0..tasks_per_trial)
-            .map(|i| {
-                let w = pool[rng.gen_range(0..pool.len())];
-                TaskSnapshot {
-                    id: TaskId::new(JobId(i as u64), 0),
-                    workload: w.kind,
-                    demand: w.demand.clone(),
-                    checkpoint_delay: SimDuration::ZERO,
-                    launch_delay: SimDuration::ZERO,
-                    gang_size: 1,
-                    gang_coupled: false,
-                    assigned_to: None,
-                    remaining_hint: None,
-                }
-            })
-            .collect();
-        let prices = ReservationPrices::compute(&catalog, tasks.iter());
-        let no_packing: f64 = tasks.iter().map(|t| prices.rp_dollars(t.id)).sum();
-
-        let eval = TnrpEvaluator::new(&UnitTput, &prices, true);
-        let t0 = Instant::now();
-        let fr = full_reconfiguration(&tasks, &catalog, &eval);
-        fr_runtime_ms.push(t0.elapsed().as_secs_f64() * 1e3);
-
-        let items: Vec<Item> = tasks
-            .iter()
-            .enumerate()
-            .map(|(i, t)| Item {
-                id: i,
-                demand: t.demand.clone(),
-            })
-            .collect();
-        let problem = PackingProblem::new(items, catalog.clone());
-        let solution = branch_and_bound(
-            &problem,
-            BnbConfig {
-                time_limit,
-                ..Default::default()
-            },
+        sweep = sweep.cell(
+            format!("trial:{trial}|tasks:{tasks_per_trial}|limit:{time_limit:?}"),
+            move || run_trial(trial, tasks_per_trial, time_limit),
         );
-        if !solution.proven_optimal {
-            solver_timeouts += 1;
-        }
-        np_ratio.push(no_packing / solution.cost_dollars);
-        fr_ratio.push(fr.total_cost_dollars() / solution.cost_dollars);
     }
+    let results = sweep.run();
+    sweep.save(&results);
+
+    let np_ratio: Vec<f64> = results.iter().map(|r| r.np_ratio).collect();
+    let fr_ratio: Vec<f64> = results.iter().map(|r| r.fr_ratio).collect();
+    let fr_runtime_ms: Vec<f64> = results.iter().map(|r| r.fr_runtime_ms).collect();
+    let solver_timeouts = results.iter().filter(|r| r.solver_timed_out).count();
+
     let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
     let std = |v: &[f64]| {
         let m = mean(v);

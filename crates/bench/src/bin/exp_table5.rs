@@ -3,54 +3,61 @@
 //! Times Algorithm 1 over 1,000–8,000 tasks sampled from Table 7 (the
 //! paper reports 0.4 s / 1.5 s / 5.5 s / 22 s in Python; the Rust port is
 //! substantially faster, but the quadratic shape should hold).
+//!
+//! Declared as a [`SolverSweep`]: one cell per task count, run serially
+//! for stable timings, cached under `results/cache/` (`--no-cache` to
+//! re-measure), saved to `results/table5.json`.
 
 use std::time::Instant;
 
 use eva_bench::is_full_scale;
+use eva_bench::solver::{random_tasks, SolverSweep};
 use eva_cloud::Catalog;
-use eva_core::{full_reconfiguration, ReservationPrices, TaskSnapshot, TnrpEvaluator, UnitTput};
-use eva_types::{JobId, SimDuration, TaskId};
-use eva_workloads::WorkloadCatalog;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use eva_core::{full_reconfiguration, ReservationPrices, TnrpEvaluator, UnitTput};
+use serde::{Deserialize, Serialize};
+
+/// One scaling point (serialized into the cache and the artifact).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Table5Row {
+    num_tasks: usize,
+    runtime_s: f64,
+    instances: usize,
+}
+
+fn time_full_reconfiguration(n: usize) -> Table5Row {
+    let catalog = Catalog::aws_eval_2025();
+    let tasks = random_tasks(n as u64, n);
+    let prices = ReservationPrices::compute(&catalog, tasks.iter());
+    let eval = TnrpEvaluator::new(&UnitTput, &prices, true);
+    let t0 = Instant::now();
+    let config = full_reconfiguration(&tasks, &catalog, &eval);
+    Table5Row {
+        num_tasks: n,
+        runtime_s: t0.elapsed().as_secs_f64(),
+        instances: config.instances.len(),
+    }
+}
 
 fn main() {
     println!("== Table 5: Full Reconfiguration runtime ==");
-    let catalog = Catalog::aws_eval_2025();
-    let workloads = WorkloadCatalog::table7();
-    let pool: Vec<_> = workloads.iter().collect();
     let sizes: &[usize] = if is_full_scale() {
         &[1000, 2000, 4000, 8000]
     } else {
         &[1000, 2000, 4000]
     };
-    println!("{:<12} {:>12}", "Num. Tasks", "Runtime (s)");
+    let mut sweep = SolverSweep::new("table5").timing();
     for &n in sizes {
-        let mut rng = StdRng::seed_from_u64(n as u64);
-        let tasks: Vec<TaskSnapshot> = (0..n)
-            .map(|i| {
-                let w = pool[rng.gen_range(0..pool.len())];
-                TaskSnapshot {
-                    id: TaskId::new(JobId(i as u64), 0),
-                    workload: w.kind,
-                    demand: w.demand.clone(),
-                    checkpoint_delay: SimDuration::ZERO,
-                    launch_delay: SimDuration::ZERO,
-                    gang_size: 1,
-                    gang_coupled: false,
-                    assigned_to: None,
-                    remaining_hint: None,
-                }
-            })
-            .collect();
-        let prices = ReservationPrices::compute(&catalog, tasks.iter());
-        let eval = TnrpEvaluator::new(&UnitTput, &prices, true);
-        let t0 = Instant::now();
-        let config = full_reconfiguration(&tasks, &catalog, &eval);
-        let dt = t0.elapsed().as_secs_f64();
+        sweep = sweep.cell(format!("fr-runtime|n:{n}"), move || {
+            time_full_reconfiguration(n)
+        });
+    }
+    let results = sweep.run();
+    sweep.save(&results);
+    println!("{:<12} {:>12}", "Num. Tasks", "Runtime (s)");
+    for row in &results {
         println!(
-            "{n:<12} {dt:>12.3}   ({} instances)",
-            config.instances.len()
+            "{:<12} {:>12.3}   ({} instances)",
+            row.num_tasks, row.runtime_s, row.instances
         );
     }
 }

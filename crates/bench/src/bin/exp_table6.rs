@@ -5,10 +5,14 @@
 //! and Eva-Multi (the §4.4 extension). Reports normalized total cost and
 //! mean JCT — Eva-Multi should cost less *and* finish sooner than
 //! Eva-Single.
+//!
+//! Declared as one [`SweepGrid`] whose trace axis is the trial traces —
+//! the trials fan out across the shared runner's workers, land in the
+//! persistent report cache, and save to `results/table6.json`.
 
-use eva_bench::is_full_scale;
+use eva_bench::{is_full_scale, print_stats, runner, save_json};
 use eva_core::EvaConfig;
-use eva_sim::{run_simulation, SchedulerKind, SimConfig};
+use eva_sim::{SchedulerKind, SweepGrid};
 use eva_types::{JobId, SimDuration, SimTime};
 use eva_workloads::DurationSampler;
 use eva_workloads::{Trace, UniformHours, WorkloadCatalog};
@@ -46,30 +50,29 @@ fn main() {
     let trials = if is_full_scale() { 10 } else { 4 };
     let jobs = if is_full_scale() { 100 } else { 60 };
     println!("== Table 6: multi-task job scheduling ({trials} trials × {jobs} 4-task jobs) ==");
+
+    let mut grid = SweepGrid::new("trial0", gang_trace(7000, jobs))
+        .scheduler("No-Packing", SchedulerKind::NoPacking)
+        .scheduler("Eva-Single", SchedulerKind::Eva(EvaConfig::eva_single()))
+        .scheduler("Eva-Multi", SchedulerKind::Eva(EvaConfig::eva()));
+    for trial in 1..trials {
+        grid = grid.trace(format!("trial{trial}"), gang_trace(7000 + trial as u64, jobs));
+    }
+    let (result, stats) = runner().run_with_stats(&grid);
+    print_stats(&stats);
+    save_json("table6.json", &result);
+
+    // One comparison block per trial; the first entry is the baseline.
     let mut rows: Vec<(&str, Vec<f64>, Vec<f64>)> = vec![
         ("No-Packing", Vec::new(), Vec::new()),
         ("Eva-Single", Vec::new(), Vec::new()),
         ("Eva-Multi", Vec::new(), Vec::new()),
     ];
-    for trial in 0..trials {
-        let trace = gang_trace(7000 + trial as u64, jobs);
-        let kinds = [
-            SchedulerKind::NoPacking,
-            SchedulerKind::Eva(EvaConfig::eva_single()),
-            SchedulerKind::Eva(EvaConfig::eva()),
-        ];
-        let mut base = None;
-        for (row, kind) in rows.iter_mut().zip(kinds) {
-            let r = run_simulation(&SimConfig::new(trace.clone(), kind));
-            let norm = match &base {
-                None => {
-                    base = Some(r.total_cost_dollars);
-                    1.0
-                }
-                Some(b) => r.total_cost_dollars / b,
-            };
-            row.1.push(norm);
-            row.2.push(r.avg_jct_hours);
+    for block in result.blocks() {
+        let base = block[0].report.total_cost_dollars;
+        for (row, cell) in rows.iter_mut().zip(block) {
+            row.1.push(cell.report.total_cost_dollars / base);
+            row.2.push(cell.report.avg_jct_hours);
         }
     }
     let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;

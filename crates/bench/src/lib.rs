@@ -10,11 +10,27 @@
 //! sizes; set `EVA_FULL=1` to run the paper-sized configurations (e.g.
 //! the full 6,274-job trace), and `EVA_THREADS=N` to pin the sweep worker
 //! count (default: all available cores).
+//!
+//! Every binary also shares the **persistent report cache** (see
+//! [`eva_sim::ReportCache`]): finished cells land in `results/cache/`
+//! keyed by content fingerprint, so rerunning an experiment — or another
+//! experiment declaring overlapping cells — simulates only what is new.
+//! Cache flags, accepted by all `exp_*` binaries:
+//!
+//! * `--no-cache` — simulate everything, touch no cache;
+//! * `--cache` — explicit form of the default;
+//! * `--cache-dir DIR` — use `DIR` instead of `results/cache`
+//!   (`EVA_CACHE_DIR` is the env equivalent).
+//!
+//! Solver-level micro-benchmarks (tables 4–6) share the same cell
+//! machinery through [`solver::SolverSweep`].
 
 use std::path::PathBuf;
 
-use eva_sim::{SchedulerKind, SimReport, SweepGrid, SweepRunner};
+use eva_sim::{PoolStats, ReportCache, SchedulerKind, SimReport, SweepGrid, SweepRunner};
 use eva_workloads::Trace;
+
+pub mod solver;
 
 /// True when `EVA_FULL=1` requests paper-scale experiments.
 pub fn is_full_scale() -> bool {
@@ -28,6 +44,60 @@ pub fn default_threads() -> usize {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(0)
+}
+
+/// The default persistent cache location, `results/cache/`.
+pub fn default_cache_dir() -> PathBuf {
+    results_dir().join("cache")
+}
+
+/// Resolves the shared cache flags (`--cache`, `--no-cache`,
+/// `--cache-dir DIR`, env `EVA_CACHE_DIR`) from this process's argument
+/// list. Caching defaults to **on** under [`default_cache_dir`]; `None`
+/// means `--no-cache` was passed.
+pub fn cache_setting() -> Option<ReportCache> {
+    cache_setting_from(std::env::args().skip(1))
+}
+
+/// [`cache_setting`] over an explicit argument list (testable form).
+/// Unrecognized arguments are ignored — binaries with their own flags
+/// keep working.
+pub fn cache_setting_from(args: impl IntoIterator<Item = String>) -> Option<ReportCache> {
+    let mut enabled = true;
+    let mut dir: Option<PathBuf> = None;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--no-cache" => enabled = false,
+            "--cache" => enabled = true,
+            "--cache-dir" => {
+                dir = it.next().map(PathBuf::from);
+                enabled = true;
+            }
+            _ => {}
+        }
+    }
+    if dir.is_none() {
+        if let Ok(env_dir) = std::env::var("EVA_CACHE_DIR") {
+            dir = Some(PathBuf::from(env_dir));
+        }
+    }
+    enabled.then(|| ReportCache::new(dir.unwrap_or_else(default_cache_dir)))
+}
+
+/// The sweep runner every experiment binary shares: `EVA_THREADS`
+/// workers plus the persistent report cache (unless `--no-cache`).
+pub fn runner() -> SweepRunner {
+    let runner = SweepRunner::new(default_threads());
+    match cache_setting() {
+        Some(cache) => runner.with_cache(cache),
+        None => runner,
+    }
+}
+
+/// Prints the standard one-line cache/dedup summary after a sweep.
+pub fn print_stats(stats: &PoolStats) {
+    println!("   [cells: {}]", stats.summary());
 }
 
 /// The five schedulers of §6.1 in the paper's reporting order.
@@ -63,7 +133,8 @@ pub fn run_and_print(trace: &Trace, kinds: Vec<SchedulerKind>, header: &str) -> 
         trace.stats().arrival_span_hours
     );
     let grid = add_schedulers(SweepGrid::new("trace", trace.clone()), kinds);
-    let result = SweepRunner::new(default_threads()).run(&grid);
+    let (result, stats) = runner().run_with_stats(&grid);
+    print_stats(&stats);
     let reports: Vec<SimReport> = result.reports().cloned().collect();
     for (i, report) in reports.iter().enumerate() {
         let baseline = (i > 0).then(|| &reports[0]);
@@ -131,5 +202,19 @@ mod tests {
     fn results_dir_is_creatable() {
         let dir = results_dir();
         assert!(dir.exists());
+    }
+
+    #[test]
+    fn cache_flags_resolve() {
+        let args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<String>>();
+        assert!(cache_setting_from(args(&["--no-cache"])).is_none());
+        let explicit = cache_setting_from(args(&["--cache-dir", "/tmp/eva-x"])).unwrap();
+        assert_eq!(explicit.dir(), std::path::Path::new("/tmp/eva-x"));
+        // --cache-dir re-enables caching even after --no-cache.
+        assert!(cache_setting_from(args(&["--no-cache", "--cache-dir", "/tmp/y"])).is_some());
+        if std::env::var("EVA_CACHE_DIR").is_err() {
+            let default = cache_setting_from(args(&["--jobs", "5"])).unwrap();
+            assert!(default.dir().ends_with("cache"), "{:?}", default.dir());
+        }
     }
 }

@@ -1,0 +1,224 @@
+//! Persistent, content-keyed report cache shared across experiments.
+//!
+//! Every `exp_*` binary and `eva sweep` runs grids of cells, and many
+//! cells recur across experiments (fig4's No-Packing baseline is
+//! table13's No-Packing baseline on the same trace). A [`ReportCache`]
+//! memoizes finished cell reports on disk — under `results/cache/` by
+//! convention — keyed by the cell's **content fingerprint**: trace
+//! content hash × scheduler configuration × seed × fidelity ×
+//! interference × migration scale × round period × backend, all under a
+//! code [`SCHEMA_VERSION`]. A second run of any grid (or another
+//! experiment sharing cells) is served from disk, byte-identical to the
+//! simulated run.
+//!
+//! Entries are self-describing JSON files named by the FNV-1a hash of
+//! `schema|key`; the full key string is stored inside the entry and
+//! verified on lookup, so a (vanishingly unlikely) hash collision reads
+//! as a miss, never as a wrong report. Writes go through a temp file +
+//! rename, so concurrent writers at worst race to publish identical
+//! bytes.
+//!
+//! **Invalidation**: bump [`SCHEMA_VERSION`] whenever simulation
+//! semantics or the serialized report shape change — old entries then
+//! miss (their file names hash differently) and are never read again.
+//! Mutating a trace changes its content hash and therefore its keys.
+
+use std::path::{Path, PathBuf};
+
+use serde::{Deserialize, Serialize, Value};
+
+/// Version tag mixed into every cache key. Bump on any change to
+/// simulation semantics, report fields, or key composition.
+pub const SCHEMA_VERSION: &str = "eva-v1";
+
+/// A directory-backed report store keyed by content fingerprints.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReportCache {
+    dir: PathBuf,
+    schema: String,
+}
+
+impl ReportCache {
+    /// A cache rooted at `dir` (created lazily on first store) under the
+    /// current [`SCHEMA_VERSION`].
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        ReportCache {
+            dir: dir.into(),
+            schema: SCHEMA_VERSION.to_string(),
+        }
+    }
+
+    /// A cache with an explicit schema tag (tests use this to prove that
+    /// bumping the version invalidates every entry).
+    pub fn with_schema(dir: impl Into<PathBuf>, schema: impl Into<String>) -> Self {
+        ReportCache {
+            dir: dir.into(),
+            schema: schema.into(),
+        }
+    }
+
+    /// The cache directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The schema tag entries are keyed under.
+    pub fn schema(&self) -> &str {
+        &self.schema
+    }
+
+    /// Looks up the value stored under `key`, if any. Corrupt, colliding,
+    /// or schema-mismatched entries read as a miss.
+    pub fn lookup<R: Deserialize>(&self, key: &str) -> Option<R> {
+        let text = std::fs::read_to_string(self.path_for(key)).ok()?;
+        let value = serde_json::from_str_value(&text).ok()?;
+        if value.get_field("schema")?.as_str()? != self.schema
+            || value.get_field("key")?.as_str()? != key
+        {
+            return None;
+        }
+        R::deserialize(value.get_field("value")?).ok()
+    }
+
+    /// Stores `value` under `key`. Failures are reported to stderr and
+    /// otherwise ignored: a broken cache must never fail an experiment.
+    pub fn store<R: Serialize>(&self, key: &str, value: &R) {
+        let entry = Value::Object(vec![
+            ("schema".to_string(), Value::String(self.schema.clone())),
+            ("key".to_string(), Value::String(key.to_string())),
+            ("value".to_string(), value.serialize()),
+        ]);
+        let json = match serde_json::to_string_pretty(&entry) {
+            Ok(json) => json,
+            Err(e) => {
+                eprintln!("warning: cache entry for `{key}` does not serialize: {e}");
+                return;
+            }
+        };
+        if let Err(e) = std::fs::create_dir_all(&self.dir) {
+            eprintln!("warning: cannot create cache dir {}: {e}", self.dir.display());
+            return;
+        }
+        let path = self.path_for(key);
+        let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+        let result = std::fs::write(&tmp, json).and_then(|()| std::fs::rename(&tmp, &path));
+        if let Err(e) = result {
+            let _ = std::fs::remove_file(&tmp);
+            eprintln!("warning: cache write {} failed: {e}", path.display());
+        }
+    }
+
+    /// Number of entries currently on disk (diagnostics and tests).
+    pub fn len(&self) -> usize {
+        std::fs::read_dir(&self.dir)
+            .map(|it| {
+                it.filter_map(|e| e.ok())
+                    .filter(|e| e.path().extension().is_some_and(|x| x == "json"))
+                    .count()
+            })
+            .unwrap_or(0)
+    }
+
+    /// True when no entries are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn path_for(&self, key: &str) -> PathBuf {
+        let tagged = format!("{}|{}", self.schema, key);
+        self.dir
+            .join(format!("{:016x}.json", eva_types::fnv1a64(tagged.as_bytes())))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::SimReport;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "eva-cache-test-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn report(cost: f64) -> SimReport {
+        SimReport {
+            scheduler: "test".into(),
+            jobs_completed: 3,
+            total_cost_dollars: cost,
+            instances_launched: 2,
+            migrations_per_task: 0.25,
+            avg_jct_hours: 1.5,
+            avg_idle_hours: 0.1,
+            avg_norm_tput: 0.9,
+            tasks_per_instance: 1.1,
+            gpu_alloc: 0.5,
+            cpu_alloc: 0.4,
+            ram_alloc: 0.3,
+            uptime_cdf: Vec::new(),
+            full_reconfig_rate: 0.0,
+            makespan_hours: 2.5,
+            billed_hours: 4.0,
+        }
+    }
+
+    #[test]
+    fn store_then_lookup_round_trips() {
+        let cache = ReportCache::new(tmp_dir("round-trip"));
+        assert!(cache.is_empty());
+        assert!(cache.lookup::<SimReport>("k1").is_none());
+        let r = report(12.5);
+        cache.store("k1", &r);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.lookup::<SimReport>("k1"), Some(r));
+        assert!(cache.lookup::<SimReport>("k2").is_none());
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn schema_bump_invalidates_entries() {
+        let dir = tmp_dir("schema");
+        let v1 = ReportCache::with_schema(&dir, "v1");
+        v1.store("k", &report(1.0));
+        assert!(v1.lookup::<SimReport>("k").is_some());
+        let v2 = ReportCache::with_schema(&dir, "v2");
+        assert!(
+            v2.lookup::<SimReport>("k").is_none(),
+            "new schema must not read old entries"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_entries_read_as_miss() {
+        let cache = ReportCache::new(tmp_dir("corrupt"));
+        cache.store("k", &report(1.0));
+        let path = cache.path_for("k");
+        std::fs::write(&path, "{ not json").unwrap();
+        assert!(cache.lookup::<SimReport>("k").is_none());
+        // A tampered key string (hash collision stand-in) is also a miss.
+        cache.store("k", &report(1.0));
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, text.replace("\"k\"", "\"other\"")).unwrap();
+        assert!(cache.lookup::<SimReport>("k").is_none());
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn stored_bytes_are_deterministic() {
+        let a_dir = tmp_dir("det-a");
+        let b_dir = tmp_dir("det-b");
+        let a = ReportCache::new(&a_dir);
+        let b = ReportCache::new(&b_dir);
+        a.store("k", &report(0.1));
+        b.store("k", &report(0.1));
+        let read = |c: &ReportCache| std::fs::read_to_string(c.path_for("k")).unwrap();
+        assert_eq!(read(&a), read(&b));
+        let _ = std::fs::remove_dir_all(&a_dir);
+        let _ = std::fs::remove_dir_all(&b_dir);
+    }
+}

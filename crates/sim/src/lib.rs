@@ -17,7 +17,15 @@
 //! * [`sweep`] — **layer 3**: declarative `(scheduler × trace × seed ×
 //!   fidelity × interference × backend)` experiment grids ([`SweepGrid`])
 //!   with a multi-threaded [`SweepRunner`] whose merged results are
-//!   byte-identical for any thread count.
+//!   byte-identical for any thread count. Traces are shared by
+//!   [`eva_workloads::TraceHandle`] and large ones shard into
+//!   arrival-time windows whose reports splice back together
+//!   ([`report::splice`]).
+//! * [`pool`] + [`cache`] — **layer 3 machinery**: the generic
+//!   deduplicating, longest-first, parallel [`CellPool`] every sweep
+//!   (simulation or solver-level) runs on, and the persistent
+//!   content-keyed [`ReportCache`] under `results/cache/` that turns
+//!   cross-experiment reruns into cache hits.
 //!
 //! Job progress integrates throughput over time exactly: throughput is
 //! piecewise-constant between events, so completion times are computed in
@@ -30,9 +38,11 @@
 pub use eva_engine as engine;
 
 pub mod backend;
+pub mod cache;
 pub mod metrics;
 mod observe;
-mod report;
+pub mod pool;
+pub mod report;
 pub mod runner;
 pub mod script;
 pub mod state;
@@ -40,13 +50,16 @@ pub mod sweep;
 pub mod world;
 
 pub use backend::{BackendKind, ExecBackend, LiveBackend, LiveOutcome, SimBackend};
+pub use cache::{ReportCache, SCHEMA_VERSION};
 pub use eva_engine::{derive_seed, EventEngine, RngStreams, Scheduled, SimEvent};
 pub use metrics::{CdfPoint, SimReport};
+pub use pool::{CellPool, PoolStats, RunPlan};
+pub use report::{splice, SplicedReport, INEXACT_METRICS};
 pub use runner::{run_recorded, run_simulation, InterferenceSpec, SchedulerKind, SimConfig};
 pub use script::{ExecAction, ExecActionKind, ExecScript};
 pub use state::{JobProgress, TaskState};
 pub use sweep::{
-    fidelity_label, CellKey, CellOutcome, Experiment, SweepCell, SweepGrid, SweepResult,
-    SweepRunner,
+    fidelity_label, CellKey, CellOutcome, Experiment, SplicedOutcome, SplicedResult, SweepCell,
+    SweepGrid, SweepResult, SweepRunner,
 };
 pub use world::ClusterSim;

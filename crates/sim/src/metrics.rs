@@ -46,6 +46,9 @@ pub struct SimReport {
     pub full_reconfig_rate: f64,
     /// Simulated makespan (hours from first arrival to last termination).
     pub makespan_hours: f64,
+    /// Total instance-billed hours (the denominator behind
+    /// `tasks_per_instance`, and the weight shard reports splice with).
+    pub billed_hours: f64,
 }
 
 impl SimReport {
@@ -124,6 +127,7 @@ mod tests {
             uptime_cdf: Vec::new(),
             full_reconfig_rate: 0.0,
             makespan_hours: 1.0,
+            billed_hours: 1.0,
         }
     }
 

@@ -9,7 +9,7 @@
 use eva_cloud::FidelityMode;
 use eva_core::EvaConfig;
 use eva_types::SimDuration;
-use eva_workloads::Trace;
+use eva_workloads::TraceHandle;
 
 use crate::metrics::SimReport;
 use crate::world::ClusterSim;
@@ -109,8 +109,9 @@ impl InterferenceSpec {
 /// One simulation experiment.
 #[derive(Debug, Clone)]
 pub struct SimConfig {
-    /// The job trace.
-    pub trace: Trace,
+    /// The job trace, shared by handle — cloning a `SimConfig` is a
+    /// reference-count bump, never a job-vector copy.
+    pub trace: TraceHandle,
     /// The scheduler under test.
     pub scheduler: SchedulerKind,
     /// RNG seed (delays).
@@ -126,10 +127,11 @@ pub struct SimConfig {
 }
 
 impl SimConfig {
-    /// Defaults matching the paper's main experiments.
-    pub fn new(trace: Trace, scheduler: SchedulerKind) -> Self {
+    /// Defaults matching the paper's main experiments. Accepts an owned
+    /// [`eva_workloads::Trace`] or an existing [`TraceHandle`].
+    pub fn new(trace: impl Into<TraceHandle>, scheduler: SchedulerKind) -> Self {
         SimConfig {
-            trace,
+            trace: trace.into(),
             scheduler,
             seed: 42,
             round_period: SimDuration::from_mins(5),
@@ -163,7 +165,7 @@ pub fn run_recorded(cfg: &SimConfig) -> (SimReport, crate::script::ExecScript) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use eva_workloads::SyntheticTraceConfig;
+    use eva_workloads::{SyntheticTraceConfig, Trace};
 
     fn tiny_trace(jobs: usize) -> Trace {
         let cfg = SyntheticTraceConfig {
@@ -321,6 +323,7 @@ mod robustness_tests {
     use eva_types::{
         DemandSpec, JobId, JobSpec, ResourceVector, SimTime, TaskId, TaskSpec,
     };
+    use eva_workloads::Trace;
 
     #[test]
     fn unschedulable_jobs_are_dropped_not_hung() {

@@ -3,47 +3,72 @@
 //! Every result in the paper is a grid of `(scheduler × trace × seed ×
 //! fidelity × interference × backend)` cells. [`SweepGrid`] declares such
 //! a grid once; [`SweepRunner`] fans the cells out across scoped worker
-//! threads and merges the per-cell [`SimReport`]s back **in stable cell
-//! order**, so the aggregated result — including its JSON serialization —
-//! is byte-identical for any thread count. Determinism holds because each
+//! threads (via the generic [`crate::pool::CellPool`]) and merges the
+//! per-cell [`SimReport`]s back **in stable cell order**, so the
+//! aggregated result — including its JSON serialization — is
+//! byte-identical for any thread count. Determinism holds because each
 //! cell's randomness comes solely from its own declared seed.
 //!
-//! Two schedule optimizations run before the fan-out, neither of which
+//! Three schedule optimizations run before the fan-out, none of which
 //! can change the merged bytes:
 //!
-//! * **deduplication** — cells whose effective configuration is identical
+//! * **deduplication** — cells whose content fingerprint is identical
 //!   (e.g. No-Packing repeated across an interference axis it cannot
 //!   observe) run once, and the shared report fans out to every
 //!   duplicate;
+//! * **persistent caching** — with [`SweepRunner::with_cache`], finished
+//!   reports are stored under their content fingerprint in a
+//!   [`ReportCache`] shared by every experiment binary, so reruns (and
+//!   other experiments declaring the same cells) skip simulation;
 //! * **cost-aware ordering** — unique cells are claimed longest-first
 //!   (estimated from trace size, fidelity, and backend weight), so the
 //!   pool never tail-blocks on a big cell claimed last.
+//!
+//! Large traces additionally shard along the arrival axis
+//! ([`SweepGrid::shards`]): each window runs as an independent cell —
+//! bounding per-cell memory by the window size — and
+//! [`SweepResult::spliced`] recombines the window reports into
+//! whole-trace reports via [`crate::report::splice`].
 
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 
 use serde::{Deserialize, Serialize};
 
 use eva_cloud::FidelityMode;
 use eva_types::SimDuration;
-use eva_workloads::Trace;
+use eva_workloads::{ShardMeta, ShardPolicy, TraceHandle};
 
 use crate::backend::BackendKind;
+use crate::cache::ReportCache;
 use crate::metrics::SimReport;
+use crate::pool::{CellPool, PoolStats, RunPlan};
+use crate::report::{splice, SplicedReport};
 use crate::runner::{InterferenceSpec, SchedulerKind, SimConfig};
+
+/// One value of the trace axis: a shared trace (or one shard window of
+/// it) under the label reports are filed under.
+#[derive(Debug, Clone)]
+struct TraceEntry {
+    label: String,
+    handle: TraceHandle,
+    shard: Option<ShardMeta>,
+}
 
 /// A declarative grid of simulation cells.
 ///
 /// Axes default to single paper-standard values; every `Vec`-valued axis
 /// multiplies the cell count. Cells expand in a fixed nested order
-/// (trace ▸ backend ▸ interference ▸ migration scale ▸ fidelity ▸ seed ▸
-/// scheduler), with schedulers innermost so each block of
+/// (trace ▸ shard ▸ backend ▸ interference ▸ migration scale ▸ fidelity ▸
+/// seed ▸ scheduler), with schedulers innermost so each block of
 /// `schedulers.len()` cells forms one comparison row whose first entry is
 /// the baseline.
+///
+/// Traces are held by [`TraceHandle`] — adding the same trace to several
+/// grids, or expanding it into thousands of cells, never clones the job
+/// vector.
 #[derive(Debug, Clone)]
 pub struct SweepGrid {
-    traces: Vec<(String, Trace)>,
+    traces: Vec<TraceEntry>,
     schedulers: Vec<(String, SchedulerKind)>,
     seeds: Vec<u64>,
     fidelities: Vec<FidelityMode>,
@@ -57,9 +82,13 @@ impl SweepGrid {
     /// A grid over one trace with paper-default axes and no schedulers
     /// yet (add them with [`SweepGrid::scheduler`] or
     /// [`SweepGrid::paper_schedulers`]).
-    pub fn new(trace_label: impl Into<String>, trace: Trace) -> Self {
+    pub fn new(trace_label: impl Into<String>, trace: impl Into<TraceHandle>) -> Self {
         SweepGrid {
-            traces: vec![(trace_label.into(), trace)],
+            traces: vec![TraceEntry {
+                label: trace_label.into(),
+                handle: trace.into(),
+                shard: None,
+            }],
             schedulers: Vec::new(),
             seeds: vec![42],
             fidelities: vec![FidelityMode::Stochastic],
@@ -71,8 +100,43 @@ impl SweepGrid {
     }
 
     /// Adds another trace axis value.
-    pub fn trace(mut self, label: impl Into<String>, trace: Trace) -> Self {
-        self.traces.push((label.into(), trace));
+    pub fn trace(mut self, label: impl Into<String>, trace: impl Into<TraceHandle>) -> Self {
+        self.traces.push(TraceEntry {
+            label: label.into(),
+            handle: trace.into(),
+            shard: None,
+        });
+        self
+    }
+
+    /// Shards every (not yet sharded) trace axis value into arrival-time
+    /// windows; each window runs as an independent cell whose peak memory
+    /// is bounded by the window size. Windows keep the base trace's
+    /// label and gain a [`ShardMeta`] in their cell keys;
+    /// [`SweepResult::spliced`] recombines their reports. A policy that
+    /// resolves to a single window leaves the trace unsharded.
+    pub fn shards(mut self, policy: ShardPolicy) -> Self {
+        self.traces = self
+            .traces
+            .drain(..)
+            .flat_map(|entry| {
+                if entry.shard.is_some() {
+                    return vec![entry];
+                }
+                let windows = entry.handle.shard(policy);
+                if windows.len() <= 1 {
+                    return vec![entry];
+                }
+                windows
+                    .into_iter()
+                    .map(|w| TraceEntry {
+                        label: entry.label.clone(),
+                        handle: w.handle,
+                        shard: Some(w.meta),
+                    })
+                    .collect()
+            })
+            .collect();
         self
     }
 
@@ -141,7 +205,15 @@ impl SweepGrid {
         self.schedulers.len()
     }
 
-    /// Total number of cells the grid expands to.
+    /// Number of trace-axis entries. After [`SweepGrid::shards`] this is
+    /// the number of windows actually produced (empty windows are
+    /// dropped), which can be fewer than the requested shard count.
+    pub fn trace_axis_len(&self) -> usize {
+        self.traces.len()
+    }
+
+    /// Total number of cells the grid expands to (shard windows count as
+    /// distinct trace axis values).
     pub fn cell_count(&self) -> usize {
         self.traces.len()
             * self.backends.len()
@@ -155,13 +227,18 @@ impl SweepGrid {
     /// Cells that will actually execute after deduplication.
     pub fn unique_cell_count(&self) -> usize {
         let cells = self.cells();
-        RunPlan::build(self, &cells).unique_count()
+        RunPlan::build(
+            cells.len(),
+            &|i| self.fingerprint(&cells[i]),
+            &|i| self.cost_estimate(&cells[i]),
+        )
+        .unique_count()
     }
 
     /// Expands the grid into its cells in stable order.
     pub fn cells(&self) -> Vec<SweepCell> {
         let mut cells = Vec::with_capacity(self.cell_count());
-        for (trace_idx, (trace_label, _)) in self.traces.iter().enumerate() {
+        for (trace_idx, entry) in self.traces.iter().enumerate() {
             for &backend in &self.backends {
                 for &interference in &self.interferences {
                     for &scale in &self.migration_scales {
@@ -172,7 +249,8 @@ impl SweepGrid {
                                         index: cells.len(),
                                         trace_index: trace_idx,
                                         key: CellKey {
-                                            trace: trace_label.clone(),
+                                            trace: entry.label.clone(),
+                                            shard: entry.shard.clone(),
                                             scheduler: name.clone(),
                                             seed,
                                             fidelity: fidelity_label(fidelity).to_string(),
@@ -198,10 +276,12 @@ impl SweepGrid {
         cells
     }
 
-    /// Builds the [`SimConfig`] for one cell.
-    pub fn sim_config(&self, cell: &SweepCell) -> SimConfig {
+    /// Builds the [`SimConfig`] for one cell. The trace is shared by
+    /// handle — this is a reference-count bump, not a job-vector clone,
+    /// even for deduplicated cells.
+    pub fn cell_config(&self, cell: &SweepCell) -> SimConfig {
         SimConfig {
-            trace: self.traces[cell.trace_index].1.clone(),
+            trace: self.traces[cell.trace_index].handle.clone(),
             scheduler: cell.scheduler.clone(),
             seed: cell.seed,
             round_period: cell.round_period,
@@ -211,9 +291,12 @@ impl SweepGrid {
         }
     }
 
-    /// Identity of the *work* a cell performs. Two cells with equal
-    /// fingerprints produce byte-identical reports, so the runner
-    /// executes one and fans the report out.
+    /// Content identity of the *work* a cell performs: the trace's
+    /// content hash plus every semantic knob. Two cells with equal
+    /// fingerprints produce byte-identical reports — within a grid the
+    /// runner executes one and fans the report out, and across
+    /// experiments the fingerprint is the persistent cache key (the
+    /// [`ReportCache`] adds the code schema version).
     ///
     /// Interference is normalized away under No-Packing: it never
     /// co-locates tasks, so the ground-truth interference model is
@@ -226,14 +309,14 @@ impl SweepGrid {
             _ => cell.interference.label(),
         };
         format!(
-            "{}|{:?}|{}|{}|{}|{}|{:?}|{}",
-            cell.trace_index,
+            "trace:{}|sched:{:?}|seed:{}|fid:{}|int:{}|scale:{}|period:{}ms|backend:{}",
+            self.traces[cell.trace_index].handle.fingerprint_hex(),
             cell.scheduler,
             cell.seed,
             fidelity_label(cell.fidelity),
             interference,
             cell.migration_delay_scale,
-            self.round_period,
+            self.round_period.as_millis(),
             cell.backend.label(),
         )
     }
@@ -242,7 +325,7 @@ impl SweepGrid {
     /// trace job count scaled by fidelity (stochastic samples delays) and
     /// backend weight (live = simulate + replay on real threads).
     pub(crate) fn cost_estimate(&self, cell: &SweepCell) -> u64 {
-        let jobs = self.traces[cell.trace_index].1.len().max(1) as u64;
+        let jobs = self.traces[cell.trace_index].handle.len().max(1) as u64;
         let fidelity = match cell.fidelity {
             FidelityMode::Stochastic => 3,
             FidelityMode::Nominal => 2,
@@ -291,8 +374,11 @@ pub struct SweepCell {
 /// Serializable identity of a cell inside sweep results.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CellKey {
-    /// Trace-axis label.
+    /// Trace-axis label (shard windows share their base trace's label).
     pub trace: String,
+    /// Which arrival-time window of the trace this is (`None` when the
+    /// trace runs whole).
+    pub shard: Option<ShardMeta>,
     /// Scheduler name as declared on the grid.
     pub scheduler: String,
     /// RNG seed.
@@ -305,6 +391,25 @@ pub struct CellKey {
     pub migration_delay_scale: f64,
     /// Execution backend label (`sim`/`live`).
     pub backend: String,
+}
+
+impl CellKey {
+    /// `"i/n"` for shard cells, `"-"` for whole-trace cells.
+    pub fn shard_label(&self) -> String {
+        self.shard
+            .as_ref()
+            .map(|s| s.label())
+            .unwrap_or_else(|| "-".to_string())
+    }
+
+    /// This key with the shard component erased — the identity of the
+    /// whole-trace cell a shard cell contributes to.
+    pub fn logical(&self) -> CellKey {
+        CellKey {
+            shard: None,
+            ..self.clone()
+        }
+    }
 }
 
 /// One finished cell: its identity plus its report.
@@ -342,10 +447,91 @@ impl SweepResult {
         self.cells.iter().find(|c| c.key.scheduler == scheduler)
     }
 
+    /// Recombines shard cells into whole-trace outcomes via
+    /// [`crate::report::splice`], preserving first-appearance cell order.
+    /// Whole-trace cells pass through exactly; shard groups produce one
+    /// spliced outcome whose approximate metrics are flagged. The result
+    /// is byte-identical for any thread count, like the sweep itself.
+    pub fn spliced(&self) -> SplicedResult {
+        let mut groups: Vec<(CellKey, Vec<(ShardMeta, SimReport)>)> = Vec::new();
+        let mut index: BTreeMap<String, usize> = BTreeMap::new();
+        for cell in &self.cells {
+            let logical = cell.key.logical();
+            let group_key = serde_json::to_string(&logical).expect("cell keys serialize");
+            let meta = cell.key.shard.clone().unwrap_or(ShardMeta {
+                index: 0,
+                count: 1,
+                offset: SimDuration::ZERO,
+                jobs: 0,
+                tasks: 0,
+            });
+            match index.get(&group_key) {
+                Some(&g) => groups[g].1.push((meta, cell.report.clone())),
+                None => {
+                    index.insert(group_key, groups.len());
+                    groups.push((logical, vec![(meta, cell.report.clone())]));
+                }
+            }
+        }
+        SplicedResult {
+            cells: groups
+                .into_iter()
+                .map(|(key, parts)| {
+                    let SplicedReport {
+                        report,
+                        shards,
+                        inexact_metrics,
+                    } = splice(&parts);
+                    SplicedOutcome {
+                        key,
+                        report,
+                        shards,
+                        inexact_metrics,
+                    }
+                })
+                .collect(),
+            schedulers_per_block: self.schedulers_per_block,
+        }
+    }
+
     /// Deterministic pretty JSON of the whole sweep (byte-identical across
     /// thread counts because cell order is stable).
     pub fn to_json_pretty(&self) -> String {
         serde_json::to_string_pretty(self).expect("SweepResult serializes")
+    }
+}
+
+/// One whole-trace outcome recombined from shard cells.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SplicedOutcome {
+    /// The logical (shard-erased) cell identity.
+    pub key: CellKey,
+    /// The whole-trace report.
+    pub report: SimReport,
+    /// Shard reports spliced into it (1 = direct single-cell result).
+    pub shards: usize,
+    /// Metrics whose spliced value is approximate (empty when exact).
+    pub inexact_metrics: Vec<String>,
+}
+
+/// The whole-trace view of a (possibly sharded) sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SplicedResult {
+    /// Whole-trace outcomes in first-appearance cell order.
+    pub cells: Vec<SplicedOutcome>,
+    /// Schedulers per comparison block.
+    pub schedulers_per_block: usize,
+}
+
+impl SplicedResult {
+    /// Comparison blocks, as on [`SweepResult::blocks`].
+    pub fn blocks(&self) -> impl Iterator<Item = &[SplicedOutcome]> {
+        self.cells.chunks(self.schedulers_per_block.max(1))
+    }
+
+    /// Deterministic pretty JSON.
+    pub fn to_json_pretty(&self) -> String {
+        serde_json::to_string_pretty(self).expect("SplicedResult serializes")
     }
 }
 
@@ -373,59 +559,40 @@ impl Experiment {
     }
 }
 
-/// The pre-computed execution schedule of a grid: which cells actually
-/// run (deduplicated representatives, longest first) and which
-/// representative each cell's report comes from.
-#[derive(Debug, Clone)]
-pub(crate) struct RunPlan {
-    /// For every cell index, the index of its representative.
-    pub rep_of: Vec<usize>,
-    /// Representative cell indices in execution order (longest first,
-    /// index-tiebroken — fully deterministic).
-    pub order: Vec<usize>,
-}
-
-impl RunPlan {
-    pub(crate) fn build(grid: &SweepGrid, cells: &[SweepCell]) -> RunPlan {
-        let mut first: BTreeMap<String, usize> = BTreeMap::new();
-        let mut rep_of = Vec::with_capacity(cells.len());
-        for (i, cell) in cells.iter().enumerate() {
-            rep_of.push(*first.entry(grid.fingerprint(cell)).or_insert(i));
-        }
-        let mut order: Vec<usize> = first.into_values().collect();
-        order.sort_by_key(|&i| (std::cmp::Reverse(grid.cost_estimate(&cells[i])), i));
-        RunPlan { rep_of, order }
-    }
-
-    /// Cells that actually execute after deduplication.
-    pub(crate) fn unique_count(&self) -> usize {
-        self.order.len()
-    }
-}
-
 /// Multi-threaded executor for [`SweepGrid`]s.
 ///
 /// Workers claim deduplicated cells — longest first — from a shared
-/// atomic cursor, run each on its cell's backend, and write the outcome
+/// atomic cursor, run each on its cell's backend (serving it from the
+/// optional persistent [`ReportCache`] when warm), and write the outcome
 /// into the cell's own slot, so the merged result is independent of
-/// scheduling order and thread count.
-#[derive(Debug, Clone, Copy)]
+/// scheduling order, thread count, and cache state.
+#[derive(Debug, Clone)]
 pub struct SweepRunner {
     threads: usize,
+    cache: Option<ReportCache>,
 }
 
 impl SweepRunner {
     /// A runner over `threads` workers; 0 selects the machine's available
     /// parallelism.
     pub fn new(threads: usize) -> Self {
-        let threads = if threads == 0 {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-        } else {
-            threads
-        };
-        SweepRunner { threads }
+        SweepRunner {
+            threads: CellPool::new(threads).threads(),
+            cache: None,
+        }
+    }
+
+    /// Attaches a persistent report cache: representatives found in the
+    /// cache skip simulation, and fresh reports are stored for the next
+    /// run (or the next experiment sharing the cell).
+    pub fn with_cache(mut self, cache: ReportCache) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// The attached cache, if any.
+    pub fn cache(&self) -> Option<&ReportCache> {
+        self.cache.as_ref()
     }
 
     /// The worker count this runner was resolved to.
@@ -434,61 +601,52 @@ impl SweepRunner {
     }
 
     /// Runs every cell of `grid` and merges outcomes in stable cell order.
+    pub fn run(&self, grid: &SweepGrid) -> SweepResult {
+        self.run_with_stats(grid).0
+    }
+
+    /// Runs the grid and also reports what executed vs what the
+    /// deduplicator and cache absorbed.
     ///
     /// Identical cells run once (their report fans out to every
-    /// duplicate) and unique cells are claimed longest-first; neither
-    /// optimization can change the merged bytes, because duplicate cells
-    /// would have produced byte-identical reports anyway and every report
-    /// lands in its cell's own slot.
-    pub fn run(&self, grid: &SweepGrid) -> SweepResult {
+    /// duplicate), cached cells don't run at all, and unique cells are
+    /// claimed longest-first; none of these optimizations can change the
+    /// merged bytes, because duplicate cells would have produced
+    /// byte-identical reports anyway and every report lands in its cell's
+    /// own slot.
+    pub fn run_with_stats(&self, grid: &SweepGrid) -> (SweepResult, PoolStats) {
         let cells = grid.cells();
-        let plan = RunPlan::build(grid, &cells);
-        let slots: Vec<Mutex<Option<SimReport>>> =
-            cells.iter().map(|_| Mutex::new(None)).collect();
-        let next = AtomicUsize::new(0);
-        let workers = self.threads.min(plan.order.len()).max(1);
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let k = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(&i) = plan.order.get(k) else {
-                        break;
-                    };
-                    let cell = &cells[i];
-                    let cfg = grid.sim_config(cell);
-                    let report = cell.backend.backend().run(&cfg);
-                    *slots[i].lock().unwrap() = Some(report);
-                });
-            }
-        });
-        let reports: Vec<Option<SimReport>> = slots
-            .into_iter()
-            .map(|slot| {
-                slot.into_inner()
-                    .expect("no worker panicked holding a slot lock")
-            })
-            .collect();
-        SweepResult {
+        let pool = CellPool::new(self.threads);
+        let (reports, stats) = pool.run(
+            cells.len(),
+            &|i| grid.fingerprint(&cells[i]),
+            &|i| grid.cost_estimate(&cells[i]),
+            self.cache.as_ref(),
+            &|i| {
+                let cell = &cells[i];
+                let cfg = grid.cell_config(cell);
+                cell.backend.backend().run(&cfg)
+            },
+        );
+        let result = SweepResult {
             cells: cells
                 .iter()
-                .enumerate()
-                .map(|(i, cell)| CellOutcome {
+                .zip(reports)
+                .map(|(cell, report)| CellOutcome {
                     key: cell.key.clone(),
-                    report: reports[plan.rep_of[i]]
-                        .as_ref()
-                        .expect("every representative cell was claimed and completed")
-                        .clone(),
+                    report,
                 })
                 .collect(),
             schedulers_per_block: grid.schedulers_per_block(),
-        }
+        };
+        (result, stats)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use eva_workloads::SyntheticTraceConfig;
+    use eva_workloads::{SyntheticTraceConfig, Trace};
 
     fn tiny_trace(jobs: usize) -> Trace {
         SyntheticTraceConfig {
@@ -527,6 +685,8 @@ mod tests {
         );
         for (i, c) in cells.iter().enumerate() {
             assert_eq!(c.index, i);
+            assert!(c.key.shard.is_none());
+            assert_eq!(c.key.shard_label(), "-");
         }
     }
 
@@ -623,7 +783,7 @@ mod tests {
         assert!(grid.unique_cell_count() < grid.cell_count());
         let result = SweepRunner::new(2).run(&grid);
         for (cell, outcome) in grid.cells().iter().zip(&result.cells) {
-            let direct = crate::runner::run_simulation(&grid.sim_config(cell));
+            let direct = crate::runner::run_simulation(&grid.cell_config(cell));
             assert_eq!(
                 outcome.report, direct,
                 "deduped report diverges from a direct run of {:?}",
@@ -647,6 +807,18 @@ mod tests {
     }
 
     #[test]
+    fn identical_trace_content_dedups_across_axis_entries() {
+        // The fingerprint is content-based, so two trace axis values with
+        // equal jobs — however constructed — share representatives.
+        let grid = SweepGrid::new("a", tiny_trace(3))
+            .trace("b", tiny_trace(3))
+            .scheduler("No-Packing", SchedulerKind::NoPacking)
+            .fidelities(vec![FidelityMode::Nominal]);
+        assert_eq!(grid.cell_count(), 2);
+        assert_eq!(grid.unique_cell_count(), 1);
+    }
+
+    #[test]
     fn execution_order_is_longest_first_and_deterministic() {
         let big = tiny_trace(9);
         let grid = SweepGrid::new("small", tiny_trace(2))
@@ -654,7 +826,14 @@ mod tests {
             .scheduler("No-Packing", SchedulerKind::NoPacking)
             .fidelities(vec![FidelityMode::Nominal, FidelityMode::Stochastic]);
         let cells = grid.cells();
-        let plan = RunPlan::build(&grid, &cells);
+        let build = || {
+            RunPlan::build(
+                cells.len(),
+                &|i| grid.fingerprint(&cells[i]),
+                &|i| grid.cost_estimate(&cells[i]),
+            )
+        };
+        let plan = build();
         assert_eq!(plan.unique_count(), 4);
         // Big-trace stochastic first, ties broken by cell index.
         let costs: Vec<u64> = plan
@@ -663,7 +842,7 @@ mod tests {
             .map(|&i| grid.cost_estimate(&cells[i]))
             .collect();
         assert!(costs.windows(2).all(|w| w[0] >= w[1]), "{costs:?}");
-        assert_eq!(plan.order, RunPlan::build(&grid, &cells).order);
+        assert_eq!(plan.order, build().order);
     }
 
     #[test]
@@ -675,5 +854,98 @@ mod tests {
         assert!(cells[4..].iter().all(|c| c.key.backend == "live"));
         // Sim and live cells never share a fingerprint.
         assert_eq!(grid.unique_cell_count(), 8);
+    }
+
+    #[test]
+    fn shards_expand_the_trace_axis_and_label_cells() {
+        // Cluster arrivals so equal-width windows are all non-empty.
+        let trace = tiny_trace(8);
+        let grid = SweepGrid::new("whole", trace.clone())
+            .shards(ShardPolicy::MaxJobs(3))
+            .scheduler("No-Packing", SchedulerKind::NoPacking)
+            .fidelities(vec![FidelityMode::Nominal]);
+        assert_eq!(grid.cell_count(), 3, "8 jobs in windows of ≤3");
+        let cells = grid.cells();
+        let labels: Vec<String> = cells.iter().map(|c| c.key.shard_label()).collect();
+        assert_eq!(labels, vec!["1/3", "2/3", "3/3"]);
+        assert!(cells.iter().all(|c| c.key.trace == "whole"));
+        // Shard cells carry only their window's jobs.
+        let sizes: Vec<usize> = cells
+            .iter()
+            .map(|c| grid.cell_config(c).trace.len())
+            .collect();
+        assert_eq!(sizes, vec![3, 3, 2]);
+    }
+
+    #[test]
+    fn spliced_regroups_shard_cells_into_whole_trace_outcomes() {
+        let trace = tiny_trace(8);
+        let sharded = SweepGrid::new("t", trace.clone())
+            .shards(ShardPolicy::MaxJobs(3))
+            .schedulers_by_name(&["no-packing", "stratus"])
+            .unwrap()
+            .fidelities(vec![FidelityMode::Nominal]);
+        let result = SweepRunner::new(2).run(&sharded);
+        assert_eq!(result.cells.len(), 6);
+        let spliced = result.spliced();
+        assert_eq!(spliced.cells.len(), 2, "one logical cell per scheduler");
+        for outcome in &spliced.cells {
+            assert!(outcome.key.shard.is_none());
+            assert_eq!(outcome.shards, 3);
+            assert!(!outcome.inexact_metrics.is_empty());
+            assert_eq!(outcome.report.jobs_completed, 8);
+        }
+        assert_eq!(spliced.blocks().count(), 1);
+        // An unsharded sweep splices to itself, exactly.
+        let whole = SweepRunner::new(2).run(
+            &SweepGrid::new("t", trace)
+                .schedulers_by_name(&["no-packing", "stratus"])
+                .unwrap()
+                .fidelities(vec![FidelityMode::Nominal]),
+        );
+        let passthrough = whole.spliced();
+        assert_eq!(passthrough.cells.len(), 2);
+        for (o, c) in passthrough.cells.iter().zip(&whole.cells) {
+            assert_eq!(o.report, c.report);
+            assert_eq!(o.shards, 1);
+            assert!(o.inexact_metrics.is_empty());
+        }
+    }
+
+    #[test]
+    fn cell_keys_round_trip_with_and_without_shard() {
+        let sharded = SweepGrid::new("t", tiny_trace(8))
+            .shards(ShardPolicy::MaxJobs(3))
+            .scheduler("No-Packing", SchedulerKind::NoPacking);
+        for cell in sharded.cells() {
+            let json = serde_json::to_string(&cell.key).unwrap();
+            let back: CellKey = serde_json::from_str(&json).unwrap();
+            assert_eq!(cell.key, back);
+            assert!(back.shard.is_some());
+            assert!(back.logical().shard.is_none());
+        }
+        let plain = tiny_grid().cells();
+        let json = serde_json::to_string(&plain[0].key).unwrap();
+        let back: CellKey = serde_json::from_str(&json).unwrap();
+        assert_eq!(plain[0].key, back);
+        assert!(back.shard.is_none());
+    }
+
+    #[test]
+    fn cached_rerun_is_byte_identical_and_simulates_nothing() {
+        let dir = std::env::temp_dir().join(format!("eva-sweep-cache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let grid = tiny_grid();
+        let runner = SweepRunner::new(2).with_cache(ReportCache::new(&dir));
+        let (first, s1) = runner.run_with_stats(&grid);
+        assert_eq!(s1.executed, s1.unique);
+        assert_eq!(s1.cache_hits, 0);
+        let (second, s2) = runner.run_with_stats(&grid);
+        assert!(s2.all_cached(), "{}", s2.summary());
+        assert_eq!(first.to_json_pretty(), second.to_json_pretty());
+        // An uncached run agrees byte-for-byte with the cached one.
+        let cold = SweepRunner::new(2).run(&grid);
+        assert_eq!(cold.to_json_pretty(), second.to_json_pretty());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -17,7 +17,7 @@ use eva_baselines::{
 use eva_cloud::{Catalog, CloudProvider, DelayModel};
 use eva_core::{EvaScheduler, Scheduler};
 use eva_types::{InstanceId, JobId, SimDuration, SimTime, TaskId, WorkloadKind};
-use eva_workloads::{InterferenceModel, Trace, WorkloadCatalog};
+use eva_workloads::{InterferenceModel, Trace, TraceHandle, WorkloadCatalog};
 
 use crate::engine::{EventEngine, RngStreams, SimEvent, DELAY_STREAM};
 use crate::metrics::SimReport;
@@ -90,24 +90,33 @@ impl ClusterSim {
     pub fn new(cfg: &SimConfig) -> Self {
         let catalog = Catalog::aws_eval_2025();
         let workloads = WorkloadCatalog::table7();
-        let feasible: Vec<_> = cfg
-            .trace
-            .jobs()
-            .iter()
-            .filter(|job| {
-                let ok = job
-                    .tasks
-                    .iter()
-                    .all(|t| catalog.cheapest_fit(&t.demand).is_some());
-                if !ok {
-                    eprintln!("warning: dropping unschedulable {}", job.id);
-                }
-                ok
-            })
-            .cloned()
-            .collect();
+        let fits = |job: &eva_types::JobSpec| {
+            job.tasks
+                .iter()
+                .all(|t| catalog.cheapest_fit(&t.demand).is_some())
+        };
+        // The common case drops nothing, so the world shares the caller's
+        // trace by handle instead of cloning the job vector.
+        let trace = if cfg.trace.jobs().iter().all(&fits) {
+            cfg.trace.clone()
+        } else {
+            let feasible: Vec<_> = cfg
+                .trace
+                .jobs()
+                .iter()
+                .filter(|job| {
+                    let ok = fits(job);
+                    if !ok {
+                        eprintln!("warning: dropping unschedulable {}", job.id);
+                    }
+                    ok
+                })
+                .cloned()
+                .collect();
+            TraceHandle::new(Trace::new(feasible))
+        };
         let cfg = SimConfig {
-            trace: Trace::new(feasible),
+            trace,
             ..cfg.clone()
         };
         let interference = match cfg.interference {

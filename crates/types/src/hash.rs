@@ -1,0 +1,48 @@
+//! The workspace's stable content-hash primitive.
+//!
+//! Trace fingerprints (`eva_workloads::TraceHandle`) and persistent
+//! cache keys (`eva_sim::cache::ReportCache`) are written to disk and
+//! compared across processes, machines, and releases, so they must hash
+//! through **one** shared implementation that never changes silently.
+//! FNV-1a 64-bit is tiny, dependency-free, and platform-stable — an
+//! identity/integrity hash, not a security boundary (key strings are
+//! stored alongside their hashes and verified on read).
+
+/// FNV-1a 64-bit over a byte string.
+///
+/// # Examples
+///
+/// ```
+/// use eva_types::fnv1a64;
+///
+/// assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+/// assert_ne!(fnv1a64(b"trace-a"), fnv1a64(b"trace-b"));
+/// ```
+pub const fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut i = 0;
+    while i < bytes.len() {
+        hash ^= bytes[i] as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        i += 1;
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn is_order_sensitive() {
+        assert_ne!(fnv1a64(b"ab"), fnv1a64(b"ba"));
+    }
+}

@@ -17,6 +17,7 @@
 //! ```
 
 pub mod error;
+pub mod hash;
 pub mod ids;
 pub mod job;
 pub mod money;
@@ -24,6 +25,7 @@ pub mod resources;
 pub mod time;
 
 pub use error::EvaError;
+pub use hash::fnv1a64;
 pub use ids::{InstanceId, InstanceTypeId, JobId, TaskId, WorkloadKind};
 pub use job::{DemandSpec, JobSpec, TaskSpec};
 pub use money::Cost;

@@ -1,0 +1,367 @@
+//! Shared trace handles and arrival-time sharding.
+//!
+//! Experiment grids multiply a trace across many cells; cloning a
+//! 6,000-job [`Trace`] per cell dominated sweep memory. A [`TraceHandle`]
+//! wraps the trace in an [`Arc`] so every cell shares one immutable copy
+//! (cloning a handle is a reference-count bump), and lazily computes a
+//! stable **content fingerprint** — the identity the persistent report
+//! cache and cross-experiment deduplication key on.
+//!
+//! [`TraceHandle::shard`] splits a trace into arrival-time windows
+//! ([`TraceWindow`]) that run as independent simulation cells. Each
+//! window carries offset metadata ([`ShardMeta`]) so shard reports can be
+//! spliced back into a whole-trace report: the window keeps its jobs'
+//! original arrival times, and `offset` records where the window's first
+//! arrival sits relative to the whole trace's first arrival.
+
+use std::ops::Deref;
+use std::sync::{Arc, OnceLock};
+
+use serde::{Deserialize, Serialize};
+
+use eva_types::{SimDuration, SimTime};
+
+use crate::trace::Trace;
+
+/// An immutable, reference-counted trace with a stable content
+/// fingerprint.
+///
+/// Cloning a handle never clones the jobs. The fingerprint is computed on
+/// first use (FNV-1a over the trace's canonical JSON serialization), so
+/// handles that are only simulated — never cached or deduplicated — pay
+/// nothing.
+///
+/// # Examples
+///
+/// ```
+/// use eva_workloads::{SyntheticTraceConfig, TraceHandle};
+///
+/// let handle = TraceHandle::new(SyntheticTraceConfig::small_scale().generate(42));
+/// let alias = handle.clone(); // Arc bump, not a job-vector clone
+/// assert_eq!(handle.fingerprint(), alias.fingerprint());
+/// assert_eq!(handle.len(), 32); // Deref to the underlying Trace
+/// ```
+#[derive(Debug, Clone)]
+pub struct TraceHandle {
+    inner: Arc<HandleInner>,
+}
+
+#[derive(Debug)]
+struct HandleInner {
+    trace: Trace,
+    fingerprint: OnceLock<u64>,
+}
+
+impl TraceHandle {
+    /// Wraps a trace in a shared handle.
+    pub fn new(trace: Trace) -> Self {
+        TraceHandle {
+            inner: Arc::new(HandleInner {
+                trace,
+                fingerprint: OnceLock::new(),
+            }),
+        }
+    }
+
+    /// The underlying trace.
+    pub fn trace(&self) -> &Trace {
+        &self.inner.trace
+    }
+
+    /// Stable 64-bit content hash of the trace (FNV-1a over its canonical
+    /// JSON form), computed once per handle. Two handles over traces with
+    /// identical job content — regardless of how they were constructed —
+    /// fingerprint identically.
+    pub fn fingerprint(&self) -> u64 {
+        *self.inner.fingerprint.get_or_init(|| {
+            let json = serde_json::to_string(&self.inner.trace)
+                .expect("traces always serialize");
+            eva_types::fnv1a64(json.as_bytes())
+        })
+    }
+
+    /// The fingerprint as fixed-width hex, for keys and file names.
+    pub fn fingerprint_hex(&self) -> String {
+        format!("{:016x}", self.fingerprint())
+    }
+
+    /// Splits the trace into arrival-time windows.
+    ///
+    /// Jobs keep their original arrival times; a window is itself an
+    /// independent trace (with its own handle and fingerprint) plus
+    /// [`ShardMeta`] describing where it sits in the whole trace. Windows
+    /// that would contain no jobs are dropped and the remaining windows
+    /// are renumbered densely, so `meta.count` is always the number of
+    /// windows actually produced. A trace with fewer than two jobs, or a
+    /// policy resolving to a single window, yields one window covering
+    /// the whole trace.
+    pub fn shard(&self, policy: ShardPolicy) -> Vec<TraceWindow> {
+        let jobs = self.trace().jobs();
+        let chunks: Vec<Vec<eva_types::JobSpec>> = match policy {
+            ShardPolicy::Windows(n) if n >= 2 && jobs.len() >= 2 => {
+                let first = jobs[0].arrival;
+                let last = jobs[jobs.len() - 1].arrival;
+                let span = last.duration_since(first).as_millis();
+                let mut buckets: Vec<Vec<eva_types::JobSpec>> = vec![Vec::new(); n];
+                for job in jobs {
+                    let offset = job.arrival.duration_since(first).as_millis();
+                    // Last window is closed on the right so the final
+                    // arrival lands inside it.
+                    let k = if span == 0 {
+                        0
+                    } else {
+                        (((offset as u128 * n as u128) / (span as u128 + 1)) as usize).min(n - 1)
+                    };
+                    buckets[k].push(job.clone());
+                }
+                buckets
+            }
+            ShardPolicy::MaxJobs(m) if m >= 1 && jobs.len() > m => {
+                jobs.chunks(m).map(|c| c.to_vec()).collect()
+            }
+            _ => vec![jobs.to_vec()],
+        };
+        let mut windows: Vec<Vec<eva_types::JobSpec>> =
+            chunks.into_iter().filter(|c| !c.is_empty()).collect();
+        if windows.is_empty() {
+            windows.push(Vec::new()); // empty trace → one empty window
+        }
+        let count = windows.len();
+        let whole_first = jobs.first().map(|j| j.arrival).unwrap_or(SimTime::ZERO);
+        windows
+            .into_iter()
+            .enumerate()
+            .map(|(index, chunk)| {
+                let first = chunk.first().map(|j| j.arrival).unwrap_or(whole_first);
+                let tasks = chunk.iter().map(|j| j.num_tasks()).sum();
+                let jobs = chunk.len();
+                TraceWindow {
+                    handle: TraceHandle::new(Trace::new(chunk)),
+                    meta: ShardMeta {
+                        index,
+                        count,
+                        offset: first.duration_since(whole_first),
+                        jobs,
+                        tasks,
+                    },
+                }
+            })
+            .collect()
+    }
+}
+
+impl Deref for TraceHandle {
+    type Target = Trace;
+
+    fn deref(&self) -> &Trace {
+        self.trace()
+    }
+}
+
+impl From<Trace> for TraceHandle {
+    fn from(trace: Trace) -> Self {
+        TraceHandle::new(trace)
+    }
+}
+
+impl From<&Trace> for TraceHandle {
+    fn from(trace: &Trace) -> Self {
+        TraceHandle::new(trace.clone())
+    }
+}
+
+impl PartialEq for TraceHandle {
+    fn eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner) || self.trace() == other.trace()
+    }
+}
+
+/// How [`TraceHandle::shard`] splits the arrival axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardPolicy {
+    /// Split the arrival span into this many equal-width time windows.
+    Windows(usize),
+    /// Consecutive windows of at most this many jobs each.
+    MaxJobs(usize),
+}
+
+/// One arrival-time window of a sharded trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceWindow {
+    /// The window's jobs as an independent shared trace.
+    pub handle: TraceHandle,
+    /// Where the window sits inside the whole trace.
+    pub meta: ShardMeta,
+}
+
+/// Position and weight metadata of one shard window, carried through
+/// sweep-cell keys so shard reports can be spliced back together.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardMeta {
+    /// Zero-based window index.
+    pub index: usize,
+    /// Total windows the trace was split into.
+    pub count: usize,
+    /// Window first arrival relative to the whole trace's first arrival
+    /// (the time shift applied when splicing makespans).
+    pub offset: SimDuration,
+    /// Jobs in the window.
+    pub jobs: usize,
+    /// Tasks in the window (the weight for per-task rate metrics).
+    pub tasks: usize,
+}
+
+impl ShardMeta {
+    /// `"i/n"` label used in cell keys and printed rows (1-based).
+    pub fn label(&self) -> String {
+        format!("{}/{}", self.index + 1, self.count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::SyntheticTraceConfig;
+    use eva_types::{
+        DemandSpec, JobId, JobSpec, ResourceVector, TaskId, TaskSpec, WorkloadKind,
+    };
+
+    fn job(id: u64, arrival_mins: u64) -> JobSpec {
+        JobSpec {
+            id: JobId(id),
+            arrival: SimTime::from_secs(arrival_mins * 60),
+            tasks: vec![TaskSpec {
+                id: TaskId::new(JobId(id), 0),
+                workload: WorkloadKind(0),
+                demand: DemandSpec::uniform(ResourceVector::new(1, 4, 1024)),
+                checkpoint_delay: SimDuration::from_secs(2),
+                launch_delay: SimDuration::from_secs(10),
+            }],
+            duration_at_full_tput: SimDuration::from_mins(30),
+            gang_coupled: false,
+        }
+    }
+
+    fn spread_trace() -> Trace {
+        // Three arrival clusters: 0–10 min, 100–110 min, 200–210 min.
+        let mut jobs = Vec::new();
+        for k in 0..3u64 {
+            for i in 0..4u64 {
+                jobs.push(job(k * 10 + i, k * 100 + i * 3));
+            }
+        }
+        Trace::new(jobs)
+    }
+
+    #[test]
+    fn handle_clone_shares_storage_and_fingerprint() {
+        let h = TraceHandle::new(spread_trace());
+        let alias = h.clone();
+        assert!(Arc::ptr_eq(&h.inner, &alias.inner));
+        assert_eq!(h.fingerprint(), alias.fingerprint());
+        assert_eq!(h.fingerprint_hex().len(), 16);
+    }
+
+    #[test]
+    fn fingerprint_depends_on_content_not_construction() {
+        let a = TraceHandle::new(spread_trace());
+        let b = TraceHandle::new(spread_trace());
+        assert_eq!(a.fingerprint(), b.fingerprint(), "same content, same hash");
+
+        let mut jobs = spread_trace().into_jobs();
+        jobs[0].duration_at_full_tput = SimDuration::from_mins(31);
+        let mutated = TraceHandle::new(Trace::new(jobs));
+        assert_ne!(a.fingerprint(), mutated.fingerprint());
+    }
+
+    #[test]
+    fn windows_partition_jobs_by_arrival() {
+        let h = TraceHandle::new(spread_trace());
+        let windows = h.shard(ShardPolicy::Windows(3));
+        assert_eq!(windows.len(), 3);
+        let total: usize = windows.iter().map(|w| w.handle.len()).sum();
+        assert_eq!(total, 12);
+        for (k, w) in windows.iter().enumerate() {
+            assert_eq!(w.meta.index, k);
+            assert_eq!(w.meta.count, 3);
+            assert_eq!(w.meta.jobs, w.handle.len());
+            assert_eq!(w.meta.tasks, 4);
+            assert_eq!(w.meta.label(), format!("{}/3", k + 1));
+        }
+        // Arrival order is preserved across the window boundary.
+        assert_eq!(windows[0].handle.jobs()[0].id, JobId(0));
+        assert_eq!(windows[2].handle.jobs()[0].id, JobId(20));
+        // Offsets are the window-relative first arrivals.
+        assert_eq!(windows[0].meta.offset, SimDuration::ZERO);
+        assert_eq!(windows[1].meta.offset, SimDuration::from_mins(100));
+        assert_eq!(windows[2].meta.offset, SimDuration::from_mins(200));
+    }
+
+    #[test]
+    fn empty_windows_are_dropped_and_renumbered() {
+        // All arrivals in the first tenth of the span → most windows empty.
+        let t = Trace::new(vec![job(0, 0), job(1, 1), job(2, 2), job(3, 300)]);
+        let windows = TraceHandle::new(t).shard(ShardPolicy::Windows(10));
+        assert!(windows.len() < 10);
+        let count = windows[0].meta.count;
+        assert_eq!(count, windows.len());
+        for (k, w) in windows.iter().enumerate() {
+            assert_eq!(w.meta.index, k);
+            assert!(!w.handle.is_empty());
+        }
+    }
+
+    #[test]
+    fn max_jobs_policy_chunks_consecutively() {
+        let h = TraceHandle::new(spread_trace());
+        let windows = h.shard(ShardPolicy::MaxJobs(5));
+        assert_eq!(windows.len(), 3);
+        assert_eq!(windows[0].meta.jobs, 5);
+        assert_eq!(windows[1].meta.jobs, 5);
+        assert_eq!(windows[2].meta.jobs, 2);
+    }
+
+    #[test]
+    fn degenerate_shards_collapse_to_one_window() {
+        let h = TraceHandle::new(spread_trace());
+        for policy in [ShardPolicy::Windows(0), ShardPolicy::Windows(1)] {
+            let windows = h.shard(policy);
+            assert_eq!(windows.len(), 1);
+            assert_eq!(windows[0].meta.count, 1);
+            assert_eq!(windows[0].handle.len(), 12);
+            assert_eq!(windows[0].meta.offset, SimDuration::ZERO);
+        }
+        let tiny = TraceHandle::new(Trace::new(vec![job(0, 5)]));
+        assert_eq!(tiny.shard(ShardPolicy::Windows(4)).len(), 1);
+        let empty = TraceHandle::new(Trace::new(vec![]));
+        let w = empty.shard(ShardPolicy::Windows(4));
+        assert_eq!(w.len(), 1);
+        assert!(w[0].handle.is_empty());
+    }
+
+    #[test]
+    fn sharded_then_recombined_preserves_every_job() {
+        let cfg = SyntheticTraceConfig::small_scale();
+        let h = TraceHandle::new(cfg.generate(9));
+        let windows = h.shard(ShardPolicy::Windows(4));
+        let mut recombined: Vec<JobSpec> = Vec::new();
+        for w in &windows {
+            recombined.extend(w.handle.jobs().iter().cloned());
+        }
+        assert_eq!(Trace::new(recombined), *h.trace());
+    }
+
+    #[test]
+    fn shard_meta_serde_round_trip() {
+        let meta = ShardMeta {
+            index: 1,
+            count: 4,
+            offset: SimDuration::from_mins(90),
+            jobs: 7,
+            tasks: 9,
+        };
+        let json = serde_json::to_string(&meta).unwrap();
+        let back: ShardMeta = serde_json::from_str(&json).unwrap();
+        assert_eq!(meta, back);
+    }
+}

@@ -19,6 +19,7 @@ pub mod alibaba;
 pub mod catalog;
 pub mod colocation;
 pub mod duration;
+pub mod handle;
 pub mod modifiers;
 pub mod synthetic;
 pub mod trace;
@@ -27,6 +28,7 @@ pub use alibaba::{AlibabaTraceConfig, DurationModelChoice, TABLE8_GPU_MIX};
 pub use catalog::{WorkloadCatalog, WorkloadInfo};
 pub use colocation::{InterferenceModel, PairwiseMatrix};
 pub use duration::{AlibabaDurations, DurationSampler, GavelDurations, UniformHours};
+pub use handle::{ShardMeta, ShardPolicy, TraceHandle, TraceWindow};
 pub use modifiers::{MultiGpuMix, MultiTaskMix};
 pub use synthetic::SyntheticTraceConfig;
 pub use trace::{Trace, TraceStats};

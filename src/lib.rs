@@ -37,16 +37,16 @@ pub mod prelude {
     pub use eva_cloud::{Catalog, CloudProvider, DelayModel, FidelityMode};
     pub use eva_core::{EvaConfig, EvaScheduler, Plan, Scheduler, SchedulerContext, TaskSnapshot};
     pub use eva_sim::{
-        run_recorded, run_simulation, BackendKind, ClusterSim, ExecBackend, Experiment,
-        LiveBackend, LiveOutcome, SchedulerKind, SimBackend, SimConfig, SimReport, SweepGrid,
-        SweepResult, SweepRunner,
+        run_recorded, run_simulation, BackendKind, CellPool, ClusterSim, ExecBackend, Experiment,
+        LiveBackend, LiveOutcome, PoolStats, ReportCache, SchedulerKind, SimBackend, SimConfig,
+        SimReport, SplicedOutcome, SplicedResult, SweepGrid, SweepResult, SweepRunner,
     };
     pub use eva_types::{
         Cost, DemandSpec, InstanceId, JobId, JobSpec, ResourceVector, SimDuration, SimTime, TaskId,
         TaskSpec, WorkloadKind,
     };
     pub use eva_workloads::{
-        AlibabaTraceConfig, DurationModelChoice, InterferenceModel, SyntheticTraceConfig, Trace,
-        WorkloadCatalog,
+        AlibabaTraceConfig, DurationModelChoice, InterferenceModel, ShardPolicy,
+        SyntheticTraceConfig, Trace, TraceHandle, WorkloadCatalog,
     };
 }

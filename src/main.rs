@@ -9,6 +9,7 @@
 //! eva sweep    [--jobs N] [--rate JOBS_PER_HR] [--durations ...]
 //!              [--schedulers A,B,..] [--seeds S1,S2,..]
 //!              [--backend sim|live|sim,live] [--threads N]
+//!              [--shard N] [--cache] [--no-cache] [--cache-dir DIR]
 //!              [--period MINS] [--json FILE]
 //! eva workloads        # print the Table 7 workload catalog
 //! eva catalog          # print the 21-type AWS instance catalog
@@ -17,6 +18,15 @@
 use std::process::ExitCode;
 
 use eva::prelude::*;
+use serde::Serialize;
+
+/// The `--json` artifact of a sharded sweep: the per-shard cells plus
+/// the spliced whole-trace view.
+#[derive(Debug, Clone, Serialize)]
+struct SweepArtifact {
+    sweep: SweepResult,
+    spliced: SplicedResult,
+}
 
 /// Parsed command line.
 #[derive(Debug, Clone, PartialEq)]
@@ -62,13 +72,21 @@ impl Default for SimArgs {
 }
 
 /// Arguments of the `sweep` subcommand: the shared simulation knobs plus
-/// the scheduler, seed, and backend axes of the grid.
+/// the scheduler, seed, and backend axes of the grid, trace sharding,
+/// and the persistent report cache.
 #[derive(Debug, Clone, PartialEq)]
 struct SweepArgs {
     sim: SimArgs,
     schedulers: Vec<String>,
     seeds: Vec<u64>,
     backends: Vec<String>,
+    /// Arrival-time windows to shard each trace into (0/1 = unsharded).
+    shard: usize,
+    /// Whether the persistent report cache is consulted (CLI default:
+    /// off; `--cache` or `--cache-dir` turns it on).
+    cache: bool,
+    /// Cache directory (`results/cache` when unset).
+    cache_dir: Option<String>,
 }
 
 impl Default for SweepArgs {
@@ -84,6 +102,9 @@ impl Default for SweepArgs {
             ],
             seeds: vec![42],
             backends: vec!["sim".into()],
+            shard: 0,
+            cache: false,
+            cache_dir: None,
         }
     }
 }
@@ -147,6 +168,18 @@ fn parse_sim_args<'a>(
                     BackendKind::from_name(name).map_err(|e| format!("--backend: {e}"))?;
                 }
             }
+            "--shard" if sweep => {
+                args.shard = value()?.parse().map_err(|e| format!("--shard: {e}"))?
+            }
+            "--cache" if sweep => args.cache = true,
+            "--no-cache" if sweep => {
+                args.cache = false;
+                args.cache_dir = None;
+            }
+            "--cache-dir" if sweep => {
+                args.cache_dir = Some(value()?);
+                args.cache = true;
+            }
             "--json" => args.sim.json = Some(value()?),
             other => return Err(format!("unknown flag `{other}`")),
         }
@@ -179,14 +212,21 @@ fn run(cli: Cli) -> Result<(), String> {
                 "eva — cost-efficient cloud-based cluster scheduling (EuroSys '25 reproduction)\n\n\
                  USAGE:\n  eva simulate [--jobs N] [--rate J/HR] [--scheduler NAME] [--durations alibaba|gavel] [--seed N] [--period MINS] [--threads N] [--json FILE]\n  \
                  eva compare  [--jobs N] [--rate J/HR] [--durations ...] [--seed N] [--period MINS] [--threads N]\n  \
-                 eva sweep    [--jobs N] [--rate J/HR] [--durations ...] [--schedulers A,B,..] [--seeds S1,S2,..] [--backend sim|live|sim,live] [--threads N] [--period MINS] [--json FILE]\n  \
+                 eva sweep    [--jobs N] [--rate J/HR] [--durations ...] [--schedulers A,B,..] [--seeds S1,S2,..] [--backend sim|live|sim,live] [--threads N] [--shard N] [--cache] [--no-cache] [--cache-dir DIR] [--period MINS] [--json FILE]\n  \
                  eva workloads\n  eva catalog\n\n\
                  SCHEDULERS: {}\n  BACKENDS: {} (`--backend sim,live` adds a grid axis: live cells\n\
                  replay the schedule through the real master/worker runtime)\n\n\
                  `--threads 0` (the default) uses every available core; sweep results\n\
                  are byte-identical for any thread count, identical cells run once,\n\
                  and the longest cells are claimed first. A single `simulate` run is\n\
-                 one cell, so `--threads` is accepted there but has no effect.",
+                 one cell, so `--threads` is accepted there but has no effect.\n\n\
+                 `--shard N` splits the trace into N arrival-time windows that run as\n\
+                 independent cells (bounding per-cell memory) and splices their\n\
+                 reports back into whole-trace rows, flagging approximate metrics.\n\
+                 `--cache` / `--cache-dir DIR` memoize cell reports on disk (default\n\
+                 DIR results/cache, shared with the exp_* binaries, keyed by trace\n\
+                 content + all knobs + code schema version); a warm rerun simulates\n\
+                 zero cells. `--no-cache` is the CLI default.",
                 SchedulerKind::names().join(", "),
                 BackendKind::names().join(", ")
             );
@@ -247,36 +287,84 @@ fn run(cli: Cli) -> Result<(), String> {
                 .iter()
                 .map(|name| BackendKind::from_name(name))
                 .collect::<Result<Vec<_>, String>>()?;
-            let grid = SweepGrid::new("cli", trace)
+            let mut grid = SweepGrid::new("cli", trace)
                 .schedulers_by_name(&names)?
                 .seeds(args.seeds.clone())
                 .backends(backends)
                 .round_period(round_period(&args.sim));
-            let runner = SweepRunner::new(args.sim.threads);
+            if args.shard > 1 {
+                grid = grid.shards(ShardPolicy::Windows(args.shard));
+            }
+            let mut runner = SweepRunner::new(args.sim.threads);
+            if args.cache {
+                let dir = args
+                    .cache_dir
+                    .clone()
+                    .unwrap_or_else(|| "results/cache".to_string());
+                runner = runner.with_cache(ReportCache::new(dir));
+            }
             println!(
-                "sweeping {} cells ({} unique: {} schedulers × {} seeds × {} backends, {} jobs) on {} threads...",
+                "sweeping {} cells ({} schedulers × {} seeds × {} backends, {} jobs{}) on {} threads...",
                 grid.cell_count(),
-                grid.unique_cell_count(),
                 args.schedulers.len(),
                 args.seeds.len(),
                 args.backends.len(),
                 args.sim.jobs,
+                if args.shard > 1 {
+                    format!(", {} shard windows", grid.trace_axis_len())
+                } else {
+                    String::new()
+                },
                 runner.threads()
             );
-            let result = runner.run(&grid);
-            println!("{:<16} {:>6} {:>6}  report", "scheduler", "seed", "exec");
+            let (result, stats) = runner.run_with_stats(&grid);
+            println!("cells: {}", stats.summary());
+            println!(
+                "{:<16} {:>6} {:>6} {:>6}  report",
+                "scheduler", "seed", "exec", "shard"
+            );
             for cell in &result.cells {
                 println!(
-                    "{:<16} {:>6} {:>6}  {}",
+                    "{:<16} {:>6} {:>6} {:>6}  {}",
                     cell.key.scheduler,
                     cell.key.seed,
                     cell.key.backend,
+                    cell.key.shard_label(),
                     cell.report.table_row(None)
                 );
             }
+            let spliced = (args.shard > 1).then(|| {
+                let spliced = result.spliced();
+                println!(
+                    "spliced to {} whole-trace rows (approximate metrics flagged: {}):",
+                    spliced.cells.len(),
+                    spliced
+                        .cells
+                        .first()
+                        .map(|c| c.inexact_metrics.join(", "))
+                        .unwrap_or_default()
+                );
+                for cell in &spliced.cells {
+                    println!(
+                        "{:<16} {:>6} {:>6} {:>6}  {}",
+                        cell.key.scheduler,
+                        cell.key.seed,
+                        cell.key.backend,
+                        format!("={}", cell.shards),
+                        cell.report.table_row(None)
+                    );
+                }
+                spliced
+            });
             if let Some(path) = args.sim.json {
-                std::fs::write(&path, result.to_json_pretty())
-                    .map_err(|e| format!("write {path}: {e}"))?;
+                let json = match spliced {
+                    Some(spliced) => {
+                        serde_json::to_string_pretty(&SweepArtifact { sweep: result, spliced })
+                            .map_err(|e| format!("serialize: {e}"))?
+                    }
+                    None => result.to_json_pretty(),
+                };
+                std::fs::write(&path, json).map_err(|e| format!("write {path}: {e}"))?;
                 println!("saved {path}");
             }
         }
@@ -371,6 +459,42 @@ mod tests {
         assert!(parse(&argv("sweep --seeds 1,x")).is_err());
         assert!(parse(&argv("sweep --backend hardware")).is_err());
         assert!(parse(&argv("simulate --backend live")).is_err(), "sweep-only");
+    }
+
+    #[test]
+    fn parses_shard_and_cache_flags() {
+        let cli = parse(&argv("sweep --shard 4 --cache-dir /tmp/c")).unwrap();
+        let Command::Sweep(args) = cli.command else {
+            panic!()
+        };
+        assert_eq!(args.shard, 4);
+        assert!(args.cache);
+        assert_eq!(args.cache_dir.as_deref(), Some("/tmp/c"));
+
+        let Command::Sweep(defaults) = parse(&argv("sweep")).unwrap().command else {
+            panic!()
+        };
+        assert_eq!(defaults.shard, 0);
+        assert!(!defaults.cache, "CLI caching is opt-in");
+
+        let Command::Sweep(cached) = parse(&argv("sweep --cache")).unwrap().command else {
+            panic!()
+        };
+        assert!(cached.cache);
+        assert!(cached.cache_dir.is_none());
+
+        let Command::Sweep(off) =
+            parse(&argv("sweep --cache-dir /tmp/c --no-cache")).unwrap().command
+        else {
+            panic!()
+        };
+        assert!(!off.cache);
+
+        // Sweep-only flags are rejected elsewhere; bad values error.
+        assert!(parse(&argv("simulate --shard 4")).is_err());
+        assert!(parse(&argv("simulate --cache")).is_err());
+        assert!(parse(&argv("sweep --shard abc")).is_err());
+        assert!(parse(&argv("sweep --cache-dir")).is_err());
     }
 
     #[test]

@@ -41,7 +41,16 @@ fn help_lists_every_subcommand() {
     for cmd in ["simulate", "compare", "sweep", "workloads", "catalog"] {
         assert!(stdout.contains(cmd), "help does not mention `{cmd}`");
     }
-    for flag in ["--period", "--threads", "--schedulers", "--seeds"] {
+    for flag in [
+        "--period",
+        "--threads",
+        "--schedulers",
+        "--seeds",
+        "--shard",
+        "--cache",
+        "--no-cache",
+        "--cache-dir",
+    ] {
         assert!(stdout.contains(flag), "help does not mention `{flag}`");
     }
 }

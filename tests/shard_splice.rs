@@ -1,0 +1,162 @@
+//! Splice determinism: a sharded sweep of a synthetic trace must merge
+//! back to the unsharded run — byte-identically for the metrics whose
+//! splice is exact — for any worker count and on both backends.
+//!
+//! The trace is built so the shard partition is *clean*: three arrival
+//! clusters separated by ~100-hour idle gaps, nominal delay fidelity.
+//! Every instance is terminated long before the next window begins, so
+//! the whole-trace run performs exactly the union of the three window
+//! runs, and the integer-sum metrics (`jobs_completed`,
+//! `instances_launched`) must match bit for bit. Float metrics are
+//! explicitly flagged as approximate by the splice and are not required
+//! to match.
+
+use eva::prelude::*;
+use eva_cloud::FidelityMode;
+
+const CLUSTERS: u64 = 3;
+const JOBS_PER_CLUSTER: usize = 5;
+
+/// Three Poisson arrival clusters ~100 h apart, short jobs, single-task.
+fn clustered_trace() -> Trace {
+    let mut jobs = Vec::new();
+    for k in 0..CLUSTERS {
+        let cluster = SyntheticTraceConfig {
+            num_jobs: JOBS_PER_CLUSTER,
+            mean_interarrival: SimDuration::from_mins(10),
+            duration: eva::workloads::UniformHours::new(0.3, 0.8),
+            single_task_only: true,
+        }
+        .generate(100 + k);
+        for mut job in cluster.into_jobs() {
+            job.arrival += SimDuration::from_hours(100 * k);
+            job.id = JobId(job.id.0 + 1000 * k);
+            for t in &mut job.tasks {
+                t.id = TaskId::new(job.id, t.id.index);
+            }
+            jobs.push(job);
+        }
+    }
+    Trace::new(jobs)
+}
+
+fn grid(trace: &Trace, backend: BackendKind, sharded: bool) -> SweepGrid {
+    let mut grid = SweepGrid::new("clustered", trace.clone());
+    if sharded {
+        grid = grid.shards(ShardPolicy::Windows(CLUSTERS as usize));
+    }
+    grid.schedulers_by_name(&["no-packing", "stratus", "eva"])
+        .unwrap()
+        .fidelities(vec![FidelityMode::Nominal])
+        .backends(vec![backend])
+}
+
+#[test]
+fn sharded_sweep_splices_byte_identical_to_unsharded_for_exact_metrics() {
+    let trace = clustered_trace();
+    for backend in [BackendKind::Sim, BackendKind::Live] {
+        let whole = SweepRunner::new(2).run(&grid(&trace, backend, false));
+
+        let mut spliced_jsons = Vec::new();
+        for threads in [1, 2, 8] {
+            let sharded = SweepRunner::new(threads).run(&grid(&trace, backend, true));
+            assert_eq!(
+                sharded.cells.len(),
+                3 * whole.cells.len(),
+                "one cell per (shard × scheduler)"
+            );
+            let spliced = sharded.spliced();
+            assert_eq!(spliced.cells.len(), whole.cells.len());
+            for (s, w) in spliced.cells.iter().zip(&whole.cells) {
+                assert_eq!(s.key, w.key.logical());
+                assert_eq!(s.shards, 3);
+                // The exact set, compared down to serialized bytes.
+                assert_eq!(
+                    s.report.jobs_completed, w.report.jobs_completed,
+                    "jobs_completed diverged for {:?} on {:?}",
+                    s.key.scheduler, backend
+                );
+                assert_eq!(
+                    s.report.instances_launched, w.report.instances_launched,
+                    "instances_launched diverged for {:?} on {:?}",
+                    s.key.scheduler, backend
+                );
+                assert_eq!(
+                    serde_json::to_string(&s.report.jobs_completed).unwrap(),
+                    serde_json::to_string(&w.report.jobs_completed).unwrap()
+                );
+                assert_eq!(
+                    serde_json::to_string(&s.report.instances_launched).unwrap(),
+                    serde_json::to_string(&w.report.instances_launched).unwrap()
+                );
+                // Exact metrics are not flagged; approximate ones are.
+                assert!(!s.inexact_metrics.iter().any(|m| m == "jobs_completed"));
+                assert!(!s.inexact_metrics.iter().any(|m| m == "instances_launched"));
+                assert!(s.inexact_metrics.iter().any(|m| m == "total_cost_dollars"));
+                assert!(s.inexact_metrics.iter().any(|m| m == "makespan_hours"));
+                // The flagged metrics are still *good* approximations on
+                // a clean partition — sanity-bound them.
+                assert!(
+                    (s.report.total_cost_dollars - w.report.total_cost_dollars).abs()
+                        < 1e-6 * w.report.total_cost_dollars.max(1.0),
+                    "spliced cost drifted: {} vs {}",
+                    s.report.total_cost_dollars,
+                    w.report.total_cost_dollars
+                );
+                assert!(
+                    (s.report.makespan_hours - w.report.makespan_hours).abs() < 1e-6,
+                    "spliced makespan drifted: {} vs {}",
+                    s.report.makespan_hours,
+                    w.report.makespan_hours
+                );
+            }
+            spliced_jsons.push(spliced.to_json_pretty());
+        }
+        // The spliced view is byte-identical for any worker count.
+        assert_eq!(spliced_jsons[0], spliced_jsons[1]);
+        assert_eq!(spliced_jsons[1], spliced_jsons[2]);
+    }
+}
+
+#[test]
+fn every_paper_scheduler_splices_exact_on_a_clean_partition() {
+    let trace = clustered_trace();
+    let whole = SweepRunner::new(4).run(
+        &SweepGrid::new("t", trace.clone())
+            .paper_schedulers()
+            .fidelities(vec![FidelityMode::Nominal]),
+    );
+    let spliced = SweepRunner::new(4)
+        .run(
+            &SweepGrid::new("t", trace)
+                .shards(ShardPolicy::Windows(CLUSTERS as usize))
+                .paper_schedulers()
+                .fidelities(vec![FidelityMode::Nominal]),
+        )
+        .spliced();
+    for (s, w) in spliced.cells.iter().zip(&whole.cells) {
+        assert_eq!(s.report.jobs_completed, w.report.jobs_completed, "{}", s.key.scheduler);
+        assert_eq!(
+            s.report.instances_launched, w.report.instances_launched,
+            "{}",
+            s.key.scheduler
+        );
+    }
+}
+
+#[test]
+fn shard_cells_carry_only_their_window() {
+    // The memory-bounding property: a shard cell's config holds the
+    // window's jobs, not the whole trace.
+    let trace = clustered_trace();
+    let grid = grid(&trace, BackendKind::Sim, true);
+    let cells = grid.cells();
+    assert_eq!(cells.len(), 9);
+    for cell in &cells {
+        let cfg = grid.cell_config(cell);
+        assert_eq!(cfg.trace.len(), JOBS_PER_CLUSTER);
+        let meta = cell.key.shard.as_ref().expect("sharded cells carry meta");
+        assert_eq!(meta.count, CLUSTERS as usize);
+        assert_eq!(meta.jobs, JOBS_PER_CLUSTER);
+    }
+}
