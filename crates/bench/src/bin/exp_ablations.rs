@@ -11,9 +11,9 @@
 //! All variants are declared as one sweep grid (No-Packing first as the
 //! normalization baseline) and run concurrently.
 
-use eva_bench::{is_full_scale, print_stats, runner, save_json};
+use eva_bench::{is_full_scale, run_grid, save_json};
 use eva_core::EvaConfig;
-use eva_sim::{SchedulerKind, SweepGrid, SweepResult};
+use eva_sim::{SchedulerKind, SplicedResult, SweepGrid};
 use eva_workloads::{AlibabaTraceConfig, DurationModelChoice};
 
 fn main() {
@@ -78,14 +78,13 @@ fn main() {
     for (label, cfg) in &variants {
         grid = grid.scheduler(*label, SchedulerKind::Eva(cfg.clone()));
     }
-    let (result, stats) = runner().run_with_stats(&grid);
-    print_stats(&stats);
-    let base = result.cells[0].report.total_cost_dollars;
+    let art = run_grid(grid);
+    let base = art.spliced.cells[0].report.total_cost_dollars;
 
     // `shown` lets one cell appear under several section labels (the
     // defaults row is the same config as the refill row — run it once).
-    let print_row_as = |result: &SweepResult, label: &str, shown: &str| {
-        let cell = result.first_for(label).expect("declared scheduler");
+    let print_row_as = |view: &SplicedResult, label: &str, shown: &str| {
+        let cell = view.first_for(label).expect("declared scheduler");
         let r = &cell.report;
         println!(
             "{shown:<34} cost {:>6.1}%  t/i {:>4.2}  mig/task {:>4.2}  full {:>4.1}%",
@@ -96,25 +95,25 @@ fn main() {
         );
     };
 
-    let print_row = |result: &SweepResult, label: &str| print_row_as(result, label, label);
+    let print_row = |view: &SplicedResult, label: &str| print_row_as(view, label, label);
 
     println!("-- Partial Reconfiguration refill --");
-    print_row(&result, "Eva (refill kept instances)");
-    print_row(&result, "Eva (new instances only, §4.5 text)");
+    print_row(&art.spliced, "Eva (refill kept instances)");
+    print_row(&art.spliced, "Eva (new instances only, §4.5 text)");
 
     println!("-- Default pairwise throughput t --");
     for t in ["0.99", "0.95", "0.9", "0.8"] {
-        print_row(&result, &format!("Eva (t = {t})"));
+        print_row(&art.spliced, &format!("Eva (t = {t})"));
     }
 
     println!("-- Decision estimator priors --");
     print_row_as(
-        &result,
+        &art.spliced,
         "Eva (refill kept instances)",
         "Eva (online λ/p, defaults)",
     );
-    print_row(&result, "Eva (long-horizon prior p = 0.01)");
-    print_row(&result, "Eva (short-horizon prior p = 0.9)");
+    print_row(&art.spliced, "Eva (long-horizon prior p = 0.01)");
+    print_row(&art.spliced, "Eva (short-horizon prior p = 0.9)");
 
-    save_json("ablations.json", &result);
+    save_json("ablations.json", &art);
 }

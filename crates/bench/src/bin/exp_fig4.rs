@@ -5,7 +5,7 @@
 //! and fans the 20 cells out across sweep workers. Eva-RP's cost should
 //! blow up as interference grows while Eva-TNRP stays below No-Packing.
 
-use eva_bench::{is_full_scale, print_stats, runner, save_json};
+use eva_bench::{is_full_scale, run_grid, save_json};
 use eva_core::EvaConfig;
 use eva_sim::{InterferenceSpec, SchedulerKind, SweepGrid};
 use eva_workloads::{AlibabaTraceConfig, DurationModelChoice};
@@ -27,13 +27,12 @@ fn main() {
                 .map(|&t| InterferenceSpec::Uniform(t))
                 .collect::<Vec<_>>(),
         );
-    let (result, stats) = runner().run_with_stats(&grid);
-    print_stats(&stats);
+    let art = run_grid(grid);
     println!(
         "{:<8} {:<12} {:>12} {:>12} {:>10}",
         "tput", "scheduler", "norm cost", "norm tput", "JCT (h)"
     );
-    for (tput, block) in tputs.iter().zip(result.blocks()) {
+    for (tput, block) in tputs.iter().zip(art.spliced.blocks()) {
         let baseline_cost = block[0].report.total_cost_dollars;
         for cell in block {
             let r = &cell.report;
@@ -46,5 +45,5 @@ fn main() {
             );
         }
     }
-    save_json("fig4.json", &result);
+    save_json("fig4.json", &art);
 }

@@ -5,7 +5,7 @@
 //! Reconfiguration adoption proportion and migrations per job, and
 //! (b) total cost normalized against a No-Packing baseline cell.
 
-use eva_bench::{is_full_scale, print_stats, runner, save_json};
+use eva_bench::{is_full_scale, run_grid, save_json};
 use eva_core::EvaConfig;
 use eva_sim::{run_simulation, SchedulerKind, SimConfig, SweepGrid};
 use eva_workloads::{AlibabaTraceConfig, DurationModelChoice};
@@ -23,14 +23,13 @@ fn main() {
         .scheduler("Eva w/o Partial", SchedulerKind::Eva(EvaConfig::without_partial()))
         .scheduler("Stratus", SchedulerKind::Stratus)
         .migration_scales(scales.to_vec());
-    let (result, stats) = runner().run_with_stats(&grid);
-    print_stats(&stats);
+    let art = run_grid(grid);
     println!("(a) Eva under scaled migration delays; (b) cost vs baselines");
     println!(
         "{:<7} {:>11} {:>10} | {:>10} {:>12} {:>10}",
         "scale", "full prop.", "mig/job", "Eva", "Eva w/o P.", "Stratus"
     );
-    for (scale, block) in scales.iter().zip(result.blocks()) {
+    for (scale, block) in scales.iter().zip(art.spliced.blocks()) {
         let [eva, full_only, stratus] = [&block[0].report, &block[1].report, &block[2].report];
         println!(
             "{scale:<7} {:>10.1}% {:>10.2} | {:>9.1}% {:>11.1}% {:>9.1}%",
@@ -41,5 +40,5 @@ fn main() {
             100.0 * stratus.total_cost_dollars / base.total_cost_dollars,
         );
     }
-    save_json("fig5.json", &(base, result));
+    save_json("fig5.json", &(base, art));
 }

@@ -5,7 +5,7 @@
 //! comparing No-Packing, Stratus, Synergy, Eva w/o Full Reconfiguration,
 //! and Eva.
 
-use eva_bench::{is_full_scale, print_stats, runner, save_json};
+use eva_bench::{is_full_scale, run_grid, save_json};
 use eva_core::EvaConfig;
 use eva_sim::{SchedulerKind, SweepGrid};
 use eva_workloads::{AlibabaTraceConfig, DurationModelChoice, MultiGpuMix};
@@ -32,13 +32,12 @@ fn main() {
         .scheduler("Synergy", SchedulerKind::Synergy)
         .scheduler("Eva w/o Full", SchedulerKind::Eva(EvaConfig::without_full()))
         .scheduler("Eva", SchedulerKind::Eva(EvaConfig::eva()));
-    let (result, stats) = runner().run_with_stats(&grid);
-    print_stats(&stats);
+    let art = run_grid(grid);
     println!(
         "{:<8} {:>10} {:>10} {:>12} {:>14} {:>8}",
         "multi%", "Stratus", "Synergy", "Eva w/o Full", "Eva", "(vs NP)"
     );
-    for (pct, block) in pcts.iter().zip(result.blocks()) {
+    for (pct, block) in pcts.iter().zip(art.spliced.blocks()) {
         let np = block[0].report.total_cost_dollars;
         let n = |i: usize| 100.0 * block[i].report.total_cost_dollars / np;
         println!(
@@ -50,5 +49,5 @@ fn main() {
             n(4)
         );
     }
-    save_json("fig6.json", &result);
+    save_json("fig6.json", &art);
 }

@@ -4,7 +4,7 @@
 //! (1:1); each mix is one trace-axis value of a single sweep grid
 //! comparing the schedulers plus Eva-Single (no §4.4 extension).
 
-use eva_bench::{is_full_scale, print_stats, runner, save_json};
+use eva_bench::{is_full_scale, run_grid, save_json};
 use eva_core::EvaConfig;
 use eva_sim::{SchedulerKind, SweepGrid};
 use eva_workloads::{AlibabaTraceConfig, DurationModelChoice, MultiTaskMix};
@@ -31,13 +31,12 @@ fn main() {
         .scheduler("Synergy", SchedulerKind::Synergy)
         .scheduler("Eva-Single", SchedulerKind::Eva(EvaConfig::eva_single()))
         .scheduler("Eva", SchedulerKind::Eva(EvaConfig::eva()));
-    let (result, stats) = runner().run_with_stats(&grid);
-    print_stats(&stats);
+    let art = run_grid(grid);
     println!(
         "{:<8} {:>10} {:>10} {:>12} {:>10}",
         "multi%", "Stratus", "Synergy", "Eva-Single", "Eva"
     );
-    for (pct, block) in pcts.iter().zip(result.blocks()) {
+    for (pct, block) in pcts.iter().zip(art.spliced.blocks()) {
         let np = block[0].report.total_cost_dollars;
         let n = |i: usize| 100.0 * block[i].report.total_cost_dollars / np;
         println!(
@@ -49,5 +48,5 @@ fn main() {
             n(4)
         );
     }
-    save_json("fig7.json", &result);
+    save_json("fig7.json", &art);
 }

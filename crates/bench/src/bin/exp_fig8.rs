@@ -5,7 +5,7 @@
 //! rates mean fewer co-resident jobs and therefore smaller packing
 //! benefits, but Eva should stay the cheapest packer throughout.
 
-use eva_bench::{is_full_scale, print_stats, runner, save_json};
+use eva_bench::{is_full_scale, run_grid, save_json};
 use eva_sim::{SweepGrid};
 use eva_workloads::{AlibabaTraceConfig, DurationModelChoice};
 
@@ -22,13 +22,12 @@ fn main() {
     for &rate in &rates[1..] {
         grid = grid.trace(format!("{rate} jobs/hr"), trace_for(rate));
     }
-    let (result, stats) = runner().run_with_stats(&grid.paper_schedulers());
-    print_stats(&stats);
+    let art = run_grid(grid.paper_schedulers());
     println!(
         "{:<10} {:>10} {:>10} {:>10} {:>10}",
         "jobs/hr", "Stratus", "Synergy", "Owl", "Eva"
     );
-    for (rate, block) in rates.iter().zip(result.blocks()) {
+    for (rate, block) in rates.iter().zip(art.spliced.blocks()) {
         let np = block[0].report.total_cost_dollars;
         let n = |i: usize| 100.0 * block[i].report.total_cost_dollars / np;
         println!(
@@ -39,5 +38,5 @@ fn main() {
             n(4),
         );
     }
-    save_json("fig8.json", &result);
+    save_json("fig8.json", &art);
 }

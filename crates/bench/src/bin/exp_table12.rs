@@ -11,8 +11,8 @@
 //! performed as live checkpoints, and executed iterations. Nonzero job
 //! or iteration deltas would mean the control plane lost work.
 
-use eva_bench::{print_stats, runner, save_json};
-use eva_sim::{BackendKind, LiveBackend, SweepGrid};
+use eva_bench::{apply_shard, print_stats, runner, save_json, spliced_view};
+use eva_sim::{BackendKind, LiveBackend, SweepArtifact, SweepGrid};
 use eva_workloads::SyntheticTraceConfig;
 
 fn main() {
@@ -21,9 +21,11 @@ fn main() {
     let grid = SweepGrid::new("synthetic", trace)
         .paper_schedulers()
         .backends(vec![BackendKind::Sim, BackendKind::Live]);
+    let grid = apply_shard(grid);
     let (result, stats) = runner().run_with_stats(&grid);
     print_stats(&stats);
-    let blocks: Vec<_> = result.blocks().collect();
+    let view = spliced_view(&result);
+    let blocks: Vec<_> = view.blocks().collect();
     let (sim, live) = (blocks[0], blocks[1]);
     println!(
         "{:<12} {:>12} {:>10} {:>10} {:>7} {:>11} {:>11} {:>7}",
@@ -46,15 +48,18 @@ fn main() {
 
     // Deeper execution audit for the full Eva configuration: iteration
     // and state-digest parity of the live run.
-    let eva_cell = sim
+    // Audit the first Eva sim cell of the raw (possibly sharded)
+    // result, so the replayed schedule is exactly one grid cell's.
+    let eva_cell = result
+        .cells
         .iter()
-        .find(|c| c.key.scheduler == "Eva")
+        .find(|c| c.key.scheduler == "Eva" && c.key.backend == "sim")
         .expect("Eva is in the paper set");
     let cfg = grid.cell_config(
         &grid
             .cells()
             .into_iter()
-            .find(|c| c.key.scheduler == "Eva" && c.key.backend == "sim")
+            .find(|c| c.key == eva_cell.key)
             .expect("Eva sim cell exists"),
     );
     let outcome = LiveBackend
@@ -73,5 +78,11 @@ fn main() {
         outcome.sim_report.total_cost_dollars, eva_cell.report.total_cost_dollars,
         "the audited schedule is the one the grid ran"
     );
-    save_json("table12.json", &result);
+    save_json(
+        "table12.json",
+        &SweepArtifact {
+            sweep: result,
+            spliced: view,
+        },
+    );
 }

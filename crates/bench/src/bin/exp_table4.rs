@@ -26,6 +26,11 @@ struct Table4Trial {
     fr_ratio: f64,
     fr_runtime_ms: f64,
     solver_timed_out: bool,
+    /// True when this row was replayed from the persistent cache: its
+    /// runtime and time-limited solver outcome describe the build and
+    /// machine that produced it, not this run. Stamped after the sweep —
+    /// cached bytes always store `false`.
+    from_cache: bool,
 }
 
 fn run_trial(trial: usize, tasks_per_trial: usize, time_limit: Duration) -> Table4Trial {
@@ -61,6 +66,7 @@ fn run_trial(trial: usize, tasks_per_trial: usize, time_limit: Duration) -> Tabl
         fr_ratio: fr.total_cost_dollars() / solution.cost_dollars,
         fr_runtime_ms,
         solver_timed_out: !solution.proven_optimal,
+        from_cache: false,
     }
 }
 
@@ -81,7 +87,14 @@ fn main() {
             move || run_trial(trial, tasks_per_trial, time_limit),
         );
     }
-    let results = sweep.run();
+    let results: Vec<Table4Trial> = sweep
+        .run_flagged()
+        .into_iter()
+        .map(|(mut row, cached)| {
+            row.from_cache = cached;
+            row
+        })
+        .collect();
     sweep.save(&results);
 
     let np_ratio: Vec<f64> = results.iter().map(|r| r.np_ratio).collect();

@@ -22,6 +22,10 @@ struct Table5Row {
     num_tasks: usize,
     runtime_s: f64,
     instances: usize,
+    /// True when this row's runtime was replayed from the persistent
+    /// cache rather than measured this run. Stamped after the sweep —
+    /// cached bytes always store `false`.
+    from_cache: bool,
 }
 
 fn time_full_reconfiguration(n: usize) -> Table5Row {
@@ -35,6 +39,7 @@ fn time_full_reconfiguration(n: usize) -> Table5Row {
         num_tasks: n,
         runtime_s: t0.elapsed().as_secs_f64(),
         instances: config.instances.len(),
+        from_cache: false,
     }
 }
 
@@ -51,13 +56,23 @@ fn main() {
             time_full_reconfiguration(n)
         });
     }
-    let results = sweep.run();
+    let results: Vec<Table5Row> = sweep
+        .run_flagged()
+        .into_iter()
+        .map(|(mut row, cached)| {
+            row.from_cache = cached;
+            row
+        })
+        .collect();
     sweep.save(&results);
     println!("{:<12} {:>12}", "Num. Tasks", "Runtime (s)");
     for row in &results {
         println!(
-            "{:<12} {:>12.3}   ({} instances)",
-            row.num_tasks, row.runtime_s, row.instances
+            "{:<12} {:>12.3}   ({} instances){}",
+            row.num_tasks,
+            row.runtime_s,
+            row.instances,
+            if row.from_cache { "  [cached]" } else { "" }
         );
     }
 }

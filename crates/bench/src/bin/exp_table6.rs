@@ -10,7 +10,7 @@
 //! the trials fan out across the shared runner's workers, land in the
 //! persistent report cache, and save to `results/table6.json`.
 
-use eva_bench::{is_full_scale, print_stats, runner, save_json};
+use eva_bench::{is_full_scale, run_grid, save_json};
 use eva_core::EvaConfig;
 use eva_sim::{SchedulerKind, SweepGrid};
 use eva_types::{JobId, SimDuration, SimTime};
@@ -58,9 +58,8 @@ fn main() {
     for trial in 1..trials {
         grid = grid.trace(format!("trial{trial}"), gang_trace(7000 + trial as u64, jobs));
     }
-    let (result, stats) = runner().run_with_stats(&grid);
-    print_stats(&stats);
-    save_json("table6.json", &result);
+    let art = run_grid(grid);
+    save_json("table6.json", &art);
 
     // One comparison block per trial; the first entry is the baseline.
     let mut rows: Vec<(&str, Vec<f64>, Vec<f64>)> = vec![
@@ -68,7 +67,7 @@ fn main() {
         ("Eva-Single", Vec::new(), Vec::new()),
         ("Eva-Multi", Vec::new(), Vec::new()),
     ];
-    for block in result.blocks() {
+    for block in art.spliced.blocks() {
         let base = block[0].report.total_cost_dollars;
         for (row, cell) in rows.iter_mut().zip(block) {
             row.1.push(cell.report.total_cost_dollars / base);

@@ -125,13 +125,23 @@ where
     /// Runs every cell with the cache resolved from the process's shared
     /// cache flags, printing the standard stats line.
     pub fn run(&self) -> Vec<R> {
-        let (results, stats) = self.run_with(cache_setting().as_ref());
+        self.run_flagged().into_iter().map(|(r, _)| r).collect()
+    }
+
+    /// [`SolverSweep::run`], additionally reporting **per cell** whether
+    /// its result was replayed from the persistent cache. Binaries whose
+    /// rows carry wall-clock measurements stamp this flag into their
+    /// JSON artifacts (`from_cache`), so downstream plots can tell a
+    /// stored timing from one measured on this build and machine.
+    pub fn run_flagged(&self) -> Vec<(R, bool)> {
+        let (results, stats) = self.run_with_flags(cache_setting().as_ref());
         print_stats(&stats);
         if self.reports_timings && stats.cache_hits > 0 {
             println!(
                 "   [note: {} cell(s) replayed *stored* wall-clock-dependent results \
-                 (timings, time-limited solver outcomes) from the cache; pass \
-                 --no-cache to re-measure on this build and machine]",
+                 (timings, time-limited solver outcomes) from the cache; rows are \
+                 stamped `from_cache`; pass --no-cache to re-measure on this build \
+                 and machine]",
                 stats.cache_hits
             );
         }
@@ -140,13 +150,20 @@ where
 
     /// Runs with an explicit cache binding (testable form).
     pub fn run_with(&self, cache: Option<&ReportCache>) -> (Vec<R>, PoolStats) {
-        CellPool::new(self.threads).run(
+        let (results, stats) = self.run_with_flags(cache);
+        (results.into_iter().map(|(r, _)| r).collect(), stats)
+    }
+
+    /// [`SolverSweep::run_with`] with per-cell cache-replay flags.
+    pub fn run_with_flags(&self, cache: Option<&ReportCache>) -> (Vec<(R, bool)>, PoolStats) {
+        let (results, flags, stats) = CellPool::new(self.threads).run_flagged(
             self.cells.len(),
             &|i| format!("solver|{}|{}", self.name, self.cells[i].key),
             &|i| (self.cells.len() - i) as u64, // declaration order
             cache,
             &|i| (self.cells[i].run)(),
-        )
+        );
+        (results.into_iter().zip(flags).collect(), stats)
     }
 
     /// Writes the sweep's results to `results/<name>.json`.
@@ -184,15 +201,20 @@ mod tests {
     }
 
     #[test]
-    fn cache_round_trip_skips_execution() {
+    fn cache_round_trip_skips_execution_and_flags_replays() {
         static RUNS: AtomicUsize = AtomicUsize::new(0);
         let dir = std::env::temp_dir().join(format!("eva-solver-test-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         let cache = ReportCache::new(&dir);
         let s = sweep(&RUNS);
-        let (first, s1) = s.run_with(Some(&cache));
-        let (second, s2) = s.run_with(Some(&cache));
-        assert_eq!(first, second);
+        let (first, s1) = s.run_with_flags(Some(&cache));
+        let (second, s2) = s.run_with_flags(Some(&cache));
+        assert_eq!(first.iter().map(|(r, _)| *r).collect::<Vec<_>>(), vec![10, 20]);
+        assert_eq!(first.iter().map(|(r, _)| *r).collect::<Vec<_>>(),
+                   second.iter().map(|(r, _)| *r).collect::<Vec<_>>());
+        // Fresh rows are unflagged; the warm rerun replays stored rows.
+        assert!(first.iter().all(|(_, cached)| !cached));
+        assert!(second.iter().all(|(_, cached)| *cached));
         assert_eq!(s1.executed, 2);
         assert!(s2.all_cached());
         assert_eq!(RUNS.load(Ordering::Relaxed), 2, "second run hit the cache");

@@ -29,7 +29,11 @@ use serde::{Deserialize, Serialize, Value};
 
 /// Version tag mixed into every cache key. Bump on any change to
 /// simulation semantics, report fields, or key composition.
-pub const SCHEMA_VERSION: &str = "eva-v1";
+///
+/// v2: shard metadata gained boundary intervals + straddler counts and
+/// the table 4/5 artifact rows gained `from_cache` stamps — cached rows
+/// from v1 would deserialize without those fields, so they are retired.
+pub const SCHEMA_VERSION: &str = "eva-v2";
 
 /// A directory-backed report store keyed by content fingerprints.
 #[derive(Debug, Clone, PartialEq)]

@@ -19,8 +19,11 @@
 //!   with a multi-threaded [`SweepRunner`] whose merged results are
 //!   byte-identical for any thread count. Traces are shared by
 //!   [`eva_workloads::TraceHandle`] and large ones shard into
-//!   arrival-time windows whose reports splice back together
-//!   ([`report::splice`]).
+//!   arrival-time windows — equal-width or planned from arrival density
+//!   ([`eva_workloads::ShardPlanner`]) — whose reports splice back
+//!   together ([`report::splice`]) under a [`report::PartitionAudit`]:
+//!   clean partitions keep exact integer sums, dirty ones (jobs
+//!   straddling a window boundary) demote them to inexact.
 //! * [`pool`] + [`cache`] — **layer 3 machinery**: the generic
 //!   deduplicating, longest-first, parallel [`CellPool`] every sweep
 //!   (simulation or solver-level) runs on, and the persistent
@@ -54,12 +57,12 @@ pub use cache::{ReportCache, SCHEMA_VERSION};
 pub use eva_engine::{derive_seed, EventEngine, RngStreams, Scheduled, SimEvent};
 pub use metrics::{CdfPoint, SimReport};
 pub use pool::{CellPool, PoolStats, RunPlan};
-pub use report::{splice, SplicedReport, INEXACT_METRICS};
+pub use report::{splice, PartitionAudit, SplicedReport, EXACT_METRICS, INEXACT_METRICS};
 pub use runner::{run_recorded, run_simulation, InterferenceSpec, SchedulerKind, SimConfig};
 pub use script::{ExecAction, ExecActionKind, ExecScript};
 pub use state::{JobProgress, TaskState};
 pub use sweep::{
-    fidelity_label, CellKey, CellOutcome, Experiment, SplicedOutcome, SplicedResult, SweepCell,
-    SweepGrid, SweepResult, SweepRunner,
+    fidelity_label, CellKey, CellOutcome, Experiment, SplicedOutcome, SplicedResult, SweepArtifact,
+    SweepCell, SweepGrid, SweepResult, SweepRunner,
 };
 pub use world::ClusterSim;

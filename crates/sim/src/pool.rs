@@ -139,8 +139,29 @@ impl CellPool {
     where
         R: Clone + Send + Serialize + Deserialize,
     {
+        let (results, _, stats) = self.run_flagged(count, fingerprint, cost, cache, run);
+        (results, stats)
+    }
+
+    /// [`CellPool::run`], additionally reporting **per logical cell**
+    /// whether its value was replayed from the persistent cache rather
+    /// than computed this run (duplicates inherit their representative's
+    /// flag). Timing-sensitive sweeps use this to stamp replayed rows in
+    /// their artifacts, so downstream consumers can tell a stored
+    /// measurement from a fresh one.
+    pub fn run_flagged<R>(
+        &self,
+        count: usize,
+        fingerprint: &(dyn Fn(usize) -> String + Sync),
+        cost: &(dyn Fn(usize) -> u64 + Sync),
+        cache: Option<&ReportCache>,
+        run: &(dyn Fn(usize) -> R + Sync),
+    ) -> (Vec<R>, Vec<bool>, PoolStats)
+    where
+        R: Clone + Send + Serialize + Deserialize,
+    {
         let plan = RunPlan::build(count, fingerprint, cost);
-        let slots: Vec<Mutex<Option<R>>> = (0..count).map(|_| Mutex::new(None)).collect();
+        let slots: Vec<Mutex<Option<(R, bool)>>> = (0..count).map(|_| Mutex::new(None)).collect();
         let next = AtomicUsize::new(0);
         let executed = AtomicUsize::new(0);
         let cache_hits = AtomicUsize::new(0);
@@ -158,49 +179,49 @@ impl CellPool {
                             match cache.lookup::<R>(&key) {
                                 Some(hit) => {
                                     cache_hits.fetch_add(1, Ordering::Relaxed);
-                                    hit
+                                    (hit, true)
                                 }
                                 None => {
                                     executed.fetch_add(1, Ordering::Relaxed);
                                     let fresh = run(i);
                                     cache.store(&key, &fresh);
-                                    fresh
+                                    (fresh, false)
                                 }
                             }
                         }
                         None => {
                             executed.fetch_add(1, Ordering::Relaxed);
-                            run(i)
+                            (run(i), false)
                         }
                     };
                     *slots[i].lock().unwrap() = Some(result);
                 });
             }
         });
-        let representatives: Vec<Option<R>> = slots
+        let representatives: Vec<Option<(R, bool)>> = slots
             .into_iter()
             .map(|slot| {
                 slot.into_inner()
                     .expect("no worker panicked holding a slot lock")
             })
             .collect();
-        let results = plan
+        let (results, from_cache): (Vec<R>, Vec<bool>) = plan
             .rep_of
             .iter()
             .map(|&rep| {
-                representatives[rep]
+                let (result, cached) = representatives[rep]
                     .as_ref()
-                    .expect("every representative cell was claimed and completed")
-                    .clone()
+                    .expect("every representative cell was claimed and completed");
+                (result.clone(), *cached)
             })
-            .collect();
+            .unzip();
         let stats = PoolStats {
             total: count,
             unique: plan.unique_count(),
             executed: executed.into_inner(),
             cache_hits: cache_hits.into_inner(),
         };
-        (results, stats)
+        (results, from_cache, stats)
     }
 }
 
@@ -265,6 +286,26 @@ mod tests {
         assert_eq!(s2.cache_hits, 4);
         assert!(s2.all_cached());
         assert!(s2.summary().contains("0 simulated"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn flags_mark_cached_cells_and_fan_out_to_duplicates() {
+        let dir = std::env::temp_dir().join(format!("eva-pool-flag-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = ReportCache::new(&dir);
+        // Two logical cells share one fingerprint: 4 cells, 2 unique.
+        let fp = |i: usize| format!("group-{}", i % 2);
+        let run = |i: usize| (i % 2) as u64;
+        let pool = CellPool::new(2);
+        let (_, flags, _) = pool.run_flagged(4, &fp, &|_| 1, Some(&cache), &run);
+        assert_eq!(flags, vec![false; 4], "cold run computes everything");
+        let (_, flags, stats) = pool.run_flagged(4, &fp, &|_| 1, Some(&cache), &run);
+        assert_eq!(flags, vec![true; 4], "warm duplicates inherit the hit");
+        assert!(stats.all_cached());
+        // Without a cache nothing can be a replay.
+        let (_, flags, _) = pool.run_flagged(4, &fp, &|_| 1, None, &run);
+        assert_eq!(flags, vec![false; 4]);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -96,10 +96,66 @@ pub struct SplicedReport {
     /// Metrics whose spliced value is approximate (see [`splice`] for the
     /// per-metric semantics). Empty when `shards == 1`.
     pub inexact_metrics: Vec<String>,
+    /// Whether the shard partition was verified clean, and how dirty it
+    /// is when not.
+    pub audit: PartitionAudit,
 }
 
-/// Metric names whose splice is approximate (everything except the
-/// integer sums `jobs_completed` and `instances_launched`).
+/// The measured cleanliness of a shard partition.
+///
+/// A partition is **clean** when no job's estimated execution crosses a
+/// window boundary ([`eva_workloads::ShardMeta::straddlers`] is zero in
+/// every window). Only then do the integer-sum metrics of a spliced
+/// report ([`EXACT_METRICS`]) carry the byte-identical-to-unsharded
+/// guarantee; a dirty partition demotes them into
+/// [`SplicedReport::inexact_metrics`], so exactness is a *checked*
+/// property of every splice, never an assumption about the caller's
+/// trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PartitionAudit {
+    /// True when no window reports boundary straddlers.
+    pub clean: bool,
+    /// Total jobs whose estimated execution crosses a window boundary.
+    pub straddlers: usize,
+    /// Windows in the partition (1 = direct single-cell result).
+    pub windows: usize,
+}
+
+impl PartitionAudit {
+    /// The audit of a direct, unsharded result: trivially clean.
+    pub fn single() -> Self {
+        PartitionAudit {
+            clean: true,
+            straddlers: 0,
+            windows: 1,
+        }
+    }
+
+    /// One-line human summary, printed by the CLI and bench harness.
+    pub fn summary(&self) -> String {
+        if self.clean {
+            format!(
+                "clean — 0 straddlers across {} window(s); integer metrics exact",
+                self.windows
+            )
+        } else {
+            format!(
+                "DIRTY — {} straddler(s) across {} window(s); {} demoted to inexact",
+                self.straddlers,
+                self.windows,
+                EXACT_METRICS.join("/")
+            )
+        }
+    }
+}
+
+/// Metric names whose splice is exact **on a clean partition**: plain
+/// integer sums over shards. A dirty partition (see [`PartitionAudit`])
+/// demotes these into [`SplicedReport::inexact_metrics`].
+pub const EXACT_METRICS: &[&str] = &["jobs_completed", "instances_launched"];
+
+/// Metric names whose splice is approximate even on a clean partition
+/// (everything except [`EXACT_METRICS`]).
 pub const INEXACT_METRICS: &[&str] = &[
     "total_cost_dollars",
     "billed_hours",
@@ -146,6 +202,14 @@ pub const INEXACT_METRICS: &[&str] = &[
 /// downstream consumers can tell a spliced value from a directly
 /// simulated one. A single-part splice is the report itself, exact.
 ///
+/// The "integer sums are exact" claim additionally requires a **clean
+/// partition**, and splice *audits* that instead of trusting the caller:
+/// the shard metas carry per-window boundary-straddler counts (see
+/// [`eva_workloads::TraceHandle::shard`]), and any straddler produces a
+/// [`PartitionAudit`] with `clean: false` and demotes [`EXACT_METRICS`]
+/// into `inexact_metrics` — the splice still proceeds, but no metric
+/// claims an exactness the partition cannot deliver.
+///
 /// # Panics
 ///
 /// Panics when `parts` is empty — there is no report to splice.
@@ -156,8 +220,15 @@ pub fn splice(parts: &[(ShardMeta, SimReport)]) -> SplicedReport {
             report: parts[0].1.clone(),
             shards: 1,
             inexact_metrics: Vec::new(),
+            audit: PartitionAudit::single(),
         };
     }
+    let straddlers: usize = parts.iter().map(|(m, _)| m.straddlers).sum();
+    let audit = PartitionAudit {
+        clean: straddlers == 0,
+        straddlers,
+        windows: parts.len(),
+    };
 
     let jobs_completed: usize = parts.iter().map(|(_, r)| r.jobs_completed).sum();
     let instances_launched: u64 = parts.iter().map(|(_, r)| r.instances_launched).sum();
@@ -235,10 +306,22 @@ pub fn splice(parts: &[(ShardMeta, SimReport)]) -> SplicedReport {
         makespan_hours,
         billed_hours,
     };
+    // Demoted integer metrics lead the list so a dirty partition is
+    // visible at a glance in artifacts.
+    let inexact_metrics = if audit.clean {
+        INEXACT_METRICS.iter().map(|s| s.to_string()).collect()
+    } else {
+        EXACT_METRICS
+            .iter()
+            .chain(INEXACT_METRICS)
+            .map(|s| s.to_string())
+            .collect()
+    };
     SplicedReport {
         report,
         shards: parts.len(),
-        inexact_metrics: INEXACT_METRICS.iter().map(|s| s.to_string()).collect(),
+        inexact_metrics,
+        audit,
     }
 }
 
@@ -252,8 +335,10 @@ mod tests {
             index,
             count,
             offset: SimDuration::from_hours(offset_hours),
+            end: (index + 1 < count).then(|| SimDuration::from_hours(offset_hours + 10)),
             jobs: tasks,
             tasks,
+            straddlers: 0,
         }
     }
 
@@ -294,6 +379,7 @@ mod tests {
         assert_eq!(spliced.report, r);
         assert_eq!(spliced.shards, 1);
         assert!(spliced.inexact_metrics.is_empty());
+        assert_eq!(spliced.audit, PartitionAudit::single());
     }
 
     #[test]
@@ -322,6 +408,57 @@ mod tests {
                 .collect::<Vec<_>>()
         );
         assert!(!spliced.inexact_metrics.contains(&"jobs_completed".to_string()));
+        assert!(spliced.audit.clean);
+        assert_eq!(spliced.audit.windows, 2);
+        assert!(spliced.audit.summary().starts_with("clean"));
+    }
+
+    #[test]
+    fn dirty_partitions_demote_integer_metrics() {
+        let a = report(4, 10.0, 1.0, 3.0, 6.0);
+        let b = report(2, 5.0, 2.0, 4.0, 3.0);
+        let mut dirty = meta(0, 2, 0, 4);
+        dirty.straddlers = 2;
+        let spliced = splice(&[(dirty, a.clone()), (meta(1, 2, 10, 2), b.clone())]);
+        // The splice still proceeds, values unchanged …
+        assert_eq!(spliced.report.jobs_completed, 6);
+        assert_eq!(spliced.report.instances_launched, 6);
+        // … but the audit records the dirtiness and the integer metrics
+        // lose their exactness claim.
+        assert_eq!(
+            spliced.audit,
+            PartitionAudit {
+                clean: false,
+                straddlers: 2,
+                windows: 2
+            }
+        );
+        assert!(spliced.inexact_metrics.iter().any(|m| m == "jobs_completed"));
+        assert!(spliced.inexact_metrics.iter().any(|m| m == "instances_launched"));
+        assert_eq!(
+            spliced.inexact_metrics.len(),
+            EXACT_METRICS.len() + INEXACT_METRICS.len()
+        );
+        assert_eq!(&spliced.inexact_metrics[..2], &["jobs_completed", "instances_launched"]);
+        assert!(spliced.audit.summary().contains("DIRTY"));
+        assert!(spliced.audit.summary().contains("2 straddler(s)"));
+
+        // The same parts with zero straddlers keep today's exact claims.
+        let clean = splice(&[(meta(0, 2, 0, 4), a), (meta(1, 2, 10, 2), b)]);
+        assert!(clean.audit.clean);
+        assert!(!clean.inexact_metrics.iter().any(|m| m == "jobs_completed"));
+    }
+
+    #[test]
+    fn partition_audit_serde_round_trips() {
+        let audit = PartitionAudit {
+            clean: false,
+            straddlers: 3,
+            windows: 8,
+        };
+        let json = serde_json::to_string(&audit).unwrap();
+        let back: PartitionAudit = serde_json::from_str(&json).unwrap();
+        assert_eq!(audit, back);
     }
 
     #[test]

@@ -42,7 +42,7 @@ use crate::backend::BackendKind;
 use crate::cache::ReportCache;
 use crate::metrics::SimReport;
 use crate::pool::{CellPool, PoolStats, RunPlan};
-use crate::report::{splice, SplicedReport};
+use crate::report::{splice, PartitionAudit, SplicedReport};
 use crate::runner::{InterferenceSpec, SchedulerKind, SimConfig};
 
 /// One value of the trace axis: a shared trace (or one shard window of
@@ -210,6 +210,15 @@ impl SweepGrid {
     /// dropped), which can be fewer than the requested shard count.
     pub fn trace_axis_len(&self) -> usize {
         self.traces.len()
+    }
+
+    /// The shard metadata of every sharded trace-axis entry, in axis
+    /// order — what a caller needs to report what the planner actually
+    /// did (window count, jobs per window, boundary straddlers). Empty
+    /// when no trace is sharded (e.g. the policy resolved to a single
+    /// window).
+    pub fn shard_metas(&self) -> Vec<&ShardMeta> {
+        self.traces.iter().filter_map(|e| e.shard.as_ref()).collect()
     }
 
     /// Total number of cells the grid expands to (shard windows count as
@@ -462,8 +471,10 @@ impl SweepResult {
                 index: 0,
                 count: 1,
                 offset: SimDuration::ZERO,
+                end: None,
                 jobs: 0,
                 tasks: 0,
+                straddlers: 0,
             });
             match index.get(&group_key) {
                 Some(&g) => groups[g].1.push((meta, cell.report.clone())),
@@ -481,12 +492,14 @@ impl SweepResult {
                         report,
                         shards,
                         inexact_metrics,
+                        audit,
                     } = splice(&parts);
                     SplicedOutcome {
                         key,
                         report,
                         shards,
                         inexact_metrics,
+                        audit,
                     }
                 })
                 .collect(),
@@ -512,6 +525,10 @@ pub struct SplicedOutcome {
     pub shards: usize,
     /// Metrics whose spliced value is approximate (empty when exact).
     pub inexact_metrics: Vec<String>,
+    /// The partition audit: whether the windows spliced here were
+    /// verified free of boundary straddlers (see
+    /// [`crate::report::PartitionAudit`]).
+    pub audit: PartitionAudit,
 }
 
 /// The whole-trace view of a (possibly sharded) sweep.
@@ -529,9 +546,52 @@ impl SplicedResult {
         self.cells.chunks(self.schedulers_per_block.max(1))
     }
 
+    /// First whole-trace outcome for a scheduler name, if any.
+    pub fn first_for(&self, scheduler: &str) -> Option<&SplicedOutcome> {
+        self.cells.iter().find(|c| c.key.scheduler == scheduler)
+    }
+
+    /// The worst partition audit across outcomes — the one line a caller
+    /// should print. Every scheduler/seed splices the same windows, so
+    /// audits repeat; taking the dirtiest avoids double-counting
+    /// straddlers. `None` when the result has no cells.
+    pub fn audit(&self) -> Option<PartitionAudit> {
+        self.cells
+            .iter()
+            .map(|c| c.audit)
+            .max_by_key(|a| (a.straddlers, a.windows))
+    }
+
     /// Deterministic pretty JSON.
     pub fn to_json_pretty(&self) -> String {
         serde_json::to_string_pretty(self).expect("SplicedResult serializes")
+    }
+}
+
+/// The machine-readable artifact of a (possibly sharded) sweep: the raw
+/// per-cell rows plus the whole-trace spliced view, which carries the
+/// [`PartitionAudit`] per outcome. Saving both keeps window-level data
+/// available while making sure no artifact presents shard fragments as
+/// whole-trace results. `eva sweep --json` and the `exp_*` binaries
+/// share this shape.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepArtifact {
+    /// Raw cell outcomes (one per shard window × axes when sharded).
+    pub sweep: SweepResult,
+    /// The whole-trace view: shard groups spliced and audited.
+    pub spliced: SplicedResult,
+}
+
+impl SweepArtifact {
+    /// Builds the artifact, deriving the spliced view from the sweep.
+    pub fn new(sweep: SweepResult) -> Self {
+        let spliced = sweep.spliced();
+        SweepArtifact { sweep, spliced }
+    }
+
+    /// Deterministic pretty JSON (byte-identical across thread counts).
+    pub fn to_json_pretty(&self) -> String {
+        serde_json::to_string_pretty(self).expect("SweepArtifact serializes")
     }
 }
 

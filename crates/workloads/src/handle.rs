@@ -21,6 +21,7 @@ use serde::{Deserialize, Serialize};
 
 use eva_types::{SimDuration, SimTime};
 
+use crate::planner::{ShardPlanner, DEFAULT_AUTO_MAX_WINDOWS, DEFAULT_AUTO_TARGET_JOBS};
 use crate::trace::Trace;
 
 /// An immutable, reference-counted trace with a stable content
@@ -102,23 +103,37 @@ impl TraceHandle {
                 let first = jobs[0].arrival;
                 let last = jobs[jobs.len() - 1].arrival;
                 let span = last.duration_since(first).as_millis();
-                let mut buckets: Vec<Vec<eva_types::JobSpec>> = vec![Vec::new(); n];
-                for job in jobs {
-                    let offset = job.arrival.duration_since(first).as_millis();
-                    // Last window is closed on the right so the final
-                    // arrival lands inside it.
-                    let k = if span == 0 {
-                        0
-                    } else {
-                        (((offset as u128 * n as u128) / (span as u128 + 1)) as usize).min(n - 1)
-                    };
-                    buckets[k].push(job.clone());
+                if span == 0 {
+                    // Burst trace: every arrival is equal, so time windows
+                    // degenerate to one bucket. Fall back to job-count
+                    // chunking so `Windows(n)` still bounds per-cell
+                    // memory.
+                    let m = jobs.len().div_ceil(n);
+                    jobs.chunks(m).map(|c| c.to_vec()).collect()
+                } else {
+                    let mut buckets: Vec<Vec<eva_types::JobSpec>> = vec![Vec::new(); n];
+                    for job in jobs {
+                        let offset = job.arrival.duration_since(first).as_millis();
+                        // Last window is closed on the right so the final
+                        // arrival lands inside it.
+                        let k = (((offset as u128 * n as u128) / (span as u128 + 1)) as usize)
+                            .min(n - 1);
+                        buckets[k].push(job.clone());
+                    }
+                    buckets
                 }
-                buckets
             }
             ShardPolicy::MaxJobs(m) if m >= 1 && jobs.len() > m => {
                 jobs.chunks(m).map(|c| c.to_vec()).collect()
             }
+            ShardPolicy::Auto {
+                target_jobs,
+                max_windows,
+            } => ShardPlanner::new(target_jobs, max_windows)
+                .plan(jobs)
+                .into_iter()
+                .map(|r| jobs[r].to_vec())
+                .collect(),
             _ => vec![jobs.to_vec()],
         };
         let mut windows: Vec<Vec<eva_types::JobSpec>> =
@@ -128,12 +143,30 @@ impl TraceHandle {
         }
         let count = windows.len();
         let whole_first = jobs.first().map(|j| j.arrival).unwrap_or(SimTime::ZERO);
+        // Right boundary of window k = window k+1's first arrival: the
+        // moment the next cell's simulation starts. A job whose estimated
+        // execution (`arrival + duration_at_full_tput`) crosses that edge
+        // straddles the boundary, and the partition is no longer clean.
+        let edges: Vec<Option<SimTime>> = windows
+            .iter()
+            .skip(1)
+            .map(|w| w.first().map(|j| j.arrival))
+            .chain(std::iter::once(None))
+            .collect();
         windows
             .into_iter()
+            .zip(edges)
             .enumerate()
-            .map(|(index, chunk)| {
+            .map(|(index, (chunk, edge))| {
                 let first = chunk.first().map(|j| j.arrival).unwrap_or(whole_first);
                 let tasks = chunk.iter().map(|j| j.num_tasks()).sum();
+                let straddlers = match edge {
+                    Some(edge) => chunk
+                        .iter()
+                        .filter(|j| j.arrival + j.duration_at_full_tput > edge)
+                        .count(),
+                    None => 0,
+                };
                 let jobs = chunk.len();
                 TraceWindow {
                     handle: TraceHandle::new(Trace::new(chunk)),
@@ -141,8 +174,10 @@ impl TraceHandle {
                         index,
                         count,
                         offset: first.duration_since(whole_first),
+                        end: edge.map(|e| e.duration_since(whole_first)),
                         jobs,
                         tasks,
+                        straddlers,
                     },
                 }
             })
@@ -179,10 +214,70 @@ impl PartialEq for TraceHandle {
 /// How [`TraceHandle::shard`] splits the arrival axis.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ShardPolicy {
-    /// Split the arrival span into this many equal-width time windows.
+    /// Split the arrival span into this many equal-width time windows
+    /// (falls back to job-count chunks when every arrival is equal).
     Windows(usize),
     /// Consecutive windows of at most this many jobs each.
     MaxJobs(usize),
+    /// Density-aware planning via [`ShardPlanner`]: windows target
+    /// `target_jobs` jobs each, cut preferentially at drained boundaries
+    /// (every earlier job's estimated execution ends before the next
+    /// window's first arrival), and never exceed `max_windows`.
+    Auto {
+        /// Per-window job budget (the per-cell memory bound).
+        target_jobs: usize,
+        /// Upper bound on planned windows.
+        max_windows: usize,
+    },
+}
+
+impl ShardPolicy {
+    /// The default density-aware policy
+    /// ([`DEFAULT_AUTO_TARGET_JOBS`] jobs per window, at most
+    /// [`DEFAULT_AUTO_MAX_WINDOWS`] windows).
+    pub fn auto() -> Self {
+        ShardPolicy::Auto {
+            target_jobs: DEFAULT_AUTO_TARGET_JOBS,
+            max_windows: DEFAULT_AUTO_MAX_WINDOWS,
+        }
+    }
+
+    /// The density-aware policy with an explicit per-window job budget.
+    pub fn auto_with_budget(target_jobs: usize) -> Self {
+        ShardPolicy::Auto {
+            target_jobs: target_jobs.max(1),
+            max_windows: DEFAULT_AUTO_MAX_WINDOWS,
+        }
+    }
+
+    /// Parses the CLI form shared by `eva sweep --shard` and the `exp_*`
+    /// binaries: a window count (`"4"`), `"auto"`, or `"auto:JOBS"` (a
+    /// per-window job budget). Window counts below 2 are rejected —
+    /// they would silently run unsharded, which callers should request
+    /// by omitting the flag instead.
+    pub fn parse(s: &str) -> Result<ShardPolicy, String> {
+        if s == "auto" {
+            return Ok(ShardPolicy::auto());
+        }
+        if let Some(budget) = s.strip_prefix("auto:") {
+            let target: usize = budget
+                .parse()
+                .map_err(|_| format!("`{s}`: the auto budget must be a job count"))?;
+            if target == 0 {
+                return Err(format!("`{s}`: the auto budget must be at least 1 job"));
+            }
+            return Ok(ShardPolicy::auto_with_budget(target));
+        }
+        let n: usize = s
+            .parse()
+            .map_err(|_| format!("`{s}`: expected a window count >= 2, `auto`, or `auto:JOBS`"))?;
+        if n < 2 {
+            return Err(format!(
+                "{n} window(s) is an unsharded run — omit the flag, or pass >= 2 or `auto[:JOBS]`"
+            ));
+        }
+        Ok(ShardPolicy::Windows(n))
+    }
 }
 
 /// One arrival-time window of a sharded trace.
@@ -205,16 +300,43 @@ pub struct ShardMeta {
     /// Window first arrival relative to the whole trace's first arrival
     /// (the time shift applied when splicing makespans).
     pub offset: SimDuration,
+    /// Right edge of the window's boundary interval — the next window's
+    /// first arrival, relative to the whole trace's first arrival.
+    /// `None` for the last window, which is unbounded on the right.
+    pub end: Option<SimDuration>,
     /// Jobs in the window.
     pub jobs: usize,
     /// Tasks in the window (the weight for per-task rate metrics).
     pub tasks: usize,
+    /// Jobs whose estimated execution (`arrival + duration_at_full_tput`)
+    /// crosses the right edge. Non-zero means the partition is **dirty**:
+    /// the whole-trace run would still be executing these jobs when the
+    /// next window begins, so spliced integer metrics are no longer
+    /// guaranteed exact (see `eva_sim`'s partition audit).
+    pub straddlers: usize,
 }
 
 impl ShardMeta {
     /// `"i/n"` label used in cell keys and printed rows (1-based).
     pub fn label(&self) -> String {
         format!("{}/{}", self.index + 1, self.count)
+    }
+
+    /// One-line summary of a shard plan — the window set a grid or CLI
+    /// actually produced — shared by every surface that prints a
+    /// `shard plan:` line. An empty slice means the policy resolved to a
+    /// single window (the trace runs unsharded).
+    pub fn plan_summary(metas: &[&ShardMeta]) -> String {
+        if metas.is_empty() {
+            return "1 window — trace fits the policy's budget, running unsharded".to_string();
+        }
+        let min = metas.iter().map(|m| m.jobs).min().unwrap_or(0);
+        let max = metas.iter().map(|m| m.jobs).max().unwrap_or(0);
+        let straddlers: usize = metas.iter().map(|m| m.straddlers).sum();
+        format!(
+            "{} windows (jobs/window {min}\u{2013}{max}, {straddlers} boundary straddler(s))",
+            metas.len()
+        )
     }
 }
 
@@ -295,6 +417,78 @@ mod tests {
         assert_eq!(windows[0].meta.offset, SimDuration::ZERO);
         assert_eq!(windows[1].meta.offset, SimDuration::from_mins(100));
         assert_eq!(windows[2].meta.offset, SimDuration::from_mins(200));
+        // Boundary intervals: each window ends where the next begins;
+        // the last is unbounded. 30-min jobs drain long before the
+        // ~90-min inter-cluster gaps, so the partition is clean.
+        assert_eq!(windows[0].meta.end, Some(SimDuration::from_mins(100)));
+        assert_eq!(windows[1].meta.end, Some(SimDuration::from_mins(200)));
+        assert_eq!(windows[2].meta.end, None);
+        assert!(windows.iter().all(|w| w.meta.straddlers == 0));
+    }
+
+    #[test]
+    fn burst_traces_fall_back_to_job_count_chunking() {
+        // Regression: all arrivals equal → span == 0 put every job in
+        // bucket 0, so `Windows(n)` degenerated to a single window and
+        // `--shard N` no longer bounded per-cell memory.
+        let t = Trace::new((0..12).map(|i| job(i, 5)).collect());
+        let windows = TraceHandle::new(t).shard(ShardPolicy::Windows(4));
+        assert_eq!(windows.len(), 4);
+        for w in &windows {
+            assert_eq!(w.meta.jobs, 3);
+            assert_eq!(w.meta.count, 4);
+        }
+        // Every job straddles a zero-width boundary: 30-min jobs cross an
+        // edge that arrives immediately.
+        assert!(windows[0].meta.straddlers > 0);
+    }
+
+    #[test]
+    fn straddlers_count_jobs_crossing_the_right_edge() {
+        // Clusters 100 min apart, but one job in the first cluster runs
+        // 500 minutes — past the second window's first arrival.
+        let mut jobs: Vec<JobSpec> = spread_trace().into_jobs();
+        jobs[0].duration_at_full_tput = SimDuration::from_mins(500);
+        let windows = TraceHandle::new(Trace::new(jobs)).shard(ShardPolicy::Windows(3));
+        assert_eq!(windows.len(), 3);
+        assert_eq!(windows[0].meta.straddlers, 1);
+        assert_eq!(windows[1].meta.straddlers, 0);
+        assert_eq!(windows[2].meta.straddlers, 0, "last window has no right edge");
+    }
+
+    #[test]
+    fn auto_policy_cuts_in_arrival_gaps() {
+        // spread_trace's clusters are ~90 min apart with 30-min jobs:
+        // auto planning with a 4-job budget must cut exactly at the
+        // cluster boundaries, cleanly.
+        let h = TraceHandle::new(spread_trace());
+        let windows = h.shard(ShardPolicy::auto_with_budget(4));
+        assert_eq!(windows.len(), 3);
+        for (k, w) in windows.iter().enumerate() {
+            assert_eq!(w.meta.jobs, 4);
+            assert_eq!(w.meta.straddlers, 0, "auto cut through cluster {k}");
+        }
+        // The default budget is far larger than the trace: unsharded.
+        assert_eq!(h.shard(ShardPolicy::auto()).len(), 1);
+    }
+
+    #[test]
+    fn shard_policy_parses_cli_forms() {
+        assert_eq!(ShardPolicy::parse("4"), Ok(ShardPolicy::Windows(4)));
+        assert_eq!(ShardPolicy::parse("auto"), Ok(ShardPolicy::auto()));
+        assert_eq!(
+            ShardPolicy::parse("auto:50"),
+            Ok(ShardPolicy::Auto {
+                target_jobs: 50,
+                max_windows: DEFAULT_AUTO_MAX_WINDOWS,
+            })
+        );
+        // 0/1 windows silently ran unsharded before — now rejected.
+        assert!(ShardPolicy::parse("0").is_err());
+        assert!(ShardPolicy::parse("1").is_err());
+        assert!(ShardPolicy::parse("auto:0").is_err());
+        assert!(ShardPolicy::parse("auto:x").is_err());
+        assert!(ShardPolicy::parse("many").is_err());
     }
 
     #[test]
@@ -357,8 +551,10 @@ mod tests {
             index: 1,
             count: 4,
             offset: SimDuration::from_mins(90),
+            end: Some(SimDuration::from_mins(180)),
             jobs: 7,
             tasks: 9,
+            straddlers: 2,
         };
         let json = serde_json::to_string(&meta).unwrap();
         let back: ShardMeta = serde_json::from_str(&json).unwrap();

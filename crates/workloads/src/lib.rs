@@ -21,6 +21,7 @@ pub mod colocation;
 pub mod duration;
 pub mod handle;
 pub mod modifiers;
+pub mod planner;
 pub mod synthetic;
 pub mod trace;
 
@@ -30,5 +31,6 @@ pub use colocation::{InterferenceModel, PairwiseMatrix};
 pub use duration::{AlibabaDurations, DurationSampler, GavelDurations, UniformHours};
 pub use handle::{ShardMeta, ShardPolicy, TraceHandle, TraceWindow};
 pub use modifiers::{MultiGpuMix, MultiTaskMix};
+pub use planner::{ShardPlanner, DEFAULT_AUTO_MAX_WINDOWS, DEFAULT_AUTO_TARGET_JOBS};
 pub use synthetic::SyntheticTraceConfig;
 pub use trace::{Trace, TraceStats};

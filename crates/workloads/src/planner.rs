@@ -1,0 +1,236 @@
+//! Density-aware shard planning: choosing window boundaries from the
+//! arrival process instead of slicing the arrival span blindly.
+//!
+//! [`crate::ShardPolicy::Windows`] cuts the arrival span into equal-width
+//! windows — cheap, but oblivious to where jobs actually are. A window
+//! boundary that falls inside a burst of long-running jobs cuts through
+//! executions that straddle it, and the spliced report silently loses the
+//! exact-integer-metric guarantee. A [`ShardPlanner`] instead walks the
+//! trace in arrival order and cuts at **drained boundaries** — points
+//! where every job seen so far is estimated to have finished before the
+//! next window's first job arrives (which in practice means cutting in
+//! long arrival gaps). Each window targets a per-cell job budget, which
+//! is what bounds a sweep worker's peak memory.
+//!
+//! Planning is a pure function of the job list, so planned windows —
+//! like every other shard policy — keep sweep results byte-identical
+//! across thread counts and cache states.
+
+use eva_types::JobSpec;
+
+/// Default per-window job budget of [`crate::ShardPolicy::Auto`].
+pub const DEFAULT_AUTO_TARGET_JOBS: usize = 1000;
+
+/// Default cap on planned windows of [`crate::ShardPolicy::Auto`].
+pub const DEFAULT_AUTO_MAX_WINDOWS: usize = 64;
+
+/// Plans arrival-window boundaries from arrival density and a per-cell
+/// job budget.
+///
+/// The planner walks jobs in arrival order and opens a new window once
+/// the current one holds at least `target_jobs` jobs, cutting at the
+/// first **drained** boundary: a point where every job seen so far is
+/// estimated to have finished (`max(arrival + duration_at_full_tput)`
+/// does not cross the next arrival — in practice, an arrival gap longer
+/// than the runtimes of the jobs still executing). This is exactly the
+/// straddler predicate the partition audit checks, so a plan whose cuts
+/// are all drained is guaranteed to audit clean. If no drained boundary
+/// appears before the window reaches twice the budget, the planner cuts
+/// at the *largest* arrival gap in that stretch — the least-bad, dirty
+/// boundary — so a window never exceeds `2 × target_jobs` jobs.
+/// `max_windows` bounds the window count from above by raising the
+/// effective budget.
+///
+/// # Examples
+///
+/// ```
+/// use eva_workloads::{ShardPlanner, SyntheticTraceConfig};
+///
+/// let trace = SyntheticTraceConfig::small_scale().generate(42);
+/// let planner = ShardPlanner::new(8, 16);
+/// let windows = planner.plan(trace.jobs());
+/// assert_eq!(windows.iter().map(|w| w.len()).sum::<usize>(), trace.len());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardPlanner {
+    target_jobs: usize,
+    max_windows: usize,
+}
+
+impl ShardPlanner {
+    /// A planner with the given per-window job budget and window cap
+    /// (both clamped to at least 1).
+    pub fn new(target_jobs: usize, max_windows: usize) -> Self {
+        ShardPlanner {
+            target_jobs: target_jobs.max(1),
+            max_windows: max_windows.max(1),
+        }
+    }
+
+    /// The per-window job budget.
+    pub fn target_jobs(&self) -> usize {
+        self.target_jobs
+    }
+
+    /// The maximum number of windows the plan may produce.
+    pub fn max_windows(&self) -> usize {
+        self.max_windows
+    }
+
+    /// The budget actually enforced for `n` jobs: the declared target,
+    /// raised so that `max_windows` is never exceeded.
+    pub fn effective_target(&self, n: usize) -> usize {
+        self.target_jobs.max(n.div_ceil(self.max_windows)).max(1)
+    }
+
+    /// Splits `jobs` (assumed arrival-ordered) into consecutive index
+    /// ranges, one per planned window. Always covers every job exactly
+    /// once; returns a single range when the trace fits one budget.
+    // A one-window plan really is a single `0..n` range, not `(0..n)`
+    // misspelled.
+    #[allow(clippy::single_range_in_vec_init)]
+    pub fn plan(&self, jobs: &[JobSpec]) -> Vec<std::ops::Range<usize>> {
+        let n = jobs.len();
+        let target = self.effective_target(n);
+        if n <= target {
+            return vec![0..n];
+        }
+        let gap = |j: usize| jobs[j + 1].arrival.duration_since(jobs[j].arrival);
+        // Running max of estimated end times: a cut after job `j` is
+        // *drained* — straddler-free by the same estimate the partition
+        // audit uses — iff `latest_end[j] <= jobs[j + 1].arrival`.
+        let mut latest_end = Vec::with_capacity(n);
+        let mut latest = eva_types::SimTime::ZERO;
+        for job in jobs {
+            latest = latest.max(job.arrival + job.duration_at_full_tput);
+            latest_end.push(latest);
+        }
+
+        let mut ranges = Vec::new();
+        let mut start = 0;
+        // Leave room for the tail range so max_windows is a hard cap even
+        // if every cut fires as early as possible.
+        while n - start > target && ranges.len() + 1 < self.max_windows {
+            // Candidate cuts: after job `j`, for window sizes in
+            // [target, 2 × target], never leaving the next window empty.
+            let lo = start + target - 1;
+            let hi = (start + 2 * target - 1).min(n - 2);
+            let mut cut = None;
+            let mut best = lo;
+            for j in lo..=hi {
+                if gap(j) > gap(best) {
+                    best = j;
+                }
+                if latest_end[j] <= jobs[j + 1].arrival {
+                    cut = Some(j);
+                    break;
+                }
+            }
+            // No drained boundary in budget range: cut at the largest
+            // arrival gap seen, keeping the window within twice the
+            // budget.
+            let j = cut.unwrap_or(best);
+            ranges.push(start..j + 1);
+            start = j + 1;
+        }
+        ranges.push(start..n);
+        ranges
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::SyntheticTraceConfig;
+    use crate::trace::Trace;
+    use eva_types::{
+        DemandSpec, JobId, ResourceVector, SimDuration, SimTime, TaskId, TaskSpec, WorkloadKind,
+    };
+
+    fn job(id: u64, arrival_mins: u64, duration_mins: u64) -> JobSpec {
+        JobSpec {
+            id: JobId(id),
+            arrival: SimTime::from_secs(arrival_mins * 60),
+            tasks: vec![TaskSpec {
+                id: TaskId::new(JobId(id), 0),
+                workload: WorkloadKind(0),
+                demand: DemandSpec::uniform(ResourceVector::new(1, 4, 1024)),
+                checkpoint_delay: SimDuration::from_secs(2),
+                launch_delay: SimDuration::from_secs(10),
+            }],
+            duration_at_full_tput: SimDuration::from_mins(duration_mins),
+            gang_coupled: false,
+        }
+    }
+
+    /// Three 4-job bursts, 30-min jobs, bursts 600 min apart: the only
+    /// drain-sized gaps are the two inter-burst ones.
+    fn bursty() -> Vec<JobSpec> {
+        let mut jobs = Vec::new();
+        for k in 0..3u64 {
+            for i in 0..4u64 {
+                jobs.push(job(k * 10 + i, k * 600 + i * 2, 30));
+            }
+        }
+        Trace::new(jobs).into_jobs()
+    }
+
+    #[test]
+    fn cuts_land_in_inter_burst_gaps() {
+        let jobs = bursty();
+        let ranges = ShardPlanner::new(4, 64).plan(&jobs);
+        assert_eq!(ranges, vec![0..4, 4..8, 8..12]);
+    }
+
+    #[test]
+    #[allow(clippy::single_range_in_vec_init)] // one-window plans are literal
+    fn small_traces_stay_whole() {
+        let jobs = bursty();
+        assert_eq!(ShardPlanner::new(12, 64).plan(&jobs), [0..12]);
+        assert_eq!(ShardPlanner::new(100, 64).plan(&jobs), [0..12]);
+        assert_eq!(ShardPlanner::new(4, 64).plan(&[]), [0..0]);
+        assert_eq!(ShardPlanner::new(1, 64).plan(&jobs[..1]), [0..1]);
+    }
+
+    #[test]
+    fn max_windows_raises_the_effective_budget() {
+        let jobs = bursty();
+        let planner = ShardPlanner::new(1, 2);
+        assert_eq!(planner.effective_target(jobs.len()), 6);
+        let ranges = planner.plan(&jobs);
+        assert!(ranges.len() <= 2, "{ranges:?}");
+        let covered: usize = ranges.iter().map(|r| r.len()).sum();
+        assert_eq!(covered, jobs.len());
+    }
+
+    #[test]
+    fn dense_traces_fall_back_to_largest_gap_cuts() {
+        // Arrivals every 10 min, durations 120 min: no gap ever reaches
+        // the expected runtime, so cuts use the largest gap in range and
+        // windows stay within twice the budget.
+        let jobs: Vec<JobSpec> = (0..20).map(|i| job(i, i * 10, 120)).collect();
+        let ranges = ShardPlanner::new(5, 64).plan(&jobs);
+        assert!(ranges.len() >= 2, "{ranges:?}");
+        for r in &ranges {
+            assert!(r.len() <= 10, "window exceeds twice the budget: {r:?}");
+        }
+        let covered: usize = ranges.iter().map(|r| r.len()).sum();
+        assert_eq!(covered, 20);
+    }
+
+    #[test]
+    fn plan_is_deterministic_and_covers_synthetic_traces() {
+        let trace = SyntheticTraceConfig::small_scale().generate(7);
+        let planner = ShardPlanner::new(8, 16);
+        let a = planner.plan(trace.jobs());
+        let b = planner.plan(trace.jobs());
+        assert_eq!(a, b);
+        assert_eq!(a.iter().map(|r| r.len()).sum::<usize>(), trace.len());
+        let mut next = 0;
+        for r in &a {
+            assert_eq!(r.start, next, "ranges must be consecutive");
+            next = r.end;
+        }
+    }
+
+}

@@ -38,15 +38,16 @@ pub mod prelude {
     pub use eva_core::{EvaConfig, EvaScheduler, Plan, Scheduler, SchedulerContext, TaskSnapshot};
     pub use eva_sim::{
         run_recorded, run_simulation, BackendKind, CellPool, ClusterSim, ExecBackend, Experiment,
-        LiveBackend, LiveOutcome, PoolStats, ReportCache, SchedulerKind, SimBackend, SimConfig,
-        SimReport, SplicedOutcome, SplicedResult, SweepGrid, SweepResult, SweepRunner,
+        LiveBackend, LiveOutcome, PartitionAudit, PoolStats, ReportCache, SchedulerKind,
+        SimBackend, SimConfig, SimReport, SplicedOutcome, SplicedResult, SweepArtifact, SweepGrid,
+        SweepResult, SweepRunner,
     };
     pub use eva_types::{
         Cost, DemandSpec, InstanceId, JobId, JobSpec, ResourceVector, SimDuration, SimTime, TaskId,
         TaskSpec, WorkloadKind,
     };
     pub use eva_workloads::{
-        AlibabaTraceConfig, DurationModelChoice, InterferenceModel, ShardPolicy,
-        SyntheticTraceConfig, Trace, TraceHandle, WorkloadCatalog,
+        AlibabaTraceConfig, DurationModelChoice, InterferenceModel, ShardMeta, ShardPlanner,
+        ShardPolicy, SyntheticTraceConfig, Trace, TraceHandle, WorkloadCatalog,
     };
 }

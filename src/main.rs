@@ -9,8 +9,8 @@
 //! eva sweep    [--jobs N] [--rate JOBS_PER_HR] [--durations ...]
 //!              [--schedulers A,B,..] [--seeds S1,S2,..]
 //!              [--backend sim|live|sim,live] [--threads N]
-//!              [--shard N] [--cache] [--no-cache] [--cache-dir DIR]
-//!              [--period MINS] [--json FILE]
+//!              [--shard N|auto[:JOBS]] [--cache] [--no-cache]
+//!              [--cache-dir DIR] [--period MINS] [--json FILE]
 //! eva workloads        # print the Table 7 workload catalog
 //! eva catalog          # print the 21-type AWS instance catalog
 //! ```
@@ -18,15 +18,6 @@
 use std::process::ExitCode;
 
 use eva::prelude::*;
-use serde::Serialize;
-
-/// The `--json` artifact of a sharded sweep: the per-shard cells plus
-/// the spliced whole-trace view.
-#[derive(Debug, Clone, Serialize)]
-struct SweepArtifact {
-    sweep: SweepResult,
-    spliced: SplicedResult,
-}
 
 /// Parsed command line.
 #[derive(Debug, Clone, PartialEq)]
@@ -80,8 +71,10 @@ struct SweepArgs {
     schedulers: Vec<String>,
     seeds: Vec<u64>,
     backends: Vec<String>,
-    /// Arrival-time windows to shard each trace into (0/1 = unsharded).
-    shard: usize,
+    /// How to shard each trace into arrival-time windows (`None` =
+    /// unsharded): `--shard N` for equal windows, `--shard auto[:JOBS]`
+    /// for density-aware planning with a per-window job budget.
+    shard: Option<ShardPolicy>,
     /// Whether the persistent report cache is consulted (CLI default:
     /// off; `--cache` or `--cache-dir` turns it on).
     cache: bool,
@@ -102,7 +95,7 @@ impl Default for SweepArgs {
             ],
             seeds: vec![42],
             backends: vec!["sim".into()],
-            shard: 0,
+            shard: None,
             cache: false,
             cache_dir: None,
         }
@@ -169,7 +162,8 @@ fn parse_sim_args<'a>(
                 }
             }
             "--shard" if sweep => {
-                args.shard = value()?.parse().map_err(|e| format!("--shard: {e}"))?
+                args.shard =
+                    Some(ShardPolicy::parse(&value()?).map_err(|e| format!("--shard: {e}"))?)
             }
             "--cache" if sweep => args.cache = true,
             "--no-cache" if sweep => {
@@ -212,7 +206,7 @@ fn run(cli: Cli) -> Result<(), String> {
                 "eva — cost-efficient cloud-based cluster scheduling (EuroSys '25 reproduction)\n\n\
                  USAGE:\n  eva simulate [--jobs N] [--rate J/HR] [--scheduler NAME] [--durations alibaba|gavel] [--seed N] [--period MINS] [--threads N] [--json FILE]\n  \
                  eva compare  [--jobs N] [--rate J/HR] [--durations ...] [--seed N] [--period MINS] [--threads N]\n  \
-                 eva sweep    [--jobs N] [--rate J/HR] [--durations ...] [--schedulers A,B,..] [--seeds S1,S2,..] [--backend sim|live|sim,live] [--threads N] [--shard N] [--cache] [--no-cache] [--cache-dir DIR] [--period MINS] [--json FILE]\n  \
+                 eva sweep    [--jobs N] [--rate J/HR] [--durations ...] [--schedulers A,B,..] [--seeds S1,S2,..] [--backend sim|live|sim,live] [--threads N] [--shard N|auto[:JOBS]] [--cache] [--no-cache] [--cache-dir DIR] [--period MINS] [--json FILE]\n  \
                  eva workloads\n  eva catalog\n\n\
                  SCHEDULERS: {}\n  BACKENDS: {} (`--backend sim,live` adds a grid axis: live cells\n\
                  replay the schedule through the real master/worker runtime)\n\n\
@@ -223,6 +217,11 @@ fn run(cli: Cli) -> Result<(), String> {
                  `--shard N` splits the trace into N arrival-time windows that run as\n\
                  independent cells (bounding per-cell memory) and splices their\n\
                  reports back into whole-trace rows, flagging approximate metrics.\n\
+                 `--shard auto[:JOBS]` plans the windows from arrival density instead:\n\
+                 each targets JOBS jobs and cuts where every earlier job is estimated\n\
+                 to have drained. Every sharded sweep prints a partition audit —\n\
+                 jobs straddling a window boundary demote the integer metrics from\n\
+                 exact to inexact in the spliced rows and the --json artifact.\n\
                  `--cache` / `--cache-dir DIR` memoize cell reports on disk (default\n\
                  DIR results/cache, shared with the exp_* binaries, keyed by trace\n\
                  content + all knobs + code schema version); a warm rerun simulates\n\
@@ -292,8 +291,12 @@ fn run(cli: Cli) -> Result<(), String> {
                 .seeds(args.seeds.clone())
                 .backends(backends)
                 .round_period(round_period(&args.sim));
-            if args.shard > 1 {
-                grid = grid.shards(ShardPolicy::Windows(args.shard));
+            if let Some(policy) = args.shard {
+                grid = grid.shards(policy);
+                // Report what the planner actually did: `--shard 8` on a
+                // sparse trace can produce fewer windows, and `auto` can
+                // leave a within-budget trace whole.
+                println!("shard plan: {}", ShardMeta::plan_summary(&grid.shard_metas()));
             }
             let mut runner = SweepRunner::new(args.sim.threads);
             if args.cache {
@@ -310,8 +313,8 @@ fn run(cli: Cli) -> Result<(), String> {
                 args.seeds.len(),
                 args.backends.len(),
                 args.sim.jobs,
-                if args.shard > 1 {
-                    format!(", {} shard windows", grid.trace_axis_len())
+                if args.shard.is_some() {
+                    format!(", {} shard window(s)", grid.trace_axis_len())
                 } else {
                     String::new()
                 },
@@ -333,8 +336,11 @@ fn run(cli: Cli) -> Result<(), String> {
                     cell.report.table_row(None)
                 );
             }
-            let spliced = (args.shard > 1).then(|| {
+            let spliced = args.shard.is_some().then(|| {
                 let spliced = result.spliced();
+                if let Some(audit) = spliced.audit() {
+                    println!("partition audit: {}", audit.summary());
+                }
                 println!(
                     "spliced to {} whole-trace rows (approximate metrics flagged: {}):",
                     spliced.cells.len(),
@@ -358,10 +364,11 @@ fn run(cli: Cli) -> Result<(), String> {
             });
             if let Some(path) = args.sim.json {
                 let json = match spliced {
-                    Some(spliced) => {
-                        serde_json::to_string_pretty(&SweepArtifact { sweep: result, spliced })
-                            .map_err(|e| format!("serialize: {e}"))?
+                    Some(spliced) => SweepArtifact {
+                        sweep: result,
+                        spliced,
                     }
+                    .to_json_pretty(),
                     None => result.to_json_pretty(),
                 };
                 std::fs::write(&path, json).map_err(|e| format!("write {path}: {e}"))?;
@@ -467,15 +474,32 @@ mod tests {
         let Command::Sweep(args) = cli.command else {
             panic!()
         };
-        assert_eq!(args.shard, 4);
+        assert_eq!(args.shard, Some(ShardPolicy::Windows(4)));
         assert!(args.cache);
         assert_eq!(args.cache_dir.as_deref(), Some("/tmp/c"));
 
         let Command::Sweep(defaults) = parse(&argv("sweep")).unwrap().command else {
             panic!()
         };
-        assert_eq!(defaults.shard, 0);
+        assert_eq!(defaults.shard, None);
         assert!(!defaults.cache, "CLI caching is opt-in");
+
+        let Command::Sweep(auto) = parse(&argv("sweep --shard auto")).unwrap().command else {
+            panic!()
+        };
+        assert_eq!(auto.shard, Some(ShardPolicy::auto()));
+        let Command::Sweep(budget) = parse(&argv("sweep --shard auto:50")).unwrap().command
+        else {
+            panic!()
+        };
+        assert_eq!(budget.shard, Some(ShardPolicy::auto_with_budget(50)));
+
+        // 0/1 windows used to run unsharded silently — now rejected with
+        // a flag-style error.
+        for bad in ["sweep --shard 0", "sweep --shard 1", "sweep --shard auto:0"] {
+            let err = parse(&argv(bad)).unwrap_err();
+            assert!(err.contains("--shard"), "{bad} → {err}");
+        }
 
         let Command::Sweep(cached) = parse(&argv("sweep --cache")).unwrap().command else {
             panic!()

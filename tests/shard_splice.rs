@@ -145,6 +145,82 @@ fn every_paper_scheduler_splices_exact_on_a_clean_partition() {
 }
 
 #[test]
+fn auto_planned_clean_partition_stays_byte_identical() {
+    // The density-aware planner must find the inter-cluster gaps on its
+    // own (budget = cluster size), audit the partition clean, and keep
+    // the integer metrics byte-identical to the unsharded run.
+    let trace = clustered_trace();
+    let schedulers = ["no-packing", "stratus", "eva"];
+    let whole = SweepRunner::new(2).run(
+        &SweepGrid::new("clustered", trace.clone())
+            .schedulers_by_name(&schedulers)
+            .unwrap()
+            .fidelities(vec![FidelityMode::Nominal]),
+    );
+    let spliced = SweepRunner::new(2)
+        .run(
+            &SweepGrid::new("clustered", trace)
+                .shards(ShardPolicy::auto_with_budget(JOBS_PER_CLUSTER))
+                .schedulers_by_name(&schedulers)
+                .unwrap()
+                .fidelities(vec![FidelityMode::Nominal]),
+        )
+        .spliced();
+    assert_eq!(spliced.cells.len(), whole.cells.len());
+    for (s, w) in spliced.cells.iter().zip(&whole.cells) {
+        assert_eq!(s.shards, CLUSTERS as usize, "planner missed a cluster gap");
+        assert!(s.audit.clean, "auto plan must audit clean: {:?}", s.audit);
+        assert_eq!(s.audit.straddlers, 0);
+        assert_eq!(s.audit.windows, CLUSTERS as usize);
+        assert_eq!(s.report.jobs_completed, w.report.jobs_completed);
+        assert_eq!(s.report.instances_launched, w.report.instances_launched);
+        assert!(!s.inexact_metrics.iter().any(|m| m == "jobs_completed"));
+        assert!(!s.inexact_metrics.iter().any(|m| m == "instances_launched"));
+    }
+}
+
+#[test]
+fn dirty_partition_is_detected_demoted_and_still_splices() {
+    // One job in the first cluster runs ~150 h — straight through the
+    // second window's boundary. The sweep must not panic, the audit must
+    // flag the partition, and the integer metrics must lose their
+    // exactness claim, identically for any worker count.
+    let mut jobs = clustered_trace().into_jobs();
+    jobs[0].duration_at_full_tput = SimDuration::from_hours(150);
+    let trace = Trace::new(jobs);
+
+    let mut jsons = Vec::new();
+    for threads in [1, 2, 8] {
+        let sharded = SweepRunner::new(threads).run(&grid(&trace, BackendKind::Sim, true));
+        let spliced = sharded.spliced();
+        for outcome in &spliced.cells {
+            assert!(!outcome.audit.clean, "straddler went undetected");
+            assert_eq!(outcome.audit.straddlers, 1);
+            assert_eq!(outcome.audit.windows, CLUSTERS as usize);
+            assert!(
+                outcome.inexact_metrics.iter().any(|m| m == "jobs_completed"),
+                "dirty partition must demote jobs_completed"
+            );
+            assert!(outcome
+                .inexact_metrics
+                .iter()
+                .any(|m| m == "instances_launched"));
+            // The spliced values themselves are still produced.
+            assert!(outcome.report.jobs_completed > 0);
+        }
+        let audit = spliced.audit().expect("non-empty result");
+        assert!(!audit.clean);
+        assert!(audit.summary().contains("DIRTY"));
+        jsons.push(spliced.to_json_pretty());
+    }
+    assert_eq!(jsons[0], jsons[1]);
+    assert_eq!(jsons[1], jsons[2]);
+    // The artifact carries the audit for downstream consumers.
+    assert!(jsons[0].contains("\"straddlers\""));
+    assert!(jsons[0].contains("\"clean\""));
+}
+
+#[test]
 fn shard_cells_carry_only_their_window() {
     // The memory-bounding property: a shard cell's config holds the
     // window's jobs, not the whole trace.
