@@ -22,14 +22,20 @@
 //! * `--cache-dir DIR` — use `DIR` instead of `results/cache`
 //!   (`EVA_CACHE_DIR` is the env equivalent).
 //!
+//! The adversarial fault axis is likewise shared: every `exp_*` binary
+//! accepts `--faults REGIME[:INTENSITY]` (env `EVA_FAULTS`) and runs its
+//! whole grid under that injected regime — no per-experiment code, the
+//! harness sets the grid's fault axis. Fault-plan fingerprints are part
+//! of every cache key, so faulted and fault-free cells never alias.
+//!
 //! Solver-level micro-benchmarks (tables 4–6) share the same cell
 //! machinery through [`solver::SolverSweep`].
 
 use std::path::PathBuf;
 
 use eva_sim::{
-    PoolStats, ReportCache, SchedulerKind, SimReport, SplicedResult, SweepArtifact, SweepGrid,
-    SweepResult, SweepRunner,
+    FaultSpec, PoolStats, ReportCache, SchedulerKind, SimReport, SplicedResult, SweepArtifact,
+    SweepGrid, SweepResult, SweepRunner,
 };
 use eva_workloads::{ShardMeta, ShardPolicy, Trace};
 
@@ -133,6 +139,53 @@ pub fn shard_setting_from(
     value.map(|v| ShardPolicy::parse(&v)).transpose()
 }
 
+/// Resolves the shared `--faults REGIME[:INTENSITY]` flag (env
+/// equivalent `EVA_FAULTS`) from this process's argument list. `None`
+/// means fault-free — the default. Invalid regimes or intensities abort
+/// the binary with a flag-style error.
+pub fn faults_setting() -> Option<FaultSpec> {
+    match faults_setting_from(std::env::args().skip(1)) {
+        Ok(spec) => spec,
+        Err(e) => {
+            eprintln!("error: --faults: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// [`faults_setting`] over an explicit argument list (testable form).
+/// Unrecognized arguments are ignored, like [`cache_setting_from`].
+pub fn faults_setting_from(
+    args: impl IntoIterator<Item = String>,
+) -> Result<Option<FaultSpec>, String> {
+    let mut value: Option<String> = None;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        if arg == "--faults" {
+            value = Some(it.next().ok_or("the flag needs a value")?);
+        }
+    }
+    if value.is_none() {
+        if let Ok(env) = std::env::var("EVA_FAULTS") {
+            value = Some(env);
+        }
+    }
+    value.map(|v| FaultSpec::parse(&v)).transpose()
+}
+
+/// Applies the process's `--faults` setting to `grid` as the fault axis,
+/// printing the injected regime whenever one was requested. A no-op
+/// without `--faults` — the grid keeps its fault-free default axis.
+pub fn apply_faults(grid: SweepGrid) -> SweepGrid {
+    let Some(spec) = faults_setting() else {
+        return grid;
+    };
+    if !spec.is_none() {
+        println!("   [faults: {}]", spec.label());
+    }
+    grid.faults(vec![spec])
+}
+
 /// Applies the process's `--shard` setting to `grid`, printing what the
 /// planner actually did (window count, jobs per window, boundary
 /// straddlers) whenever sharding was requested. A no-op without
@@ -158,7 +211,7 @@ pub fn apply_shard(grid: SweepGrid) -> SweepGrid {
 /// view is an exact pass-through, so `artifact.spliced.blocks()`
 /// matches the unsharded grid's block structure either way.
 pub fn run_grid(grid: SweepGrid) -> SweepArtifact {
-    let grid = apply_shard(grid);
+    let grid = apply_shard(apply_faults(grid));
     let (result, stats) = runner().run_with_stats(&grid);
     print_stats(&stats);
     let spliced = spliced_view(&result);
@@ -224,7 +277,10 @@ pub fn run_and_print(trace: &Trace, kinds: Vec<SchedulerKind>, header: &str) -> 
         trace.len(),
         trace.stats().arrival_span_hours
     );
-    let grid = apply_shard(add_schedulers(SweepGrid::new("trace", trace.clone()), kinds));
+    let grid = apply_shard(apply_faults(add_schedulers(
+        SweepGrid::new("trace", trace.clone()),
+        kinds,
+    )));
     let (result, stats) = runner().run_with_stats(&grid);
     print_stats(&stats);
     let reports: Vec<SimReport> = spliced_view(&result)
@@ -317,6 +373,27 @@ mod tests {
         assert!(shard_setting_from(args(&["--shard"])).is_err());
         if std::env::var("EVA_SHARD").is_err() {
             assert_eq!(shard_setting_from(args(&["--jobs", "5"])).unwrap(), None);
+        }
+    }
+
+    #[test]
+    fn fault_flags_resolve() {
+        use eva_sim::FaultRegime;
+        let args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<String>>();
+        let storm = faults_setting_from(args(&["--faults", "preempt-storm:2"]))
+            .unwrap()
+            .unwrap();
+        assert_eq!(storm.regime, FaultRegime::PreemptStorm);
+        assert_eq!(storm.intensity, 2.0);
+        assert_eq!(
+            faults_setting_from(args(&["--faults", "none"])).unwrap(),
+            Some(FaultSpec::none())
+        );
+        // Bad regimes and a missing value are flag errors.
+        assert!(faults_setting_from(args(&["--faults", "meteor"])).is_err());
+        assert!(faults_setting_from(args(&["--faults"])).is_err());
+        if std::env::var("EVA_FAULTS").is_err() {
+            assert_eq!(faults_setting_from(args(&["--jobs", "5"])).unwrap(), None);
         }
     }
 

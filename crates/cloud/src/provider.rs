@@ -113,6 +113,15 @@ pub struct CloudProvider {
     instances: BTreeMap<InstanceId, Instance>,
     next_id: u64,
     launches: u64,
+    /// Provider-wide cap on concurrently live instances (`None` =
+    /// unlimited). Fault injection uses this to model capacity shocks;
+    /// existing instances survive a cap below the current live count —
+    /// only *new* provisions are rejected until capacity frees up.
+    pool_limit: Option<u64>,
+    /// Dynamic price multipliers: `(from, factor)` steps sorted by time,
+    /// each factor applying from its instant until the next step. Empty =
+    /// static catalog prices (the exact historical billing path).
+    price_steps: Vec<(SimTime, f64)>,
 }
 
 impl CloudProvider {
@@ -130,7 +139,41 @@ impl CloudProvider {
             instances: BTreeMap::new(),
             next_id: 0,
             launches: 0,
+            pool_limit: None,
+            price_steps: Vec::new(),
         }
+    }
+
+    /// Caps (or uncaps) the number of concurrently live instances.
+    pub fn set_pool_limit(&mut self, limit: Option<u64>) {
+        self.pool_limit = limit;
+    }
+
+    /// The current pool cap, if any.
+    pub fn pool_limit(&self) -> Option<u64> {
+        self.pool_limit
+    }
+
+    /// Number of instances alive (not terminated) at `now`.
+    pub fn live_count(&self, now: SimTime) -> u64 {
+        self.live_instances(now).count() as u64
+    }
+
+    /// Free pool capacity under the current cap at `now`, `None` when
+    /// uncapped. Saturating: a cap imposed *below* the live count (a
+    /// capacity shock hitting a full pool) reports zero, never underflows.
+    pub fn free_capacity(&self, now: SimTime) -> Option<u64> {
+        self.pool_limit
+            .map(|limit| limit.saturating_sub(self.live_count(now)))
+    }
+
+    /// Installs a dynamic price schedule: `(from, factor)` steps, each
+    /// multiplying every catalog hourly rate from its instant until the
+    /// next step. An empty schedule restores static catalog pricing.
+    pub fn set_price_schedule(&mut self, mut steps: Vec<(SimTime, f64)>) {
+        steps.retain(|(_, f)| f.is_finite() && *f >= 0.0);
+        steps.sort_by_key(|(at, _)| *at);
+        self.price_steps = steps;
     }
 
     /// The catalog in use.
@@ -160,6 +203,16 @@ impl CloudProvider {
             .get(req.type_id)
             .ok_or(EvaError::UnknownInstanceType(req.type_id))?
             .id;
+        if self.free_capacity(req.at) == Some(0) {
+            return Err(EvaError::ProvisioningFailed {
+                instance_type: ty,
+                reason: format!(
+                    "provider pool at capacity ({} live / limit {})",
+                    self.live_count(req.at),
+                    self.pool_limit.unwrap_or(0)
+                ),
+            });
+        }
         let zone = self.zones.allocate(ty)?;
         let DelaySample { acquisition, setup } = self.delays.sample(rng);
         let id = InstanceId(self.next_id);
@@ -236,7 +289,34 @@ impl CloudProvider {
             .catalog
             .get(inst.type_id)
             .ok_or(EvaError::UnknownInstanceType(inst.type_id))?;
-        Ok(ty.hourly_cost.for_hours(inst.uptime(now).as_hours_f64()))
+        if self.price_steps.is_empty() {
+            return Ok(ty.hourly_cost.for_hours(inst.uptime(now).as_hours_f64()));
+        }
+        // Dynamic pricing: integrate the step function over the billed
+        // window, each segment at its prevailing multiplier.
+        let hourly = ty.hourly_cost.as_dollars();
+        let start = inst.billed_from;
+        let end = match inst.terminated_at {
+            Some(t) if t < now => t,
+            _ => now,
+        };
+        let mut dollars = 0.0;
+        let mut cursor = start;
+        let mut factor = 1.0;
+        for (at, f) in &self.price_steps {
+            if *at <= cursor {
+                factor = *f;
+                continue;
+            }
+            if *at >= end {
+                break;
+            }
+            dollars += hourly * factor * at.duration_since(cursor).as_hours_f64();
+            cursor = *at;
+            factor = *f;
+        }
+        dollars += hourly * factor * end.duration_since(cursor).as_hours_f64();
+        Ok(Cost::from_dollars(dollars))
     }
 
     /// The total bill across all instances up to `now` — the paper's
@@ -413,6 +493,77 @@ mod tests {
         cloud.terminate(a, SimTime::from_secs(500)).unwrap();
         let live: Vec<_> = cloud.live_instances(SimTime::from_secs(1000)).collect();
         assert_eq!(live.len(), 1);
+    }
+
+    #[test]
+    fn pool_limit_rejects_at_capacity_and_frees_on_terminate() {
+        let (mut cloud, mut rng) = nominal_cloud();
+        let ty = cloud.catalog().by_name("c7i.large").unwrap().id;
+        cloud.set_pool_limit(Some(2));
+        let req = |at| ProvisionRequest { type_id: ty, at };
+        let a = cloud.provision(req(SimTime::ZERO), &mut rng).unwrap();
+        let _b = cloud.provision(req(SimTime::ZERO), &mut rng).unwrap();
+        assert_eq!(cloud.free_capacity(SimTime::ZERO), Some(0));
+        let err = cloud.provision(req(SimTime::from_secs(10)), &mut rng).unwrap_err();
+        assert!(matches!(err, EvaError::ProvisioningFailed { .. }));
+        // Termination frees a slot.
+        cloud.terminate(a, SimTime::from_secs(100)).unwrap();
+        assert_eq!(cloud.free_capacity(SimTime::from_secs(100)), Some(1));
+        assert!(cloud.provision(req(SimTime::from_secs(100)), &mut rng).is_ok());
+    }
+
+    #[test]
+    fn capacity_shock_below_live_count_saturates_at_zero() {
+        let (mut cloud, mut rng) = nominal_cloud();
+        let ty = cloud.catalog().by_name("c7i.large").unwrap().id;
+        for _ in 0..3 {
+            cloud
+                .provision(
+                    ProvisionRequest {
+                        type_id: ty,
+                        at: SimTime::ZERO,
+                    },
+                    &mut rng,
+                )
+                .unwrap();
+        }
+        // A shock caps the pool below what is already live: free capacity
+        // must clamp to zero (never underflow) and the survivors live on.
+        cloud.set_pool_limit(Some(1));
+        assert_eq!(cloud.free_capacity(SimTime::ZERO), Some(0));
+        assert_eq!(cloud.live_count(SimTime::ZERO), 3);
+        assert_eq!(cloud.free_capacity(SimTime::ZERO).unwrap(), 0u64);
+        // Lifting the cap restores unlimited provisioning.
+        cloud.set_pool_limit(None);
+        assert_eq!(cloud.free_capacity(SimTime::ZERO), None);
+    }
+
+    #[test]
+    fn price_steps_segment_the_bill() {
+        let (mut cloud, mut rng) = nominal_cloud();
+        let ty = cloud.catalog().by_name("p3.2xlarge").unwrap().id;
+        let id = cloud
+            .provision(
+                ProvisionRequest {
+                    type_id: ty,
+                    at: SimTime::ZERO,
+                },
+                &mut rng,
+            )
+            .unwrap();
+        let billed_from = cloud.instance(id).unwrap().billed_from;
+        // Double the price one hour into billing.
+        cloud.set_price_schedule(vec![(billed_from + SimDuration::from_hours_f64(1.0), 2.0)]);
+        let now = billed_from + SimDuration::from_hours_f64(2.0);
+        let bill = cloud.instance_bill(id, now).unwrap();
+        // 1 h at $3.06 + 1 h at $6.12.
+        assert!((bill.as_dollars() - (3.06 + 6.12)).abs() < 1e-9, "{bill:?}");
+        // An empty schedule restores the exact static-price path.
+        cloud.set_price_schedule(Vec::new());
+        assert_eq!(
+            cloud.instance_bill(id, now).unwrap(),
+            Cost::from_dollars(2.0 * 3.06)
+        );
     }
 
     #[test]

@@ -14,7 +14,7 @@
 //! ties broken FIFO. That makes every run a pure function of its inputs.
 
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashSet};
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -28,6 +28,11 @@ pub trait SimEvent {
         0
     }
 }
+
+/// Handle to a cancelable scheduled event (see
+/// [`EventEngine::schedule_cancelable`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct CancelToken(u64);
 
 /// An event popped from the queue together with its due time.
 #[derive(Debug, Clone)]
@@ -83,6 +88,10 @@ pub struct EventEngine<E> {
     events: BinaryHeap<Reverse<Entry<E>>>,
     seq: u64,
     now: SimTime,
+    /// Tombstones: sequence numbers of canceled entries. A `BinaryHeap`
+    /// supports no random removal, so canceled events stay queued and are
+    /// skipped (and forgotten) when their turn comes — the dslab idiom.
+    canceled: HashSet<u64>,
 }
 
 impl<E: SimEvent> EventEngine<E> {
@@ -92,6 +101,7 @@ impl<E: SimEvent> EventEngine<E> {
             events: BinaryHeap::new(),
             seq: 0,
             now: SimTime::ZERO,
+            canceled: HashSet::new(),
         }
     }
 
@@ -113,12 +123,34 @@ impl<E: SimEvent> EventEngine<E> {
         }));
     }
 
-    /// Removes and returns the next event without advancing the clock.
+    /// Like [`EventEngine::schedule`], but returns a token that can later
+    /// tombstone the event via [`EventEngine::cancel`] — e.g. injected
+    /// fault events outliving the workload they were meant to disturb.
+    pub fn schedule_cancelable(&mut self, at: SimTime, event: E) -> CancelToken {
+        self.schedule(at, event);
+        CancelToken(self.seq)
+    }
+
+    /// Tombstones a cancelable event: if still queued it will be skipped
+    /// (never dispatched, never advancing the clock). Canceling an
+    /// already-dispatched or already-canceled event is a no-op.
+    pub fn cancel(&mut self, token: CancelToken) {
+        self.canceled.insert(token.0);
+    }
+
+    /// Removes and returns the next live event without advancing the
+    /// clock, discarding tombstoned entries along the way.
     pub fn pop(&mut self) -> Option<Scheduled<E>> {
-        self.events.pop().map(|Reverse(e)| Scheduled {
-            at: e.at,
-            event: e.event,
-        })
+        while let Some(Reverse(e)) = self.events.pop() {
+            if self.canceled.remove(&e.seq) {
+                continue;
+            }
+            return Some(Scheduled {
+                at: e.at,
+                event: e.event,
+            });
+        }
+        None
     }
 
     /// Advances the clock monotonically to `t` (no-op when `t` is in the
@@ -130,12 +162,13 @@ impl<E: SimEvent> EventEngine<E> {
         }
     }
 
-    /// Number of events currently queued.
+    /// Number of events currently queued (tombstoned entries count until
+    /// their due time passes them through [`EventEngine::pop`]).
     pub fn len(&self) -> usize {
         self.events.len()
     }
 
-    /// True when no events remain.
+    /// True when no events remain (live or tombstoned).
     pub fn is_empty(&self) -> bool {
         self.events.is_empty()
     }
@@ -250,6 +283,37 @@ mod tests {
         assert_eq!(engine.now(), SimTime::ZERO);
         assert!(engine.is_empty());
         assert_eq!(engine.scheduled_count(), 1);
+    }
+
+    #[test]
+    fn canceled_events_are_skipped_without_advancing_time() {
+        let mut engine: EventEngine<Ev> = EventEngine::new();
+        engine.schedule(SimTime::from_secs(5), Ev::Fast(1));
+        let doomed = engine.schedule_cancelable(SimTime::from_secs(60), Ev::Fast(2));
+        engine.schedule(SimTime::from_secs(10), Ev::Fast(3));
+        engine.cancel(doomed);
+        let order: Vec<Ev> = std::iter::from_fn(|| {
+            engine.pop().map(|s| {
+                engine.advance_to(s.at);
+                s.event
+            })
+        })
+        .collect();
+        assert_eq!(order, vec![Ev::Fast(1), Ev::Fast(3)]);
+        // The tombstoned far-future event never moved the clock.
+        assert_eq!(engine.now(), SimTime::from_secs(10));
+    }
+
+    #[test]
+    fn cancel_is_idempotent_and_tolerates_dispatched_tokens() {
+        let mut engine: EventEngine<Ev> = EventEngine::new();
+        let t1 = engine.schedule_cancelable(SimTime::from_secs(1), Ev::Fast(1));
+        let t2 = engine.schedule_cancelable(SimTime::from_secs(2), Ev::Fast(2));
+        assert_eq!(engine.pop().unwrap().event, Ev::Fast(1));
+        engine.cancel(t1); // already dispatched: no-op
+        engine.cancel(t2);
+        engine.cancel(t2); // double-cancel: no-op
+        assert!(engine.pop().is_none());
     }
 
     #[test]

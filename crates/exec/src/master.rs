@@ -218,6 +218,14 @@ impl Master {
             .map(Bytes::copy_from_slice)
     }
 
+    /// Deletes a task's stored checkpoint blob (fault injection: a
+    /// dropped or confiscated checkpoint). The task's next launch then
+    /// fetches nothing and re-executes from iteration zero. Returns true
+    /// when a blob was actually removed.
+    pub fn drop_checkpoint(&self, task: TaskId) -> bool {
+        self.storage.lock().delete(&checkpoint_key(task))
+    }
+
     /// Migrates a task: checkpoint on the source, stash the blob in global
     /// storage, relaunch on the destination from the checkpoint. Blocks
     /// until the relaunch is issued or `timeout` expires.
@@ -420,6 +428,31 @@ mod tests {
         master.stash_checkpoint(task, info.checkpoint.as_ref().unwrap());
         master
             .launch_segment(InstanceId(1), task, 100, None, master.fetch_checkpoint(task))
+            .unwrap();
+        let done = master.wait_task_exit(task, Duration::from_secs(5)).unwrap();
+        assert_eq!(done.exit, TaskExit::Finished);
+        assert_eq!(done.completed, 100);
+        master.shutdown();
+    }
+
+    #[test]
+    fn dropped_checkpoint_forces_rerun_from_zero() {
+        let mut master = Master::new();
+        master.register_instance(InstanceId(0), Box::new(|_| Box::new(Fast)));
+        let task = TaskId::new(JobId(7), 0);
+        master
+            .launch_segment(InstanceId(0), task, 100, Some(60), None)
+            .unwrap();
+        let info = master.wait_task_exit(task, Duration::from_secs(5)).unwrap();
+        assert_eq!(info.exit, TaskExit::Checkpointed);
+        assert!(master.fetch_checkpoint(task).is_some());
+        assert!(master.drop_checkpoint(task));
+        assert!(!master.drop_checkpoint(task), "second drop finds nothing");
+        assert!(master.fetch_checkpoint(task).is_none());
+        // Resume without a blob: the container restarts from zero and
+        // must re-execute everything.
+        master
+            .launch_segment(InstanceId(0), task, 100, None, master.fetch_checkpoint(task))
             .unwrap();
         let done = master.wait_task_exit(task, Duration::from_secs(5)).unwrap();
         assert_eq!(done.exit, TaskExit::Finished);

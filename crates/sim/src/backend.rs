@@ -30,6 +30,7 @@ use eva_exec::bytes::Bytes;
 use eva_exec::{decode_checkpoint, Master, TaskExit, TaskExitInfo, TaskProgram, WorkerToMaster};
 use eva_types::{InstanceId, JobId, TaskId};
 
+use crate::faults::{FaultAction, FaultPlan};
 use crate::metrics::SimReport;
 use crate::runner::{run_recorded, run_simulation, SimConfig};
 use crate::script::{ExecActionKind, ExecScript};
@@ -150,10 +151,54 @@ pub struct LiveOutcome {
     pub live_iterations: u64,
     /// Checkpoint exits the runtime really performed (live migrations).
     pub live_checkpoints: u64,
+    /// Checkpoint boundaries the schedule expected (migration stops plus
+    /// fault kills). Fault-free this equals [`Self::live_checkpoints`].
+    pub expected_checkpoints: u64,
+    /// Iterations the containers executed across *every* segment
+    /// (collect and confirm exits alike), counted from each segment's
+    /// actual resume position.
+    pub live_executed: u64,
+    /// Iterations the schedule expected across those same segments.
+    /// `live_executed - expected_executed` is work re-executed because a
+    /// checkpoint was confiscated or dropped.
+    pub expected_executed: u64,
+    /// Fault kills the runtime performed (rescue-checkpoint collected,
+    /// then the blob confiscated).
+    pub live_kills: u64,
+    /// Stored checkpoint blobs deleted by the ckpt-drop fault regime.
+    pub dropped_checkpoints: u64,
     /// Finished tasks whose final program state diverged from the pure
     /// `(seed, position)` prediction — any nonzero value means state was
     /// lost or corrupted across a checkpoint/restore cycle.
     pub digest_mismatches: u64,
+}
+
+impl LiveOutcome {
+    /// Iterations the runtime re-executed beyond what the schedule
+    /// planned — the direct cost of lost checkpoints. Exactly zero on a
+    /// fault-free run.
+    pub fn re_executed(&self) -> u64 {
+        self.live_executed.saturating_sub(self.expected_executed)
+    }
+
+    /// Jobs really completed minus jobs the schedule expected.
+    pub fn delta_jobs(&self) -> i64 {
+        self.completed_jobs.len() as i64 - self.expected_jobs.len() as i64
+    }
+
+    /// Live makespan minus simulated makespan, in hours. The live
+    /// makespan charges re-executed iterations at [`LIVE_ITERS_PER_HOUR`],
+    /// so fault-free runs are exactly zero by construction.
+    pub fn delta_makespan_hours(&self) -> f64 {
+        self.report.makespan_hours - self.sim_report.makespan_hours
+    }
+
+    /// Checkpoints the runtime banked minus boundaries the schedule
+    /// expected. Fault kills confiscate their rescue blobs, so each kill
+    /// shows up here as -1.
+    pub fn delta_migrations(&self) -> i64 {
+        self.live_checkpoints as i64 - self.expected_checkpoints as i64
+    }
 }
 
 /// Replay events. All share one priority: the authoritative order is the
@@ -162,8 +207,13 @@ pub struct LiveOutcome {
 #[derive(Debug, Clone)]
 enum LiveEvent {
     /// Wait for `task`'s checkpointed exit at its planned boundary and
-    /// stash the blob (the first half of a migration).
-    Collect { task: TaskId },
+    /// stash the blob (the first half of a migration). With `kill` set
+    /// the boundary is an injected fault: the rescue blob is confiscated
+    /// after collection, so the task's next segment restarts from zero.
+    Collect { task: TaskId, kill: bool },
+    /// Injected ckpt-drop fault: delete one stored checkpoint blob,
+    /// chosen by `draw` over the tasks currently stopped with a blob.
+    Drop { draw: u64 },
     /// Wait for every task of `job` to finish and audit their digests.
     Confirm { job: JobId },
     /// Start or resume one execution segment of a task.
@@ -246,6 +296,10 @@ struct ReplayPlan {
     totals: BTreeMap<TaskId, u64>,
     /// Tasks of each job that completed in the script.
     job_tasks: BTreeMap<JobId, Vec<TaskId>>,
+    /// Checkpoint boundaries the schedule carries (stops + kills).
+    expected_checkpoints: u64,
+    /// Iterations the schedule expects across every replayed segment.
+    expected_executed: u64,
 }
 
 impl ReplayPlan {
@@ -265,6 +319,8 @@ impl ReplayPlan {
         let mut pos: HashMap<TaskId, u64> = HashMap::new();
         let mut bounds: HashMap<TaskId, std::collections::VecDeque<Option<u64>>> = HashMap::new();
         let mut job_tasks: BTreeMap<JobId, Vec<TaskId>> = BTreeMap::new();
+        let mut expected_checkpoints = 0u64;
+        let mut expected_executed = 0u64;
         for action in &script.actions {
             match &action.kind {
                 ExecActionKind::Start { task, .. } => {
@@ -272,7 +328,12 @@ impl ReplayPlan {
                         return Err(format!("task {task} started twice without a stop"));
                     }
                 }
-                ExecActionKind::Stop { task, progress } => {
+                // A fault kill closes a segment exactly like a migration
+                // stop: the paper-style preemption warning lets the task
+                // rescue-checkpoint at the kill boundary. The blob's fate
+                // differs only at replay time (confiscated, not resumed).
+                ExecActionKind::Stop { task, progress }
+                | ExecActionKind::Kill { task, progress } => {
                     if !open.remove(task) {
                         return Err(format!("task {task} stopped while not running"));
                     }
@@ -286,6 +347,8 @@ impl ReplayPlan {
                         .clamp(from, total.saturating_sub(1));
                     bounds.entry(*task).or_default().push_back(Some(until));
                     pos.insert(*task, until);
+                    expected_checkpoints += 1;
+                    expected_executed += until - from;
                 }
                 ExecActionKind::Round => {}
                 ExecActionKind::JobDone { job } => {
@@ -298,6 +361,9 @@ impl ReplayPlan {
                             return Err(format!("{job} done but task {} not running", t.id));
                         }
                         bounds.entry(t.id).or_default().push_back(None);
+                        let total = totals.get(&t.id).copied().unwrap_or(0);
+                        expected_executed +=
+                            total.saturating_sub(pos.get(&t.id).copied().unwrap_or(0));
                         tasks.push(t.id);
                     }
                     job_tasks.insert(*job, tasks);
@@ -327,7 +393,10 @@ impl ReplayPlan {
                     );
                 }
                 ExecActionKind::Stop { task, .. } => {
-                    engine.schedule(action.at, LiveEvent::Collect { task: *task });
+                    engine.schedule(action.at, LiveEvent::Collect { task: *task, kill: false });
+                }
+                ExecActionKind::Kill { task, .. } => {
+                    engine.schedule(action.at, LiveEvent::Collect { task: *task, kill: true });
                 }
                 ExecActionKind::Round => {
                     engine.schedule(action.at, LiveEvent::Poll);
@@ -338,10 +407,24 @@ impl ReplayPlan {
             }
         }
 
+        // The ckpt-drop regime injects through the live command channel:
+        // the same pre-compiled plan the simulator consumes (identical
+        // trace handle, so identical horizon and schedule) deletes stored
+        // blobs here. Other regimes act through the recorded schedule
+        // itself (kills) or don't touch the control plane at all.
+        let fault_plan = FaultPlan::for_trace(cfg.faults, cfg.seed, &cfg.trace);
+        for ev in &fault_plan.events {
+            if matches!(ev.action, FaultAction::CkptDrop) {
+                engine.schedule(ev.at, LiveEvent::Drop { draw: ev.draw });
+            }
+        }
+
         Ok(ReplayPlan {
             engine,
             totals,
             job_tasks,
+            expected_checkpoints,
+            expected_executed,
         })
     }
 
@@ -356,6 +439,15 @@ impl ReplayPlan {
         let mut live_iterations = 0u64;
         let mut expected_iterations = 0u64;
         let mut digest_mismatches = 0u64;
+        let mut live_kills = 0u64;
+        let mut dropped_checkpoints = 0u64;
+        let mut live_executed = 0u64;
+        // Iteration each task's current segment actually resumed from
+        // (position decoded from the fetched blob; 0 when none existed).
+        let mut launch_pos: HashMap<TaskId, u64> = HashMap::new();
+        // Tasks stopped at a boundary whose blob still sits in storage —
+        // the candidate pool for injected checkpoint drops.
+        let mut stopped_with_blob: BTreeSet<TaskId> = BTreeSet::new();
         let mut completed_jobs: BTreeSet<JobId> = BTreeSet::new();
         let expected_jobs: BTreeSet<JobId> = self.job_tasks.keys().copied().collect();
 
@@ -418,11 +510,17 @@ impl ReplayPlan {
                         .get(&task)
                         .ok_or_else(|| format!("no iteration total for {task}"))?;
                     let checkpoint = master.fetch_checkpoint(task);
+                    let resumed = checkpoint
+                        .as_ref()
+                        .map(|blob| decode_checkpoint(blob).0)
+                        .unwrap_or(0);
+                    launch_pos.insert(task, resumed);
+                    stopped_with_blob.remove(&task);
                     master
                         .launch_segment(instance, task, total, until, checkpoint)
                         .map_err(|e| format!("launch {task}: {e:?}"))?;
                 }
-                LiveEvent::Collect { task } => {
+                LiveEvent::Collect { task, kill } => {
                     let info = wait_exit(&master, &mut exits, task)?;
                     if info.exit != TaskExit::Checkpointed {
                         return Err(format!(
@@ -435,7 +533,29 @@ impl ReplayPlan {
                     if info.checkpoint.is_none() || master.fetch_checkpoint(task).is_none() {
                         return Err(format!("{task} checkpointed without a stored blob"));
                     }
-                    live_checkpoints += 1;
+                    live_executed += info
+                        .completed
+                        .saturating_sub(launch_pos.get(&task).copied().unwrap_or(0));
+                    if kill {
+                        // Injected fault: the rescue blob is confiscated,
+                        // so the next segment re-executes from zero.
+                        master.drop_checkpoint(task);
+                        live_kills += 1;
+                    } else {
+                        live_checkpoints += 1;
+                        stopped_with_blob.insert(task);
+                    }
+                }
+                LiveEvent::Drop { draw } => {
+                    let candidates: Vec<TaskId> =
+                        stopped_with_blob.iter().copied().collect();
+                    if !candidates.is_empty() {
+                        let victim = candidates[(draw % candidates.len() as u64) as usize];
+                        if master.drop_checkpoint(victim) {
+                            dropped_checkpoints += 1;
+                        }
+                        stopped_with_blob.remove(&victim);
+                    }
                 }
                 LiveEvent::Confirm { job } => {
                     let tasks = self.job_tasks.get(&job).cloned().unwrap_or_default();
@@ -445,6 +565,9 @@ impl ReplayPlan {
                         let total = self.totals.get(&task).copied().unwrap_or(0);
                         expected_iterations += total;
                         live_iterations += info.completed;
+                        live_executed += info
+                            .completed
+                            .saturating_sub(launch_pos.get(&task).copied().unwrap_or(0));
                         if info.exit != TaskExit::Finished || info.completed != total {
                             all_finished = false;
                             continue;
@@ -478,6 +601,13 @@ impl ReplayPlan {
         let mut report = sim_report.clone();
         report.jobs_completed = completed_jobs.len();
         report.migrations_per_task = live_checkpoints as f64 / task_count;
+        // Charge re-executed work (segments restarted because their
+        // checkpoint was confiscated or dropped) to the live makespan at
+        // the same iteration↔hours exchange rate the mapping uses. A
+        // fault-free replay re-executes nothing, so the adjustment — and
+        // therefore the sim-vs-live makespan delta — is exactly zero.
+        let re_executed = live_executed.saturating_sub(self.expected_executed);
+        report.makespan_hours += re_executed as f64 / LIVE_ITERS_PER_HOUR;
 
         Ok(LiveOutcome {
             report,
@@ -487,6 +617,11 @@ impl ReplayPlan {
             expected_iterations,
             live_iterations,
             live_checkpoints,
+            expected_checkpoints: self.expected_checkpoints,
+            live_executed,
+            expected_executed: self.expected_executed,
+            live_kills,
+            dropped_checkpoints,
             digest_mismatches,
         })
     }
@@ -564,6 +699,77 @@ mod tests {
         assert_eq!(outcome.completed_jobs, outcome.expected_jobs);
         assert_eq!(outcome.digest_mismatches, 0);
         assert_eq!(outcome.live_iterations, outcome.expected_iterations);
+    }
+
+    #[test]
+    fn fault_free_deltas_are_exactly_zero() {
+        // The robustness report's fault-free column must be structurally
+        // zero, not approximately zero: no kills, no drops, no
+        // re-execution, and all three deltas identically zero.
+        let trace = SyntheticTraceConfig {
+            num_jobs: 10,
+            mean_interarrival: SimDuration::from_mins(8),
+            duration: eva_workloads::UniformHours::new(0.4, 1.2),
+            single_task_only: true,
+        }
+        .generate(31);
+        let mut cfg = SimConfig::new(trace, SchedulerKind::Eva(eva_core::EvaConfig::eva()));
+        cfg.fidelity = FidelityMode::Nominal;
+        let outcome = LiveBackend.run_detailed(&cfg).unwrap();
+        assert_eq!(outcome.live_kills, 0);
+        assert_eq!(outcome.dropped_checkpoints, 0);
+        assert_eq!(outcome.re_executed(), 0);
+        assert_eq!(outcome.delta_jobs(), 0);
+        assert_eq!(outcome.delta_migrations(), 0);
+        assert_eq!(outcome.delta_makespan_hours(), 0.0);
+    }
+
+    #[test]
+    fn preempt_storm_kills_and_charges_re_execution() {
+        // A storm over a dense trace must produce fault kills whose
+        // rescue blobs are confiscated: each kill is a -1 migration
+        // delta, and the re-executed work is charged to live makespan.
+        let trace = SyntheticTraceConfig {
+            num_jobs: 10,
+            mean_interarrival: SimDuration::from_mins(8),
+            duration: eva_workloads::UniformHours::new(0.4, 1.2),
+            single_task_only: true,
+        }
+        .generate(31);
+        let mut cfg = SimConfig::new(trace, SchedulerKind::Eva(eva_core::EvaConfig::eva()));
+        cfg.fidelity = FidelityMode::Nominal;
+        cfg.faults = crate::FaultSpec::parse("preempt-storm:3").unwrap();
+        let outcome = LiveBackend.run_detailed(&cfg).unwrap();
+        assert!(outcome.live_kills > 0, "storm produced no kills");
+        assert_eq!(outcome.delta_migrations(), -(outcome.live_kills as i64));
+        assert!(outcome.re_executed() > 0, "confiscated blobs must cost work");
+        let charged = outcome.re_executed() as f64 / LIVE_ITERS_PER_HOUR;
+        assert!((outcome.delta_makespan_hours() - charged).abs() < 1e-9);
+        // Re-execution still converges: every scheduled job completes.
+        assert_eq!(outcome.completed_jobs, outcome.expected_jobs);
+        assert_eq!(outcome.digest_mismatches, 0);
+    }
+
+    #[test]
+    fn live_fault_replay_is_deterministic() {
+        let run = || {
+            let trace = SyntheticTraceConfig {
+                num_jobs: 8,
+                mean_interarrival: SimDuration::from_mins(10),
+                duration: eva_workloads::UniformHours::new(0.3, 0.9),
+                single_task_only: true,
+            }
+            .generate(41);
+            let mut cfg = SimConfig::new(trace, SchedulerKind::Stratus);
+            cfg.fidelity = FidelityMode::Nominal;
+            cfg.faults = crate::FaultSpec::parse("worker-crash:2").unwrap();
+            LiveBackend.run_detailed(&cfg).unwrap()
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.report, b.report);
+        assert_eq!(a.live_kills, b.live_kills);
+        assert_eq!(a.live_executed, b.live_executed);
+        assert_eq!(a.dropped_checkpoints, b.dropped_checkpoints);
     }
 
     #[test]

@@ -33,7 +33,13 @@ use serde::{Deserialize, Serialize, Value};
 /// v2: shard metadata gained boundary intervals + straddler counts and
 /// the table 4/5 artifact rows gained `from_cache` stamps — cached rows
 /// from v1 would deserialize without those fields, so they are retired.
-pub const SCHEMA_VERSION: &str = "eva-v2";
+///
+/// v3: cells gained the adversarial fault axis. Cell fingerprints now
+/// carry a `|fault:` component and `CellKey` a `faults` label, so v2
+/// entries (which never injected faults but whose keys lack the
+/// component) would alias the new fault-free keys while their stored
+/// `CellKey` no longer deserializes — retire them wholesale.
+pub const SCHEMA_VERSION: &str = "eva-v3";
 
 /// A directory-backed report store keyed by content fingerprints.
 #[derive(Debug, Clone, PartialEq)]

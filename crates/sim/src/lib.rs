@@ -42,6 +42,7 @@ pub use eva_engine as engine;
 
 pub mod backend;
 pub mod cache;
+pub mod faults;
 pub mod metrics;
 mod observe;
 pub mod pool;
@@ -52,9 +53,12 @@ pub mod state;
 pub mod sweep;
 pub mod world;
 
-pub use backend::{BackendKind, ExecBackend, LiveBackend, LiveOutcome, SimBackend};
+pub use backend::{
+    BackendKind, ExecBackend, LiveBackend, LiveOutcome, SimBackend, LIVE_ITERS_PER_HOUR,
+};
 pub use cache::{ReportCache, SCHEMA_VERSION};
 pub use eva_engine::{derive_seed, EventEngine, RngStreams, Scheduled, SimEvent};
+pub use faults::{FaultAction, FaultEvent, FaultPlan, FaultRegime, FaultSpec};
 pub use metrics::{CdfPoint, SimReport};
 pub use pool::{CellPool, PoolStats, RunPlan};
 pub use report::{splice, PartitionAudit, SplicedReport, EXACT_METRICS, INEXACT_METRICS};

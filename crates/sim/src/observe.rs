@@ -289,11 +289,17 @@ impl ClusterSim {
         if active {
             self.schedule_round(self.now() + self.round_period);
         } else if self.arrivals_remaining == 0 {
-            // Final cleanup: drain everything still alive.
+            // Final cleanup: drain everything still alive, and tombstone
+            // leftover fault events — a fault outliving the workload has
+            // nothing to disturb, and letting it dispatch would drag the
+            // clock (and therefore the makespan) forward for nothing.
             let live: Vec<InstanceId> =
                 self.cloud.live_instances(self.now()).map(|i| i.id).collect();
             self.draining.extend(live);
             self.try_terminations();
+            for token in self.fault_tokens.drain(..) {
+                self.engine.cancel(token);
+            }
         }
     }
 }

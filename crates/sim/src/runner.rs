@@ -124,6 +124,9 @@ pub struct SimConfig {
     pub interference: InterferenceSpec,
     /// Multiplier on per-task checkpoint/launch delays (Figure 5).
     pub migration_delay_scale: f64,
+    /// Adversarial fault axis: which regime (if any) to compile into a
+    /// pre-run [`crate::FaultPlan`] and inject on both backends.
+    pub faults: crate::FaultSpec,
 }
 
 impl SimConfig {
@@ -138,6 +141,7 @@ impl SimConfig {
             fidelity: FidelityMode::Stochastic,
             interference: InterferenceSpec::Measured,
             migration_delay_scale: 1.0,
+            faults: crate::FaultSpec::none(),
         }
     }
 }

@@ -41,6 +41,17 @@ pub enum ExecActionKind {
         /// Job-progress fraction in `[0, 1]`.
         progress: f64,
     },
+    /// A running task was killed by an injected fault (spot preemption or
+    /// worker crash). The paper-style preemption warning lets the task
+    /// rescue-checkpoint at the kill instant — `progress` is the fraction
+    /// at that boundary — but the live runtime confiscates the blob after
+    /// collecting the exit, so the next resume re-executes from scratch.
+    Kill {
+        /// The task.
+        task: TaskId,
+        /// Job-progress fraction in `[0, 1]` at the kill instant.
+        progress: f64,
+    },
     /// A scheduling round executed (live runs poll throughput here).
     Round,
     /// Every task of the job finished its work.

@@ -40,6 +40,7 @@ use eva_workloads::{ShardMeta, ShardPolicy, TraceHandle};
 
 use crate::backend::BackendKind;
 use crate::cache::ReportCache;
+use crate::faults::FaultSpec;
 use crate::metrics::SimReport;
 use crate::pool::{CellPool, PoolStats, RunPlan};
 use crate::report::{splice, PartitionAudit, SplicedReport};
@@ -75,6 +76,7 @@ pub struct SweepGrid {
     interferences: Vec<InterferenceSpec>,
     migration_scales: Vec<f64>,
     backends: Vec<BackendKind>,
+    faults: Vec<FaultSpec>,
     round_period: SimDuration,
 }
 
@@ -95,6 +97,7 @@ impl SweepGrid {
             interferences: vec![InterferenceSpec::Measured],
             migration_scales: vec![1.0],
             backends: vec![BackendKind::Sim],
+            faults: vec![FaultSpec::none()],
             round_period: SimDuration::from_mins(5),
         }
     }
@@ -194,6 +197,14 @@ impl SweepGrid {
         self
     }
 
+    /// Replaces the fault axis (default: fault-free only). Each value
+    /// compiles into its own deterministic [`crate::FaultPlan`] per cell,
+    /// turning any existing grid into a robustness experiment.
+    pub fn faults(mut self, faults: impl Into<Vec<FaultSpec>>) -> Self {
+        self.faults = faults.into();
+        self
+    }
+
     /// Sets the scheduling round period for every cell.
     pub fn round_period(mut self, period: SimDuration) -> Self {
         self.round_period = period;
@@ -226,6 +237,7 @@ impl SweepGrid {
     pub fn cell_count(&self) -> usize {
         self.traces.len()
             * self.backends.len()
+            * self.faults.len()
             * self.interferences.len()
             * self.migration_scales.len()
             * self.fidelities.len()
@@ -249,32 +261,36 @@ impl SweepGrid {
         let mut cells = Vec::with_capacity(self.cell_count());
         for (trace_idx, entry) in self.traces.iter().enumerate() {
             for &backend in &self.backends {
-                for &interference in &self.interferences {
-                    for &scale in &self.migration_scales {
-                        for &fidelity in &self.fidelities {
-                            for &seed in &self.seeds {
-                                for (name, kind) in &self.schedulers {
-                                    cells.push(SweepCell {
-                                        index: cells.len(),
-                                        trace_index: trace_idx,
-                                        key: CellKey {
-                                            trace: entry.label.clone(),
-                                            shard: entry.shard.clone(),
-                                            scheduler: name.clone(),
+                for &faults in &self.faults {
+                    for &interference in &self.interferences {
+                        for &scale in &self.migration_scales {
+                            for &fidelity in &self.fidelities {
+                                for &seed in &self.seeds {
+                                    for (name, kind) in &self.schedulers {
+                                        cells.push(SweepCell {
+                                            index: cells.len(),
+                                            trace_index: trace_idx,
+                                            key: CellKey {
+                                                trace: entry.label.clone(),
+                                                shard: entry.shard.clone(),
+                                                scheduler: name.clone(),
+                                                seed,
+                                                fidelity: fidelity_label(fidelity).to_string(),
+                                                interference: interference.label(),
+                                                migration_delay_scale: scale,
+                                                backend: backend.label().to_string(),
+                                                faults: faults.label(),
+                                            },
+                                            scheduler: kind.clone(),
                                             seed,
-                                            fidelity: fidelity_label(fidelity).to_string(),
-                                            interference: interference.label(),
+                                            fidelity,
+                                            interference,
                                             migration_delay_scale: scale,
-                                            backend: backend.label().to_string(),
-                                        },
-                                        scheduler: kind.clone(),
-                                        seed,
-                                        fidelity,
-                                        interference,
-                                        migration_delay_scale: scale,
-                                        backend,
-                                        round_period: self.round_period,
-                                    });
+                                            backend,
+                                            faults,
+                                            round_period: self.round_period,
+                                        });
+                                    }
                                 }
                             }
                         }
@@ -297,6 +313,7 @@ impl SweepGrid {
             fidelity: cell.fidelity,
             interference: cell.interference,
             migration_delay_scale: cell.migration_delay_scale,
+            faults: cell.faults,
         }
     }
 
@@ -318,7 +335,7 @@ impl SweepGrid {
             _ => cell.interference.label(),
         };
         format!(
-            "trace:{}|sched:{:?}|seed:{}|fid:{}|int:{}|scale:{}|period:{}ms|backend:{}",
+            "trace:{}|sched:{:?}|seed:{}|fid:{}|int:{}|scale:{}|period:{}ms|backend:{}|fault:{}",
             self.traces[cell.trace_index].handle.fingerprint_hex(),
             cell.scheduler,
             cell.seed,
@@ -327,6 +344,7 @@ impl SweepGrid {
             cell.migration_delay_scale,
             self.round_period.as_millis(),
             cell.backend.label(),
+            cell.faults.label(),
         )
     }
 
@@ -376,6 +394,8 @@ pub struct SweepCell {
     pub migration_delay_scale: f64,
     /// Execution backend the cell runs on.
     pub backend: BackendKind,
+    /// Fault-axis value the cell injects.
+    pub faults: FaultSpec,
     /// Scheduling round period.
     pub round_period: SimDuration,
 }
@@ -400,6 +420,8 @@ pub struct CellKey {
     pub migration_delay_scale: f64,
     /// Execution backend label (`sim`/`live`).
     pub backend: String,
+    /// Fault-axis label (`none`, `preempt-storm:1`, …).
+    pub faults: String,
 }
 
 impl CellKey {

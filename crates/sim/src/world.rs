@@ -19,7 +19,8 @@ use eva_core::{EvaScheduler, Scheduler};
 use eva_types::{InstanceId, JobId, SimDuration, SimTime, TaskId, WorkloadKind};
 use eva_workloads::{InterferenceModel, Trace, TraceHandle, WorkloadCatalog};
 
-use crate::engine::{EventEngine, RngStreams, SimEvent, DELAY_STREAM};
+use crate::engine::{CancelToken, EventEngine, RngStreams, SimEvent, DELAY_STREAM};
+use crate::faults::{FaultAction, FaultPlan};
 use crate::metrics::SimReport;
 use crate::runner::{InterferenceSpec, SchedulerKind, SimConfig};
 use crate::script::{ExecAction, ExecActionKind, ExecScript};
@@ -32,13 +33,19 @@ pub(crate) enum Event {
     TaskReady { task: TaskId, generation: u64 },
     JobDone { job: JobId, generation: u64 },
     Round,
+    /// Injected fault striking (index into the compiled fault plan).
+    Fault(usize),
+    /// A windowed fault (capacity shock, straggler) lifting.
+    FaultExpire(usize),
 }
 
 impl SimEvent for Event {
-    /// Same-timestamp dispatch priority: readiness and completions resolve
-    /// before arrivals, arrivals before the round that schedules them.
+    /// Same-timestamp dispatch priority: faults strike first (adversity
+    /// never waits), then readiness and completions resolve before
+    /// arrivals, arrivals before the round that schedules them.
     fn priority(&self) -> u8 {
         match self {
+            Event::Fault(_) | Event::FaultExpire(_) => 0,
             Event::TaskReady { .. } => 0,
             Event::JobDone { .. } => 1,
             Event::Arrival(_) => 2,
@@ -46,6 +53,10 @@ impl SimEvent for Event {
         }
     }
 }
+
+/// Fraction of a job's completed work destroyed by one sim-side
+/// checkpoint drop (the job's latest checkpoint is its recent work).
+pub(crate) const CKPT_DROP_LOSS: f64 = 0.25;
 
 /// The simulated cluster: engine + world state + metric accumulators.
 pub struct ClusterSim {
@@ -70,6 +81,15 @@ pub struct ClusterSim {
     pub(crate) arrivals_remaining: usize,
     pub(crate) recorder: Option<ExecScript>,
 
+    // Adversarial fault state.
+    pub(crate) fault_plan: FaultPlan,
+    pub(crate) fault_tokens: Vec<CancelToken>,
+    pub(crate) straggle: BTreeMap<InstanceId, f64>,
+    pub(crate) active_stragglers: BTreeMap<usize, InstanceId>,
+    pub(crate) preemption_log: Vec<(SimTime, InstanceId)>,
+    pub(crate) worker_crashes: u64,
+    pub(crate) dropped_checkpoints: u64,
+
     // Metric accumulators (time integrals in hours).
     pub(crate) task_running_hours: f64,
     pub(crate) alloc_integral: [f64; 3],
@@ -88,6 +108,10 @@ impl ClusterSim {
     /// §6.1); otherwise they could never complete and the simulation would
     /// not terminate.
     pub fn new(cfg: &SimConfig) -> Self {
+        // Compile the fault plan from the *caller's* trace handle, before
+        // feasibility filtering — the live backend compiles from the same
+        // handle, so both sides must hash the same horizon.
+        let fault_plan = FaultPlan::for_trace(cfg.faults, cfg.seed, &cfg.trace);
         let catalog = Catalog::aws_eval_2025();
         let workloads = WorkloadCatalog::table7();
         let fits = |job: &eva_types::JobSpec| {
@@ -157,6 +181,13 @@ impl ClusterSim {
             round_pending: false,
             arrivals_remaining: cfg.trace.len(),
             recorder: None,
+            fault_plan,
+            fault_tokens: Vec::new(),
+            straggle: BTreeMap::new(),
+            active_stragglers: BTreeMap::new(),
+            preemption_log: Vec::new(),
+            worker_crashes: 0,
+            dropped_checkpoints: 0,
             task_running_hours: 0.0,
             alloc_integral: [0.0; 3],
             capacity_integral: [0.0; 3],
@@ -168,6 +199,39 @@ impl ClusterSim {
         };
         for (idx, job) in sim.cfg.trace.jobs().iter().enumerate() {
             sim.engine.schedule(job.arrival, Event::Arrival(idx));
+        }
+        // Inject the fault plan. Price steps compile straight into the
+        // provider's billing schedule (they change no control-plane
+        // behaviour); everything else enters the event heap as
+        // tombstone-cancelable events so a drained workload can retire
+        // leftover faults without dragging the clock forward.
+        let price_steps: Vec<(SimTime, f64)> = sim
+            .fault_plan
+            .events
+            .iter()
+            .filter_map(|e| match e.action {
+                FaultAction::PriceStep { factor } => Some((e.at, factor)),
+                _ => None,
+            })
+            .collect();
+        if !price_steps.is_empty() {
+            sim.cloud.set_price_schedule(price_steps);
+        }
+        for i in 0..sim.fault_plan.events.len() {
+            let ev = sim.fault_plan.events[i];
+            match ev.action {
+                FaultAction::PriceStep { .. } => {}
+                FaultAction::CapacityShock { until } | FaultAction::Straggler { until, .. } => {
+                    let strike = sim.engine.schedule_cancelable(ev.at, Event::Fault(i));
+                    let lift = sim.engine.schedule_cancelable(until, Event::FaultExpire(i));
+                    sim.fault_tokens.push(strike);
+                    sim.fault_tokens.push(lift);
+                }
+                _ => {
+                    let strike = sim.engine.schedule_cancelable(ev.at, Event::Fault(i));
+                    sim.fault_tokens.push(strike);
+                }
+            }
         }
         sim
     }
@@ -277,7 +341,176 @@ impl ClusterSim {
             }
             Event::JobDone { job, generation } => self.handle_job_done(job, generation),
             Event::Round => self.handle_round(),
+            Event::Fault(idx) => self.apply_fault(idx),
+            Event::FaultExpire(idx) => self.expire_fault(idx),
         }
+    }
+
+    /// Deterministic fault victim: the live instance selected by the
+    /// plan's pre-drawn word over the provider's ordered live set.
+    fn fault_victim(&self, draw: u64) -> Option<InstanceId> {
+        let victims: Vec<InstanceId> =
+            self.cloud.live_instances(self.now()).map(|i| i.id).collect();
+        if victims.is_empty() {
+            None
+        } else {
+            Some(victims[(draw % victims.len() as u64) as usize])
+        }
+    }
+
+    /// Abruptly kills every unfinished task mapped to `victim`: running
+    /// tasks rescue-checkpoint at the kill instant (recorded as
+    /// [`ExecActionKind::Kill`]), in-transit tasks lose their transfer;
+    /// all go back to pending for the next round to re-place.
+    fn kill_instance_tasks(&mut self, victim: InstanceId) {
+        let tids: Vec<TaskId> = self
+            .on_instance
+            .get(&victim)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default();
+        for tid in tids {
+            let running = self
+                .tasks
+                .get(&tid)
+                .map(|rt| match rt.state {
+                    TaskState::Done => None,
+                    _ => Some(rt.is_running()),
+                })
+                .unwrap_or(None);
+            let Some(running) = running else { continue };
+            if running {
+                let progress = self.job_progress_fraction(tid.job);
+                self.record(ExecActionKind::Kill {
+                    task: tid,
+                    progress,
+                });
+            }
+            let rt = self.tasks.get_mut(&tid).unwrap();
+            rt.state = TaskState::Pending;
+            rt.assigned_to = None;
+            if let Some(set) = self.on_instance.get_mut(&victim) {
+                set.remove(&tid);
+            }
+        }
+    }
+
+    /// Applies fault-plan event `idx` at its scheduled instant.
+    pub(crate) fn apply_fault(&mut self, idx: usize) {
+        let ev = self.fault_plan.events[idx];
+        let now = self.now();
+        match ev.action {
+            FaultAction::Preempt => {
+                let Some(victim) = self.fault_victim(ev.draw) else {
+                    return;
+                };
+                self.kill_instance_tasks(victim);
+                let _ = self.cloud.terminate(victim, now);
+                self.draining.remove(&victim);
+                self.on_instance.remove(&victim);
+                self.busy_until.remove(&victim);
+                self.straggle.remove(&victim);
+                self.preemption_log.push((now, victim));
+                self.recompute_completions();
+                self.schedule_round(now);
+            }
+            FaultAction::WorkerCrash => {
+                let Some(victim) = self.fault_victim(ev.draw) else {
+                    return;
+                };
+                // Unlike a preemption, the instance survives (and bills).
+                self.kill_instance_tasks(victim);
+                self.worker_crashes += 1;
+                self.recompute_completions();
+                self.schedule_round(now);
+            }
+            FaultAction::CapacityShock { .. } => {
+                let live = self.cloud.live_count(now);
+                self.cloud.set_pool_limit(Some(live / 2));
+            }
+            FaultAction::PriceStep { .. } => {
+                // Applied as a billing schedule at construction.
+            }
+            FaultAction::CkptDrop => {
+                let candidates: Vec<JobId> = self
+                    .jobs
+                    .iter()
+                    .filter(|(_, j)| {
+                        !j.is_done()
+                            && j.remaining_hours + 1e-12
+                                < j.spec.duration_at_full_tput.as_hours_f64()
+                    })
+                    .map(|(id, _)| *id)
+                    .collect();
+                if candidates.is_empty() {
+                    return;
+                }
+                let victim = candidates[(ev.draw % candidates.len() as u64) as usize];
+                let j = self.jobs.get_mut(&victim).unwrap();
+                let total = j.spec.duration_at_full_tput.as_hours_f64();
+                let done = (total - j.remaining_hours).max(0.0);
+                j.remaining_hours = (j.remaining_hours + CKPT_DROP_LOSS * done).min(total);
+                self.dropped_checkpoints += 1;
+                self.recompute_completions();
+            }
+            FaultAction::Straggler { factor, .. } => {
+                let Some(victim) = self.fault_victim(ev.draw) else {
+                    return;
+                };
+                self.straggle.insert(victim, factor);
+                self.active_stragglers.insert(idx, victim);
+                self.recompute_completions();
+            }
+        }
+    }
+
+    /// Lifts a windowed fault when its expiry event fires.
+    pub(crate) fn expire_fault(&mut self, idx: usize) {
+        match self.fault_plan.events[idx].action {
+            FaultAction::CapacityShock { .. } => {
+                self.cloud.set_pool_limit(None);
+            }
+            FaultAction::Straggler { .. } => {
+                if let Some(victim) = self.active_stragglers.remove(&idx) {
+                    // A later straggler may have re-slowed the same
+                    // instance; only lift when no window still covers it.
+                    if !self.active_stragglers.values().any(|v| *v == victim) {
+                        self.straggle.remove(&victim);
+                    }
+                    self.recompute_completions();
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Timestamped log of spot preemptions injected so far.
+    pub fn preemption_log(&self) -> &[(SimTime, InstanceId)] {
+        &self.preemption_log
+    }
+
+    /// Worker crashes injected so far.
+    pub fn worker_crashes(&self) -> u64 {
+        self.worker_crashes
+    }
+
+    /// Sim-side checkpoint drops injected so far.
+    pub fn dropped_checkpoints(&self) -> u64 {
+        self.dropped_checkpoints
+    }
+
+    /// Tasks currently mapped to `instance` (running or in transit).
+    pub fn tasks_on(&self, instance: InstanceId) -> usize {
+        self.on_instance.get(&instance).map(|s| s.len()).unwrap_or(0)
+    }
+
+    /// The cloud provider (for invariant checks in tests).
+    pub fn provider(&self) -> &CloudProvider {
+        &self.cloud
+    }
+
+    /// The compiled fault plan this world injects.
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.fault_plan
     }
 
     fn handle_job_done(&mut self, job: JobId, generation: u64) {
@@ -333,7 +566,15 @@ impl ClusterSim {
                     .collect()
             })
             .unwrap_or_default();
-        self.interference.throughput(workload, &others)
+        let base = self.interference.throughput(workload, &others);
+        // A straggler window slows every task on the afflicted instance.
+        // The factor changes only at fault events (which recompute
+        // completions), so throughput stays piecewise-constant and
+        // progress integration stays exact.
+        match self.straggle.get(&inst) {
+            Some(factor) => base * factor,
+            None => base,
+        }
     }
 
     pub(crate) fn workload_of(&self, task: TaskId) -> Option<WorkloadKind> {

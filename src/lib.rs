@@ -38,9 +38,9 @@ pub mod prelude {
     pub use eva_core::{EvaConfig, EvaScheduler, Plan, Scheduler, SchedulerContext, TaskSnapshot};
     pub use eva_sim::{
         run_recorded, run_simulation, BackendKind, CellPool, ClusterSim, ExecBackend, Experiment,
-        LiveBackend, LiveOutcome, PartitionAudit, PoolStats, ReportCache, SchedulerKind,
-        SimBackend, SimConfig, SimReport, SplicedOutcome, SplicedResult, SweepArtifact, SweepGrid,
-        SweepResult, SweepRunner,
+        FaultPlan, FaultRegime, FaultSpec, LiveBackend, LiveOutcome, PartitionAudit, PoolStats,
+        ReportCache, SchedulerKind, SimBackend, SimConfig, SimReport, SplicedOutcome,
+        SplicedResult, SweepArtifact, SweepGrid, SweepResult, SweepRunner,
     };
     pub use eva_types::{
         Cost, DemandSpec, InstanceId, JobId, JobSpec, ResourceVector, SimDuration, SimTime, TaskId,

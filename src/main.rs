@@ -3,12 +3,13 @@
 //! ```text
 //! eva simulate [--jobs N] [--rate JOBS_PER_HR] [--scheduler NAME]
 //!              [--durations alibaba|gavel] [--seed N] [--period MINS]
-//!              [--json FILE]
+//!              [--faults REGIME[:INTENSITY]] [--json FILE]
 //! eva compare  [--jobs N] [--rate JOBS_PER_HR] [--durations ...] [--seed N]
-//!              [--period MINS] [--threads N]
+//!              [--period MINS] [--faults REGIME[:INTENSITY]] [--threads N]
 //! eva sweep    [--jobs N] [--rate JOBS_PER_HR] [--durations ...]
 //!              [--schedulers A,B,..] [--seeds S1,S2,..]
 //!              [--backend sim|live|sim,live] [--threads N]
+//!              [--faults REGIME[:INTENSITY]]
 //!              [--shard N|auto[:JOBS]] [--cache] [--no-cache]
 //!              [--cache-dir DIR] [--period MINS] [--json FILE]
 //! eva workloads        # print the Table 7 workload catalog
@@ -44,6 +45,8 @@ struct SimArgs {
     seed: u64,
     period_mins: f64,
     threads: usize,
+    /// Adversarial fault regime injected into the run (`none` default).
+    faults: FaultSpec,
     json: Option<String>,
 }
 
@@ -57,6 +60,7 @@ impl Default for SimArgs {
             seed: 42,
             period_mins: 5.0,
             threads: 0,
+            faults: FaultSpec::none(),
             json: None,
         }
     }
@@ -143,6 +147,10 @@ fn parse_sim_args<'a>(
             "--threads" => {
                 args.sim.threads = value()?.parse().map_err(|e| format!("--threads: {e}"))?
             }
+            "--faults" => {
+                args.sim.faults =
+                    FaultSpec::parse(&value()?).map_err(|e| format!("--faults: {e}"))?
+            }
             "--schedulers" if sweep => {
                 args.schedulers = value()?.split(',').map(str::to_string).collect();
                 for name in &args.schedulers {
@@ -204,12 +212,17 @@ fn run(cli: Cli) -> Result<(), String> {
         Command::Help => {
             println!(
                 "eva — cost-efficient cloud-based cluster scheduling (EuroSys '25 reproduction)\n\n\
-                 USAGE:\n  eva simulate [--jobs N] [--rate J/HR] [--scheduler NAME] [--durations alibaba|gavel] [--seed N] [--period MINS] [--threads N] [--json FILE]\n  \
-                 eva compare  [--jobs N] [--rate J/HR] [--durations ...] [--seed N] [--period MINS] [--threads N]\n  \
-                 eva sweep    [--jobs N] [--rate J/HR] [--durations ...] [--schedulers A,B,..] [--seeds S1,S2,..] [--backend sim|live|sim,live] [--threads N] [--shard N|auto[:JOBS]] [--cache] [--no-cache] [--cache-dir DIR] [--period MINS] [--json FILE]\n  \
+                 USAGE:\n  eva simulate [--jobs N] [--rate J/HR] [--scheduler NAME] [--durations alibaba|gavel] [--seed N] [--period MINS] [--faults REGIME[:INT]] [--threads N] [--json FILE]\n  \
+                 eva compare  [--jobs N] [--rate J/HR] [--durations ...] [--seed N] [--period MINS] [--faults REGIME[:INT]] [--threads N]\n  \
+                 eva sweep    [--jobs N] [--rate J/HR] [--durations ...] [--schedulers A,B,..] [--seeds S1,S2,..] [--backend sim|live|sim,live] [--faults REGIME[:INT]] [--threads N] [--shard N|auto[:JOBS]] [--cache] [--no-cache] [--cache-dir DIR] [--period MINS] [--json FILE]\n  \
                  eva workloads\n  eva catalog\n\n\
                  SCHEDULERS: {}\n  BACKENDS: {} (`--backend sim,live` adds a grid axis: live cells\n\
-                 replay the schedule through the real master/worker runtime)\n\n\
+                 replay the schedule through the real master/worker runtime)\n  \
+                 FAULT REGIMES: {} — `--faults preempt-storm:2`\n\
+                 compiles a deterministic fault schedule from (seed, regime,\n\
+                 intensity) and injects it on whichever backend runs, so\n\
+                 sim-vs-live deltas under faults measure control-plane\n\
+                 robustness, not noise.\n\n\
                  `--threads 0` (the default) uses every available core; sweep results\n\
                  are byte-identical for any thread count, identical cells run once,\n\
                  and the longest cells are claimed first. A single `simulate` run is\n\
@@ -227,7 +240,8 @@ fn run(cli: Cli) -> Result<(), String> {
                  content + all knobs + code schema version); a warm rerun simulates\n\
                  zero cells. `--no-cache` is the CLI default.",
                 SchedulerKind::names().join(", "),
-                BackendKind::names().join(", ")
+                BackendKind::names().join(", "),
+                FaultRegime::names().join(", ")
             );
         }
         Command::Workloads => {
@@ -253,9 +267,13 @@ fn run(cli: Cli) -> Result<(), String> {
                 kind.label(),
                 args.seed
             );
+            if !args.faults.is_none() {
+                println!("injecting faults: {}", args.faults.label());
+            }
             let mut cfg = SimConfig::new(trace, kind);
             cfg.seed = args.seed;
             cfg.round_period = round_period(&args);
+            cfg.faults = args.faults;
             let report = run_simulation(&cfg);
             println!("{}", report.table_row(None));
             if let Some(path) = args.json {
@@ -270,6 +288,7 @@ fn run(cli: Cli) -> Result<(), String> {
             let grid = SweepGrid::new("cli", trace)
                 .paper_schedulers()
                 .seeds(vec![args.seed])
+                .faults(vec![args.faults])
                 .round_period(round_period(&args));
             let result = SweepRunner::new(args.threads).run(&grid);
             let mut baseline: Option<&SimReport> = None;
@@ -290,6 +309,7 @@ fn run(cli: Cli) -> Result<(), String> {
                 .schedulers_by_name(&names)?
                 .seeds(args.seeds.clone())
                 .backends(backends)
+                .faults(vec![args.sim.faults])
                 .round_period(round_period(&args.sim));
             if let Some(policy) = args.shard {
                 grid = grid.shards(policy);
@@ -519,6 +539,46 @@ mod tests {
         assert!(parse(&argv("simulate --cache")).is_err());
         assert!(parse(&argv("sweep --shard abc")).is_err());
         assert!(parse(&argv("sweep --cache-dir")).is_err());
+    }
+
+    #[test]
+    fn parses_fault_flags() {
+        // --faults is shared by all three simulation commands.
+        let Command::Simulate(args) = parse(&argv("simulate --faults preempt-storm:2"))
+            .unwrap()
+            .command
+        else {
+            panic!()
+        };
+        assert_eq!(args.faults.regime, FaultRegime::PreemptStorm);
+        assert_eq!(args.faults.intensity, 2.0);
+        let Command::Compare(args) = parse(&argv("compare --faults ckpt-drop")).unwrap().command
+        else {
+            panic!()
+        };
+        assert_eq!(args.faults.regime, FaultRegime::CkptDrop);
+        let Command::Sweep(args) = parse(&argv("sweep --faults worker-crash:0.5"))
+            .unwrap()
+            .command
+        else {
+            panic!()
+        };
+        assert_eq!(args.sim.faults.regime, FaultRegime::WorkerCrash);
+        assert_eq!(args.sim.faults.intensity, 0.5);
+        // Default is fault-free; bad regimes/intensities are flag errors.
+        let Command::Simulate(plain) = parse(&argv("simulate")).unwrap().command else {
+            panic!()
+        };
+        assert!(plain.faults.is_none());
+        for bad in [
+            "simulate --faults meteor",
+            "simulate --faults preempt-storm:-1",
+            "sweep --faults none:2",
+            "sweep --faults",
+        ] {
+            let err = parse(&argv(bad)).unwrap_err();
+            assert!(err.contains("--faults") || err.contains("faults"), "{bad} → {err}");
+        }
     }
 
     #[test]

@@ -9,6 +9,10 @@
 //!     arbitrary real-time instant.
 //! (c) A backend-axis sweep carries both variants in one grid, with the
 //!     sim cells unchanged by the live cells' presence.
+//! (d) Under injected fault regimes the delta report keeps its shape —
+//!     deltas are internally consistent, makespan drift equals the
+//!     re-executed work — and the fault-free cells of a faulted grid
+//!     stay exactly zero-delta.
 
 use std::collections::BTreeSet;
 
@@ -83,6 +87,90 @@ fn live_backend_is_deterministic_across_runs() {
     assert_eq!(oa.live_iterations, ob.live_iterations);
     assert_eq!(oa.live_checkpoints, ob.live_checkpoints);
     assert_eq!(oa.completed_jobs, ob.completed_jobs);
+}
+
+#[test]
+fn fault_regimes_keep_delta_reports_well_shaped() {
+    for regime in ["preempt-storm:2", "ckpt-drop:2", "worker-crash:2"] {
+        let mut c = cfg(SchedulerKind::Eva(EvaConfig::eva()));
+        c.faults = FaultSpec::parse(regime).unwrap();
+        let outcome = LiveBackend.run_detailed(&c).unwrap();
+
+        // Shape: the published deltas are exactly their definitions.
+        assert_eq!(
+            outcome.delta_migrations(),
+            outcome.live_checkpoints as i64 - outcome.expected_checkpoints as i64,
+            "{regime}"
+        );
+        assert_eq!(
+            outcome.delta_jobs(),
+            outcome.completed_jobs.len() as i64 - outcome.expected_jobs.len() as i64,
+            "{regime}"
+        );
+        // Makespan drift is precisely the re-executed work, charged at
+        // the iteration↔hours exchange rate — nothing else moves it.
+        let charged = outcome.re_executed() as f64 / eva::sim::LIVE_ITERS_PER_HOUR;
+        assert!(
+            (outcome.delta_makespan_hours() - charged).abs() < 1e-9,
+            "{regime}: drift {} != charged {}",
+            outcome.delta_makespan_hours(),
+            charged
+        );
+        // Faults cost work and blobs, never correctness: every
+        // scheduled job still converges with intact state.
+        assert_eq!(outcome.completed_jobs, outcome.expected_jobs, "{regime}");
+        assert_eq!(outcome.digest_mismatches, 0, "{regime}");
+    }
+}
+
+#[test]
+fn faulted_grids_keep_fault_free_cells_zero_delta() {
+    // A grid carrying both a fault-free and a faulted axis value: the
+    // faulted cells must not perturb the fault-free ones, whose sim and
+    // live variants must agree exactly.
+    let base = trace(6, 9);
+    for regime in ["preempt-storm:2", "straggler:2", "capacity-shock:2"] {
+        let grid = SweepGrid::new("parity-faults", base.clone())
+            .schedulers_by_name(&["no-packing", "eva"])
+            .unwrap()
+            .backends(vec![BackendKind::Sim, BackendKind::Live])
+            .faults(vec![FaultSpec::none(), FaultSpec::parse(regime).unwrap()]);
+        let result = SweepRunner::new(2).run(&grid);
+        assert_eq!(result.cells.len(), 8, "{regime}");
+
+        let mut by_key = std::collections::BTreeMap::new();
+        for cell in &result.cells {
+            by_key.insert(
+                (
+                    cell.key.scheduler.clone(),
+                    cell.key.faults.clone(),
+                    cell.key.backend.clone(),
+                ),
+                &cell.report,
+            );
+        }
+        for sched in ["no-packing", "eva"] {
+            for faults in ["none", regime] {
+                let sim = by_key[&(sched.into(), faults.into(), "sim".into())];
+                let live = by_key[&(sched.into(), faults.into(), "live".into())];
+                assert_eq!(
+                    sim.jobs_completed, live.jobs_completed,
+                    "{sched}/{faults}: live lost jobs"
+                );
+                if faults == "none" {
+                    assert_eq!(
+                        sim.makespan_hours, live.makespan_hours,
+                        "{sched}: fault-free delta must be exactly zero"
+                    );
+                } else {
+                    assert!(
+                        live.makespan_hours >= sim.makespan_hours,
+                        "{sched}/{faults}: re-execution can only lengthen the live run"
+                    );
+                }
+            }
+        }
+    }
 }
 
 #[test]

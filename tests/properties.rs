@@ -151,6 +151,28 @@ proptest! {
     }
 
     #[test]
+    fn fault_plans_are_pure_functions_of_seed_regime_intensity(
+        master_seed in 0u64..500,
+        regime in prop_oneof![
+            Just("preempt-storm"), Just("capacity-shock"), Just("price-step"),
+            Just("ckpt-drop"), Just("straggler"), Just("worker-crash"),
+        ],
+        intensity in 0.25f64..4.0,
+        horizon_hours in 1.0f64..200.0,
+    ) {
+        let spec = FaultSpec::parse(&format!("{regime}:{intensity}")).unwrap();
+        let horizon = SimDuration::from_hours_f64(horizon_hours);
+        let a = FaultPlan::compile(spec, master_seed, horizon);
+        let b = FaultPlan::compile(spec, master_seed, horizon);
+        prop_assert_eq!(&a.events, &b.events, "same inputs, same schedule");
+        prop_assert!(!a.is_empty(), "a non-none regime always strikes");
+        // Timestamped before the run, strictly inside the horizon.
+        for w in a.events.windows(2) {
+            prop_assert!(w[0].at < w[1].at, "event times must be strictly monotone");
+        }
+    }
+
+    #[test]
     fn trace_modifiers_preserve_job_count_and_feasibility(
         seed in 0u64..50,
         gpu_prop in 0.0f64..1.0,
@@ -168,6 +190,42 @@ proptest! {
             for task in &job.tasks {
                 prop_assert!(catalog.cheapest_fit(&task.demand).is_some());
             }
+        }
+    }
+}
+
+proptest! {
+    // Full faulted simulations across the whole paper set are costly; a
+    // handful of cases still covers every regime over many seeds.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn faulted_simulation_reports_are_byte_identical(
+        seed in 0u64..100,
+        regime in prop_oneof![
+            Just("preempt-storm"), Just("capacity-shock"), Just("price-step"),
+            Just("ckpt-drop"), Just("straggler"), Just("worker-crash"),
+        ],
+        intensity in 0.5f64..3.0,
+    ) {
+        // The fault axis must not cost the simulator its determinism:
+        // the same (seed, regime, intensity) yields byte-identical
+        // reports for every scheduler in the paper set.
+        let trace = AlibabaTraceConfig {
+            num_jobs: 8,
+            arrival_rate_per_hour: 6.0,
+            durations: DurationModelChoice::Alibaba,
+        }
+        .generate(seed);
+        let spec = FaultSpec::parse(&format!("{regime}:{intensity}")).unwrap();
+        for kind in SchedulerKind::paper_set() {
+            let label = kind.label();
+            let mut cfg = SimConfig::new(trace.clone(), kind);
+            cfg.seed = seed;
+            cfg.faults = spec;
+            let a = serde_json::to_string(&run_simulation(&cfg)).unwrap();
+            let b = serde_json::to_string(&run_simulation(&cfg)).unwrap();
+            prop_assert_eq!(a, b, "{} diverged under {}", label, spec.label());
         }
     }
 }

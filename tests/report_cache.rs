@@ -7,6 +7,9 @@
 //!     content, not by grid or binary.
 //! (c) Bumping the code schema version, or mutating the trace, makes
 //!     every entry miss.
+//! (d) The fault axis is part of every fingerprint: a cached clean-run
+//!     cell can never be replayed for a faulted cell, and intensity is
+//!     part of the key, not just the regime.
 
 use std::path::PathBuf;
 
@@ -89,6 +92,38 @@ fn overlapping_experiments_share_cells_across_grids() {
     // Cached fan-out must equal a direct cold run of the same grid.
     let cold = SweepRunner::new(2).run(&other);
     assert_eq!(result.to_json_pretty(), cold.to_json_pretty());
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn fault_axis_is_part_of_every_cell_key() {
+    let dir = tmp_dir("faults");
+    let trace = trace(9);
+    let runner = SweepRunner::new(2).with_cache(ReportCache::new(&dir));
+
+    // Warm the cache with the fault-free grid.
+    let (clean, s1) = runner.run_with_stats(&grid(&trace));
+    assert_eq!(s1.cache_hits, 0);
+
+    // The identical grid under an injected regime must miss on every
+    // cell: replaying a cached clean run for a faulted cell would
+    // silently report adversity-free numbers as robustness results.
+    let storm = grid(&trace).faults(vec![FaultSpec::parse("preempt-storm:2").unwrap()]);
+    let (faulted, s2) = runner.run_with_stats(&storm);
+    assert_eq!(s2.cache_hits, 0, "clean cells must never serve faulted cells");
+    assert_eq!(s2.executed, s2.unique);
+
+    // Intensity is in the fingerprint too, not just the regime name.
+    let harder = grid(&trace).faults(vec![FaultSpec::parse("preempt-storm:3").unwrap()]);
+    let (_, s3) = runner.run_with_stats(&harder);
+    assert_eq!(s3.cache_hits, 0, "intensity must be part of the key");
+
+    // A warm rerun of the faulted grid hits and round-trips exactly.
+    let (warm, s4) = runner.run_with_stats(&storm);
+    assert!(s4.all_cached());
+    assert_eq!(faulted.to_json_pretty(), warm.to_json_pretty());
+    assert_ne!(clean.to_json_pretty(), faulted.to_json_pretty());
 
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -89,3 +89,86 @@ proptest! {
         }
     }
 }
+
+fn faulted_cfg(regime: &str, seed: u64) -> SimConfig {
+    let trace = SyntheticTraceConfig {
+        num_jobs: 12,
+        mean_interarrival: SimDuration::from_mins(8),
+        duration: eva::workloads::UniformHours::new(0.4, 1.2),
+        single_task_only: false,
+    }
+    .generate(seed);
+    let mut cfg = SimConfig::new(trace, SchedulerKind::Eva(EvaConfig::eva()));
+    cfg.faults = FaultSpec::parse(regime).unwrap();
+    cfg
+}
+
+#[test]
+fn preempted_instances_do_no_work_after_their_preemption() {
+    // Step the world model event by event under a storm: once an
+    // instance is preempted it must hold zero tasks for the rest of the
+    // run, and the provider must record its termination at exactly the
+    // preemption timestamp — any later work would be phantom throughput
+    // a real spot reclaim could never deliver.
+    let mut sim = ClusterSim::new(&faulted_cfg("preempt-storm:3", 11));
+    loop {
+        for &(at, inst) in sim.preemption_log() {
+            assert_eq!(
+                sim.tasks_on(inst),
+                0,
+                "preempted {inst} still carries tasks at {:?}",
+                sim.now()
+            );
+            let rec = sim
+                .provider()
+                .instance(inst)
+                .expect("preempted instance must exist");
+            assert_eq!(
+                rec.terminated_at,
+                Some(at),
+                "{inst} outlived its preemption"
+            );
+        }
+        if !sim.step() {
+            break;
+        }
+    }
+    assert!(
+        !sim.preemption_log().is_empty(),
+        "an intensity-3 storm must preempt at least one instance"
+    );
+}
+
+#[test]
+fn capacity_shocks_never_drive_free_capacity_negative() {
+    // Under shocks the pool limit drops below the live count; free
+    // capacity must saturate at zero (never wrap or go negative), and
+    // clear back to unlimited when the shock window expires.
+    let mut sim = ClusterSim::new(&faulted_cfg("capacity-shock:2", 13));
+    let mut saw_limit = false;
+    let mut saw_unlimited = false;
+    loop {
+        let now = sim.now();
+        match sim.provider().pool_limit() {
+            Some(limit) => {
+                saw_limit = true;
+                let free = sim.provider().free_capacity(now).unwrap();
+                let live = sim.provider().live_count(now);
+                assert_eq!(
+                    free,
+                    limit.saturating_sub(live),
+                    "free capacity must saturate against the shock limit"
+                );
+            }
+            None => {
+                saw_unlimited = true;
+                assert_eq!(sim.provider().free_capacity(now), None);
+            }
+        }
+        if !sim.step() {
+            break;
+        }
+    }
+    assert!(saw_limit, "shocks must clamp the pool at least once");
+    assert!(saw_unlimited, "shock windows must also expire");
+}
