@@ -5,6 +5,9 @@
 //!   the per-round cost every sweep cell pays hundreds of times.
 //! * `cluster_sim/run_to_completion` — a whole small-trace run, the unit
 //!   the `SweepRunner` fans out across worker threads.
+//! * `cluster_sim/build_100k` — world construction (arena interning of
+//!   every job/task slot) for the 100,000-job stress tier: the fixed
+//!   cost a huge cell pays before its first event.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 
@@ -47,5 +50,21 @@ fn bench_run_to_completion(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_first_round, bench_run_to_completion);
+fn bench_build_100k(c: &mut Criterion) {
+    let trace = SyntheticTraceConfig::huge_100k().generate(42);
+    let cfg = SimConfig::new(trace, SchedulerKind::Stratus);
+    let mut group = c.benchmark_group("cluster_sim");
+    group.sample_size(10);
+    group.bench_function("build_100k", |b| {
+        b.iter(|| ClusterSim::new(&cfg).rounds_executed())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_first_round,
+    bench_run_to_completion,
+    bench_build_100k
+);
 criterion_main!(benches);

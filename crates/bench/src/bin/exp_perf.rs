@@ -1,0 +1,337 @@
+//! Perf trajectory snapshot: measures the simulator's hot-path numbers
+//! and writes a committed `BENCH_<date>.json` at the repo root.
+//!
+//! Probes, in order:
+//!
+//! * `sim_step` — manual re-timings of the two `sim_step` criterion
+//!   targets (ns per first scheduling round, ns per small
+//!   run-to-completion), so the committed snapshot and `cargo bench`
+//!   measure the same thing.
+//! * `sweep` — the paper-set sweep (small + large synthetic traces ×
+//!   the five §6.1 schedulers × two seeds) through the multi-threaded
+//!   [`SweepRunner`] with caching disabled: cells per second.
+//! * `huge_100k` — the 100,000-job stress tier simulated end to end on
+//!   one cell (Stratus): jobs per second. This is the CI release-smoke
+//!   target.
+//! * peak RSS (`VmHWM` from `/proc/self/status`, so a process-lifetime
+//!   high-water mark) snapshotted after the sweep and after the huge
+//!   run.
+//!
+//! Flags:
+//!
+//! * `--out DIR` — write the snapshot into `DIR` (default: repo root);
+//! * `--full` — also run the million-job tier (`huge_1m`);
+//! * `--smoke SECS` — run *only* the huge-100k probe and exit non-zero
+//!   if it exceeds the wall-clock budget (the CI smoke step);
+//! * `--check FILE` — validate an existing snapshot's schema without
+//!   simulating anything (the CI schema step).
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+
+use eva_core::EvaConfig;
+use eva_sim::{ClusterSim, SchedulerKind, SimConfig, SweepGrid, SweepRunner};
+use eva_types::SimDuration;
+use eva_workloads::{SyntheticTraceConfig, Trace, UniformHours};
+
+const SCHEMA: &str = "eva-perf-v1";
+
+/// The committed snapshot format. `--check` round-trips a file through
+/// this struct, so adding a field here is a schema change CI will catch.
+#[derive(Debug, Serialize, Deserialize)]
+struct BenchSnapshot {
+    schema: String,
+    date: String,
+    sim_step: SimStepProbe,
+    sweep: SweepProbe,
+    huge_100k: HugeProbe,
+    huge_1m: Option<HugeProbe>,
+    peak_rss_mb: RssProbe,
+}
+
+/// Median timings of the `sim_step` criterion targets.
+#[derive(Debug, Serialize, Deserialize)]
+struct SimStepProbe {
+    first_round_ns: u64,
+    run_to_completion_ns: u64,
+}
+
+/// Paper-set sweep throughput.
+#[derive(Debug, Serialize, Deserialize)]
+struct SweepProbe {
+    cells: usize,
+    wall_secs: f64,
+    cells_per_sec: f64,
+}
+
+/// One end-to-end run of a huge synthetic tier.
+#[derive(Debug, Serialize, Deserialize)]
+struct HugeProbe {
+    jobs: usize,
+    jobs_completed: usize,
+    wall_secs: f64,
+    jobs_per_sec: f64,
+}
+
+/// `VmHWM` high-water marks (MiB); 0 where the kernel interface is
+/// unavailable (non-Linux).
+#[derive(Debug, Serialize, Deserialize)]
+struct RssProbe {
+    after_sweep: u64,
+    after_huge_100k: u64,
+}
+
+/// Same dense trace the `sim_step` criterion bench uses.
+fn dense_trace(jobs: usize) -> Trace {
+    SyntheticTraceConfig {
+        num_jobs: jobs,
+        mean_interarrival: SimDuration::from_mins(3),
+        duration: UniformHours::new(0.5, 1.5),
+        single_task_only: false,
+    }
+    .generate(17)
+}
+
+/// Median wall time of `iters` runs of `f`, in nanoseconds.
+fn median_ns(iters: usize, mut f: impl FnMut()) -> u64 {
+    let mut samples: Vec<u64> = (0..iters)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_nanos() as u64
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+fn probe_sim_step() -> SimStepProbe {
+    let first = SimConfig::new(dense_trace(60), SchedulerKind::Eva(EvaConfig::eva()));
+    let first_round_ns = median_ns(20, || {
+        let mut sim = ClusterSim::new(&first);
+        while sim.rounds_executed() < 1 && sim.step() {}
+    });
+    let whole = SimConfig::new(dense_trace(20), SchedulerKind::Eva(EvaConfig::eva()));
+    let run_to_completion_ns = median_ns(10, || {
+        ClusterSim::new(&whole).run();
+    });
+    SimStepProbe {
+        first_round_ns,
+        run_to_completion_ns,
+    }
+}
+
+fn probe_sweep() -> SweepProbe {
+    let grid = SweepGrid::new("small", SyntheticTraceConfig::small_scale().generate(42))
+        .trace("large", SyntheticTraceConfig::large_scale().generate(42))
+        .paper_schedulers()
+        .seeds(vec![1, 2]);
+    let runner = SweepRunner::new(eva_bench::default_threads());
+    let start = Instant::now();
+    let result = runner.run(&grid);
+    let wall_secs = start.elapsed().as_secs_f64();
+    SweepProbe {
+        cells: result.cells.len(),
+        wall_secs,
+        cells_per_sec: result.cells.len() as f64 / wall_secs.max(1e-9),
+    }
+}
+
+fn probe_huge(cfg: SyntheticTraceConfig) -> HugeProbe {
+    let jobs = cfg.num_jobs;
+    let trace = cfg.generate(42);
+    let sim_cfg = SimConfig::new(trace, SchedulerKind::Stratus);
+    let start = Instant::now();
+    let report = ClusterSim::new(&sim_cfg).run();
+    let wall_secs = start.elapsed().as_secs_f64();
+    HugeProbe {
+        jobs,
+        jobs_completed: report.jobs_completed,
+        wall_secs,
+        jobs_per_sec: report.jobs_completed as f64 / wall_secs.max(1e-9),
+    }
+}
+
+/// `VmHWM` from `/proc/self/status` in MiB; 0 when unavailable.
+fn peak_rss_mb() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("VmHWM:"))
+        .and_then(|rest| rest.split_whitespace().next())
+        .and_then(|kb| kb.parse::<u64>().ok())
+        .map(|kb| kb / 1024)
+        .unwrap_or(0)
+}
+
+/// UTC date as `YYYY-MM-DD` from the system clock (civil-from-days, no
+/// calendar dependency).
+fn today_utc() -> String {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let z = (secs / 86_400) as i64 + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1_460 + doe / 36_524 - doe / 146_096) / 365;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = yoe + era * 400 + i64::from(m <= 2);
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+fn check_snapshot(path: &str) -> Result<(), String> {
+    let json = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let snap: BenchSnapshot =
+        serde_json::from_str(&json).map_err(|e| format!("parse {path}: {e}"))?;
+    if snap.schema != SCHEMA {
+        return Err(format!("schema `{}`, expected `{SCHEMA}`", snap.schema));
+    }
+    if snap.date.len() != 10 {
+        return Err(format!("date `{}` is not YYYY-MM-DD", snap.date));
+    }
+    if snap.sim_step.first_round_ns == 0 || snap.sim_step.run_to_completion_ns == 0 {
+        return Err("sim_step timings must be non-zero".to_string());
+    }
+    if snap.sweep.cells == 0 || snap.sweep.cells_per_sec <= 0.0 {
+        return Err("sweep probe must report cells and throughput".to_string());
+    }
+    if snap.huge_100k.jobs != 100_000 || snap.huge_100k.jobs_per_sec <= 0.0 {
+        return Err("huge_100k probe must cover 100,000 jobs".to_string());
+    }
+    Ok(())
+}
+
+fn main() {
+    let mut out: Option<PathBuf> = None;
+    let mut full = false;
+    let mut smoke: Option<f64> = None;
+    let mut check: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => out = args.next().map(PathBuf::from),
+            "--full" => full = true,
+            "--smoke" => {
+                smoke = args.next().and_then(|v| v.parse().ok());
+                if smoke.is_none() {
+                    eprintln!("error: --smoke needs a wall-clock budget in seconds");
+                    std::process::exit(2);
+                }
+            }
+            "--check" => check = args.next(),
+            other => {
+                eprintln!("error: unknown flag `{other}`");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    if let Some(path) = check {
+        match check_snapshot(&path) {
+            Ok(()) => {
+                println!("ok: {path} matches {SCHEMA}");
+                return;
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    if let Some(budget) = smoke {
+        println!("== huge-100k release smoke (budget {budget:.0}s) ==");
+        let probe = probe_huge(SyntheticTraceConfig::huge_100k());
+        println!(
+            "   {} / {} jobs in {:.1}s ({:.0} jobs/s)",
+            probe.jobs_completed, probe.jobs, probe.wall_secs, probe.jobs_per_sec
+        );
+        if probe.jobs_completed != probe.jobs {
+            eprintln!("error: smoke run left jobs unfinished");
+            std::process::exit(1);
+        }
+        if probe.wall_secs > budget {
+            eprintln!(
+                "error: smoke run took {:.1}s, over the {budget:.0}s budget",
+                probe.wall_secs
+            );
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    println!("== perf trajectory snapshot ==");
+    println!("   probing sim_step (criterion targets, median of 20/10)...");
+    let sim_step = probe_sim_step();
+    println!(
+        "   first_round {} ns, run_to_completion {} ns",
+        sim_step.first_round_ns, sim_step.run_to_completion_ns
+    );
+
+    println!("   probing paper-set sweep (uncached)...");
+    let sweep = probe_sweep();
+    println!(
+        "   {} cells in {:.1}s ({:.2} cells/s)",
+        sweep.cells, sweep.wall_secs, sweep.cells_per_sec
+    );
+    let after_sweep = peak_rss_mb();
+
+    println!("   probing huge-100k (Stratus, single cell)...");
+    let huge_100k = probe_huge(SyntheticTraceConfig::huge_100k());
+    println!(
+        "   {} jobs in {:.1}s ({:.0} jobs/s)",
+        huge_100k.jobs_completed, huge_100k.wall_secs, huge_100k.jobs_per_sec
+    );
+    let after_huge_100k = peak_rss_mb();
+
+    let huge_1m = full.then(|| {
+        println!("   probing huge-1m (Stratus, single cell)...");
+        let p = probe_huge(SyntheticTraceConfig::huge_1m());
+        println!(
+            "   {} jobs in {:.1}s ({:.0} jobs/s)",
+            p.jobs_completed, p.wall_secs, p.jobs_per_sec
+        );
+        p
+    });
+
+    let snapshot = BenchSnapshot {
+        schema: SCHEMA.to_string(),
+        date: today_utc(),
+        sim_step,
+        sweep,
+        huge_100k,
+        huge_1m,
+        peak_rss_mb: RssProbe {
+            after_sweep,
+            after_huge_100k,
+        },
+    };
+
+    let dir = out.unwrap_or_else(repo_root);
+    let path = dir.join(format!("BENCH_{}.json", snapshot.date));
+    match serde_json::to_string_pretty(&snapshot) {
+        Ok(json) => match std::fs::write(&path, json + "\n") {
+            Ok(()) => println!("   [saved {}]", path.display()),
+            Err(e) => {
+                eprintln!("error: could not write {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        },
+        Err(e) => {
+            eprintln!("error: serialization failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -134,8 +134,29 @@ impl<E: SimEvent> EventEngine<E> {
     /// Tombstones a cancelable event: if still queued it will be skipped
     /// (never dispatched, never advancing the clock). Canceling an
     /// already-dispatched or already-canceled event is a no-op.
+    ///
+    /// When tombstones outnumber live entries the queue compacts in
+    /// place, so fault-heavy million-event runs never carry more dead
+    /// weight than live events.
     pub fn cancel(&mut self, token: CancelToken) {
         self.canceled.insert(token.0);
+        self.maybe_compact();
+    }
+
+    /// Rebuilds the heap without tombstoned entries once they exceed
+    /// half the queue. Heap order is a total order over unique
+    /// `(time, priority, seq)` keys, so a rebuilt heap pops in exactly
+    /// the sequence the un-compacted one would have. Clearing the
+    /// tombstone set also drops stale tokens of already-dispatched
+    /// events, which `pop` alone would retain forever.
+    fn maybe_compact(&mut self) {
+        if self.canceled.len() * 2 <= self.events.len() {
+            return;
+        }
+        let mut entries = std::mem::take(&mut self.events).into_vec();
+        entries.retain(|Reverse(e)| !self.canceled.contains(&e.seq));
+        self.events = BinaryHeap::from(entries);
+        self.canceled.clear();
     }
 
     /// Removes and returns the next live event without advancing the
@@ -163,9 +184,21 @@ impl<E: SimEvent> EventEngine<E> {
     }
 
     /// Number of events currently queued (tombstoned entries count until
-    /// their due time passes them through [`EventEngine::pop`]).
+    /// compaction or their due time passes them through
+    /// [`EventEngine::pop`]; see [`EventEngine::live_len`] for the count
+    /// that excludes them).
     pub fn len(&self) -> usize {
         self.events.len()
+    }
+
+    /// Number of queued events that will actually dispatch (excludes
+    /// tombstoned entries). O(queue) — a diagnostic, not a hot-path
+    /// accessor.
+    pub fn live_len(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|Reverse(e)| !self.canceled.contains(&e.seq))
+            .count()
     }
 
     /// True when no events remain (live or tombstoned).
@@ -314,6 +347,70 @@ mod tests {
         engine.cancel(t2);
         engine.cancel(t2); // double-cancel: no-op
         assert!(engine.pop().is_none());
+    }
+
+    #[test]
+    fn live_len_excludes_tombstones_until_compaction() {
+        let mut engine: EventEngine<Ev> = EventEngine::new();
+        let mut tokens = Vec::new();
+        for i in 0..8 {
+            tokens.push(engine.schedule_cancelable(SimTime::from_secs(i), Ev::Fast(i as u32)));
+        }
+        // Cancel a minority: tombstones stay queued, live_len sees through.
+        engine.cancel(tokens[0]);
+        engine.cancel(tokens[1]);
+        assert_eq!(engine.len(), 8);
+        assert_eq!(engine.live_len(), 6);
+        // Crossing the half-dead threshold compacts the heap in place.
+        engine.cancel(tokens[2]);
+        engine.cancel(tokens[3]);
+        engine.cancel(tokens[4]);
+        assert_eq!(engine.len(), 3, "tombstones physically removed");
+        assert_eq!(engine.live_len(), 3);
+        let order: Vec<Ev> = std::iter::from_fn(|| engine.pop().map(|s| s.event)).collect();
+        assert_eq!(order, vec![Ev::Fast(5), Ev::Fast(6), Ev::Fast(7)]);
+    }
+
+    #[test]
+    fn compaction_preserves_dispatch_order() {
+        // Two engines with the same schedule; one compacts mid-stream.
+        let mut plain: EventEngine<Ev> = EventEngine::new();
+        let mut compacted: EventEngine<Ev> = EventEngine::new();
+        let mut doomed = Vec::new();
+        for i in 0..64u32 {
+            let at = SimTime::from_secs((i % 7) as u64 * 10);
+            let ev = if i % 2 == 0 { Ev::Fast(i) } else { Ev::Slow(i) };
+            let ta = plain.schedule_cancelable(at, ev);
+            let tb = compacted.schedule_cancelable(at, ev);
+            if i % 3 == 0 {
+                doomed.push((ta, tb));
+            }
+        }
+        // Cancel in plain *after* popping half (tombstones ride along);
+        // cancel in compacted up front (triggers in-place compaction).
+        for (_, tb) in &doomed {
+            compacted.cancel(*tb);
+        }
+        for (ta, _) in &doomed {
+            plain.cancel(*ta);
+        }
+        let a: Vec<Ev> = std::iter::from_fn(|| plain.pop().map(|s| s.event)).collect();
+        let b: Vec<Ev> = std::iter::from_fn(|| compacted.pop().map(|s| s.event)).collect();
+        assert_eq!(a, b, "compaction must never change pop order");
+    }
+
+    #[test]
+    fn compaction_drops_stale_dispatched_tokens() {
+        let mut engine: EventEngine<Ev> = EventEngine::new();
+        let t1 = engine.schedule_cancelable(SimTime::from_secs(1), Ev::Fast(1));
+        assert_eq!(engine.pop().unwrap().event, Ev::Fast(1));
+        // A stale cancel with an empty queue compacts immediately instead
+        // of leaking the tombstone until a matching pop that never comes.
+        engine.cancel(t1);
+        assert_eq!(engine.len(), 0);
+        assert_eq!(engine.live_len(), 0);
+        engine.schedule(SimTime::from_secs(2), Ev::Fast(2));
+        assert_eq!(engine.pop().unwrap().event, Ev::Fast(2));
     }
 
     #[test]

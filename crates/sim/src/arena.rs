@@ -1,0 +1,505 @@
+//! Dense arena-indexed, structure-of-arrays world state.
+//!
+//! The world model used to key every per-event touch of job/task/instance
+//! state through `BTreeMap` lookups — O(log n) pointer-chasing on the
+//! hottest path in the repo. IDs are newtyped integers, so instead the
+//! world interns them into contiguous `u32` slots at construction:
+//!
+//! * **job slots** are assigned in ascending [`JobId`] order, so walking
+//!   `0..len` visits jobs exactly as the old `BTreeMap<JobId, _>`
+//!   iteration did — float accumulation order (and therefore report
+//!   bytes) is preserved;
+//! * **task slots** are job-major and ascending by [`TaskId`] within a
+//!   job, so each job's tasks form one contiguous slot range and a
+//!   sorted task-slot list is sorted by `TaskId`;
+//! * **instance slots** are allocated when the provider provisions and
+//!   recycled through a free list when instances retire — per-instance
+//!   state (mapped tasks, busy-until, straggle factor) lives in parallel
+//!   `Vec`s indexed by slot, with a dense `InstanceId → slot` table on
+//!   the side (provider IDs are sequential).
+//!
+//! Dynamic state is stored as structure-of-arrays `Vec`s: the per-event
+//! integration loop touches `remaining_hours`/`tput_integral`/… as flat
+//! `f64` lanes instead of chasing map nodes. Job and task *specs* are
+//! never cloned — slots carry indices into the shared trace, so a
+//! million-job world costs a few flat vectors, not a second copy of the
+//! trace.
+//!
+//! The reference semantics of a single job/task (advance arithmetic,
+//! lifecycle states) remain specified — and unit-tested — by
+//! [`crate::state`]; the arena stores the same quantities in SoA form
+//! and must evolve them identically. `tests/arena_parity.rs` pins the
+//! end-to-end equivalence byte-for-byte against a pre-arena golden.
+
+use eva_types::{InstanceId, JobId, SimTime, TaskId, WorkloadKind};
+use eva_workloads::Trace;
+
+use crate::state::TaskState;
+
+/// Sentinel for "no slot" in `u32` slot references.
+pub(crate) const NO_SLOT: u32 = u32::MAX;
+
+/// Job state, slot-indexed in ascending [`JobId`] order.
+#[derive(Debug)]
+pub(crate) struct JobArena {
+    /// Slot → job ID (ascending; slot order is ID order).
+    pub ids: Vec<JobId>,
+    /// Slot → index of the job's spec in the trace's job vector.
+    pub spec_idx: Vec<u32>,
+    /// Prefix table: job `j`'s tasks occupy task slots
+    /// `task_start[j]..task_start[j + 1]`.
+    pub task_start: Vec<u32>,
+    /// Total work in full-throughput hours (the spec duration, cached).
+    pub total_hours: Vec<f64>,
+    /// Remaining work in full-throughput hours.
+    pub remaining_hours: Vec<f64>,
+    /// Accumulated wall-clock hours executing.
+    pub executing_hours: Vec<f64>,
+    /// Accumulated wall-clock hours present but not executing.
+    pub idle_hours: Vec<f64>,
+    /// Integral of throughput over executing time.
+    pub tput_integral: Vec<f64>,
+    /// Completion time, once done.
+    pub completed_at: Vec<Option<SimTime>>,
+    /// Stamp invalidating stale completion events.
+    pub completion_gen: Vec<u64>,
+    /// Whether the job's arrival event has fired.
+    pub arrived: Vec<bool>,
+    /// Arrived-and-not-done job slots, kept sorted (ascending slot ==
+    /// ascending `JobId`): the iteration set of every per-event loop,
+    /// so done and not-yet-arrived jobs cost nothing per event.
+    pub active: Vec<u32>,
+}
+
+impl JobArena {
+    /// Slot of `id`, if the trace contains it.
+    pub fn slot_of(&self, id: JobId) -> Option<u32> {
+        self.ids.binary_search(&id).ok().map(|s| s as u32)
+    }
+
+    /// True once the job has no work left.
+    pub fn is_done(&self, slot: u32) -> bool {
+        self.completed_at[slot as usize].is_some()
+    }
+
+    /// The job's contiguous task-slot range.
+    pub fn task_range(&self, slot: u32) -> std::ops::Range<usize> {
+        self.task_start[slot as usize] as usize..self.task_start[slot as usize + 1] as usize
+    }
+
+    /// Marks the job arrived and inserts it into the active set.
+    pub fn activate(&mut self, slot: u32) {
+        self.arrived[slot as usize] = true;
+        if let Err(pos) = self.active.binary_search(&slot) {
+            self.active.insert(pos, slot);
+        }
+    }
+
+    /// Removes a completed job from the active set.
+    pub fn retire(&mut self, slot: u32) {
+        if let Ok(pos) = self.active.binary_search(&slot) {
+            self.active.remove(pos);
+        }
+    }
+
+    /// Advances the job by `dt_hours` at effective throughput `tput` —
+    /// the SoA form of [`crate::state::JobProgress::advance`], operation
+    /// for operation.
+    pub fn advance(&mut self, slot: u32, dt_hours: f64, tput: f64) {
+        let s = slot as usize;
+        if self.completed_at[s].is_some() || dt_hours <= 0.0 {
+            return;
+        }
+        if tput > 0.0 {
+            self.remaining_hours[s] = (self.remaining_hours[s] - dt_hours * tput).max(0.0);
+            self.executing_hours[s] += dt_hours;
+            self.tput_integral[s] += dt_hours * tput;
+        } else {
+            self.idle_hours[s] += dt_hours;
+        }
+    }
+
+    /// Hours until completion at throughput `tput`, if it is positive
+    /// (see [`crate::state::JobProgress::eta_hours`]).
+    pub fn eta_hours(&self, slot: u32, tput: f64) -> Option<f64> {
+        let s = slot as usize;
+        if self.completed_at[s].is_some() || tput <= 0.0 {
+            None
+        } else {
+            Some(self.remaining_hours[s] / tput)
+        }
+    }
+
+    /// Average normalized throughput while executing (see
+    /// [`crate::state::JobProgress::mean_tput`]).
+    pub fn mean_tput(&self, slot: u32) -> f64 {
+        let s = slot as usize;
+        if self.executing_hours[s] <= 0.0 {
+            1.0
+        } else {
+            self.tput_integral[s] / self.executing_hours[s]
+        }
+    }
+}
+
+/// Task state, slot-indexed job-major in ascending [`TaskId`] order.
+#[derive(Debug)]
+pub(crate) struct TaskArena {
+    /// Slot → task ID (ascending; slot order is ID order).
+    pub ids: Vec<TaskId>,
+    /// Slot → owning job's slot.
+    pub job_slot: Vec<u32>,
+    /// Slot → the task's position in its job spec's task vector.
+    pub spec_pos: Vec<u32>,
+    /// Slot → workload kind (cached from the spec for the tput loop).
+    pub workload: Vec<WorkloadKind>,
+    /// Lifecycle state.
+    pub state: Vec<TaskState>,
+    /// Target instance slot ([`NO_SLOT`] when unplaced).
+    pub assigned: Vec<u32>,
+    /// Migrations performed so far.
+    pub migrations: Vec<u32>,
+    /// Monotonic transfer generation (invalidates superseded readiness).
+    pub gen: Vec<u64>,
+    /// Spec-order lookup: the slot of job `j`'s `pos`-th spec task is
+    /// `slot_by_pos[task_start[j] + pos]` (identity whenever spec tasks
+    /// are declared in index order, which every generator does).
+    pub slot_by_pos: Vec<u32>,
+}
+
+impl TaskArena {
+    /// Slot of `id`, if the trace contains it.
+    pub fn slot_of(&self, id: TaskId) -> Option<u32> {
+        self.ids.binary_search(&id).ok().map(|s| s as u32)
+    }
+
+    /// True when the task currently computes (and therefore interferes).
+    pub fn is_running(&self, slot: u32) -> bool {
+        self.state[slot as usize] == TaskState::Running
+    }
+}
+
+/// Instance state, slot-indexed with a free list: slots recycle as the
+/// provider churns through spot instances.
+#[derive(Debug, Default)]
+pub(crate) struct InstArena {
+    /// Dense `InstanceId → slot` table (provider IDs are sequential);
+    /// [`NO_SLOT`] when the instance holds no slot (never provisioned,
+    /// or already released).
+    slot_by_id: Vec<u32>,
+    /// Slot → instance ID (meaningful only while the slot is live).
+    pub ids: Vec<InstanceId>,
+    /// Slot → mapped task slots, kept sorted (ascending task slot ==
+    /// ascending `TaskId`, preserving co-location iteration order).
+    pub tasks: Vec<Vec<u32>>,
+    /// Slot → departure-checkpoint barrier ([`SimTime::ZERO`] = unset).
+    pub busy_until: Vec<SimTime>,
+    /// Slot → straggler slowdown factor (1.0 = unafflicted).
+    pub straggle: Vec<f64>,
+    /// Recycled slots awaiting reuse.
+    free: Vec<u32>,
+}
+
+impl InstArena {
+    /// Live slot of `id`, if it holds one.
+    pub fn get(&self, id: InstanceId) -> Option<u32> {
+        match self.slot_by_id.get(id.0 as usize) {
+            Some(&s) if s != NO_SLOT => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns `id`'s slot, allocating (or recycling) one if needed.
+    pub fn ensure(&mut self, id: InstanceId) -> u32 {
+        if let Some(s) = self.get(id) {
+            return s;
+        }
+        let idx = id.0 as usize;
+        if idx >= self.slot_by_id.len() {
+            self.slot_by_id.resize(idx + 1, NO_SLOT);
+        }
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.ids[s as usize] = id;
+                debug_assert!(self.tasks[s as usize].is_empty());
+                debug_assert_eq!(self.busy_until[s as usize], SimTime::ZERO);
+                debug_assert_eq!(self.straggle[s as usize], 1.0);
+                s
+            }
+            None => {
+                let s = self.ids.len() as u32;
+                self.ids.push(id);
+                self.tasks.push(Vec::new());
+                self.busy_until.push(SimTime::ZERO);
+                self.straggle.push(1.0);
+                s
+            }
+        };
+        self.slot_by_id[idx] = slot;
+        slot
+    }
+
+    /// Releases `id`'s slot back to the free list, resetting its state.
+    pub fn release(&mut self, id: InstanceId) {
+        let Some(slot) = self.get(id) else {
+            return;
+        };
+        self.slot_by_id[id.0 as usize] = NO_SLOT;
+        self.tasks[slot as usize].clear();
+        self.busy_until[slot as usize] = SimTime::ZERO;
+        self.straggle[slot as usize] = 1.0;
+        self.free.push(slot);
+    }
+
+    /// Maps a task slot onto an instance slot (sorted insert).
+    pub fn attach(&mut self, slot: u32, task: u32) {
+        let list = &mut self.tasks[slot as usize];
+        if let Err(pos) = list.binary_search(&task) {
+            list.insert(pos, task);
+        }
+    }
+
+    /// Unmaps a task slot from an instance slot.
+    pub fn detach(&mut self, slot: u32, task: u32) {
+        let list = &mut self.tasks[slot as usize];
+        if let Ok(pos) = list.binary_search(&task) {
+            list.remove(pos);
+        }
+    }
+
+    /// Slots currently live (mapped from an ID).
+    pub fn live_slots(&self) -> impl Iterator<Item = u32> + '_ {
+        self.slot_by_id.iter().copied().filter(|&s| s != NO_SLOT)
+    }
+}
+
+/// The complete interned world state: jobs + tasks + instances.
+#[derive(Debug)]
+pub(crate) struct WorldArena {
+    pub jobs: JobArena,
+    pub tasks: TaskArena,
+    pub insts: InstArena,
+    /// Trace job index → job slot (arrival events carry trace indices).
+    pub slot_of_spec: Vec<u32>,
+}
+
+impl WorldArena {
+    /// Interns every job and task ID of `trace` into slots. All dynamic
+    /// state starts at its pre-arrival default; instances intern lazily
+    /// as the provider provisions them.
+    pub fn from_trace(trace: &Trace) -> Self {
+        let specs = trace.jobs();
+        let n = specs.len();
+        let total_tasks: usize = specs.iter().map(|j| j.tasks.len()).sum();
+
+        // Job slots in ascending JobId order (the trace is arrival-
+        // ordered, which usually — but not necessarily — coincides).
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        order.sort_by_key(|&i| specs[i as usize].id);
+
+        let mut jobs = JobArena {
+            ids: Vec::with_capacity(n),
+            spec_idx: Vec::with_capacity(n),
+            task_start: Vec::with_capacity(n + 1),
+            total_hours: Vec::with_capacity(n),
+            remaining_hours: Vec::with_capacity(n),
+            executing_hours: vec![0.0; n],
+            idle_hours: vec![0.0; n],
+            tput_integral: vec![0.0; n],
+            completed_at: vec![None; n],
+            completion_gen: vec![0; n],
+            arrived: vec![false; n],
+            active: Vec::new(),
+        };
+        let mut tasks = TaskArena {
+            ids: Vec::with_capacity(total_tasks),
+            job_slot: Vec::with_capacity(total_tasks),
+            spec_pos: Vec::with_capacity(total_tasks),
+            workload: Vec::with_capacity(total_tasks),
+            state: vec![TaskState::Pending; total_tasks],
+            assigned: vec![NO_SLOT; total_tasks],
+            migrations: vec![0; total_tasks],
+            gen: vec![0; total_tasks],
+            slot_by_pos: vec![0; total_tasks],
+        };
+        let mut slot_of_spec = vec![0u32; n];
+
+        for (slot, &si) in order.iter().enumerate() {
+            let spec = &specs[si as usize];
+            debug_assert!(
+                jobs.ids.last().is_none_or(|last| *last < spec.id),
+                "duplicate job id {} in trace",
+                spec.id
+            );
+            slot_of_spec[si as usize] = slot as u32;
+            jobs.ids.push(spec.id);
+            jobs.spec_idx.push(si);
+            jobs.task_start.push(tasks.ids.len() as u32);
+            let total = spec.duration_at_full_tput.as_hours_f64();
+            jobs.total_hours.push(total);
+            jobs.remaining_hours.push(total);
+
+            // Task slots ascending by TaskId within the job (generators
+            // declare tasks in index order, but don't assume it).
+            let base = tasks.ids.len() as u32;
+            let mut positions: Vec<u32> = (0..spec.tasks.len() as u32).collect();
+            positions.sort_by_key(|&p| spec.tasks[p as usize].id);
+            for (k, &pos) in positions.iter().enumerate() {
+                let t = &spec.tasks[pos as usize];
+                debug_assert_eq!(t.id.job, spec.id, "task under foreign job");
+                let tslot = base + k as u32;
+                tasks.ids.push(t.id);
+                tasks.job_slot.push(slot as u32);
+                tasks.spec_pos.push(pos);
+                tasks.workload.push(t.workload);
+                tasks.slot_by_pos[(base + pos) as usize] = tslot;
+            }
+        }
+        jobs.task_start.push(tasks.ids.len() as u32);
+        debug_assert!(tasks.ids.windows(2).all(|w| w[0] < w[1]));
+
+        WorldArena {
+            jobs,
+            tasks,
+            insts: InstArena::default(),
+            slot_of_spec,
+        }
+    }
+
+    /// Verifies every slot↔ID round trip and cross-reference; returns a
+    /// description of the first violation. Backs the public
+    /// `ClusterSim::audit_slots` test hook.
+    pub fn audit(&self) -> Result<(), String> {
+        for (slot, &id) in self.jobs.ids.iter().enumerate() {
+            if self.jobs.slot_of(id) != Some(slot as u32) {
+                return Err(format!("job {id} does not round-trip slot {slot}"));
+            }
+        }
+        for slot in 0..self.jobs.ids.len() as u32 {
+            let should = self.jobs.arrived[slot as usize] && !self.jobs.is_done(slot);
+            let listed = self.jobs.active.binary_search(&slot).is_ok();
+            if should != listed {
+                return Err(format!(
+                    "job {} active-set membership {listed} (expected {should})",
+                    self.jobs.ids[slot as usize]
+                ));
+            }
+        }
+        for (slot, &id) in self.tasks.ids.iter().enumerate() {
+            if self.tasks.slot_of(id) != Some(slot as u32) {
+                return Err(format!("task {id} does not round-trip slot {slot}"));
+            }
+            let jslot = self.tasks.job_slot[slot];
+            if self.jobs.ids[jslot as usize] != id.job {
+                return Err(format!("task {id} points at job slot {jslot}"));
+            }
+            if !self.jobs.task_range(jslot).contains(&slot) {
+                return Err(format!("task {id} outside its job's slot range"));
+            }
+            let inst = self.tasks.assigned[slot];
+            if inst != NO_SLOT {
+                let mapped = self.insts.tasks[inst as usize].binary_search(&(slot as u32));
+                let done = self.tasks.state[slot] == TaskState::Done;
+                if mapped.is_err() && !done {
+                    return Err(format!("task {id} assigned to slot {inst} but unmapped"));
+                }
+            }
+        }
+        for slot in self.insts.live_slots() {
+            let id = self.insts.ids[slot as usize];
+            if self.insts.get(id) != Some(slot) {
+                return Err(format!("instance {id} does not round-trip slot {slot}"));
+            }
+            let list = &self.insts.tasks[slot as usize];
+            if !list.windows(2).all(|w| w[0] < w[1]) {
+                return Err(format!("instance {id} task list unsorted"));
+            }
+            for &t in list {
+                if self.tasks.assigned[t as usize] != slot {
+                    return Err(format!(
+                        "instance {id} maps task slot {t} assigned elsewhere"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eva_workloads::SyntheticTraceConfig;
+
+    #[test]
+    fn interning_orders_slots_by_id() {
+        let trace = SyntheticTraceConfig::small_scale().generate(42);
+        let world = WorldArena::from_trace(&trace);
+        assert_eq!(world.jobs.ids.len(), trace.len());
+        assert!(world.jobs.ids.windows(2).all(|w| w[0] < w[1]));
+        assert!(world.tasks.ids.windows(2).all(|w| w[0] < w[1]));
+        // Every trace index round-trips through its slot.
+        for (idx, spec) in trace.jobs().iter().enumerate() {
+            let slot = world.slot_of_spec[idx];
+            assert_eq!(world.jobs.ids[slot as usize], spec.id);
+            assert_eq!(world.jobs.spec_idx[slot as usize] as usize, idx);
+            assert_eq!(world.jobs.task_range(slot).len(), spec.tasks.len());
+        }
+        world.audit().unwrap();
+    }
+
+    #[test]
+    fn instance_slots_recycle_through_free_list() {
+        let trace = SyntheticTraceConfig::small_scale().generate(1);
+        let mut world = WorldArena::from_trace(&trace);
+        let a = world.insts.ensure(InstanceId(0));
+        let b = world.insts.ensure(InstanceId(1));
+        assert_ne!(a, b);
+        assert_eq!(world.insts.ensure(InstanceId(0)), a, "idempotent");
+        world.insts.straggle[a as usize] = 0.5;
+        world.insts.busy_until[a as usize] = SimTime::from_secs(30);
+        world.insts.release(InstanceId(0));
+        assert_eq!(world.insts.get(InstanceId(0)), None);
+        // The recycled slot comes back clean for the next instance.
+        let c = world.insts.ensure(InstanceId(7));
+        assert_eq!(c, a);
+        assert_eq!(world.insts.straggle[c as usize], 1.0);
+        assert_eq!(world.insts.busy_until[c as usize], SimTime::ZERO);
+        assert_eq!(world.insts.ids[c as usize], InstanceId(7));
+        world.audit().unwrap();
+    }
+
+    #[test]
+    fn active_set_tracks_arrival_and_retirement_in_id_order() {
+        let trace = SyntheticTraceConfig::small_scale().generate(3);
+        let mut world = WorldArena::from_trace(&trace);
+        world.jobs.activate(5);
+        world.jobs.activate(1);
+        world.jobs.activate(3);
+        assert_eq!(world.jobs.active, vec![1, 3, 5]);
+        world.jobs.retire(3);
+        assert_eq!(world.jobs.active, vec![1, 5]);
+        world.jobs.activate(1); // double-activation is idempotent
+        assert_eq!(world.jobs.active, vec![1, 5]);
+    }
+
+    #[test]
+    fn arena_advance_matches_reference_job_progress() {
+        use crate::state::JobProgress;
+        let trace = SyntheticTraceConfig::small_scale().generate(9);
+        let mut world = WorldArena::from_trace(&trace);
+        let spec = trace.jobs()[0].clone();
+        let slot = world.slot_of_spec[0];
+        let mut reference = JobProgress::new(spec);
+        for (dt, tput) in [(0.25, 1.0), (0.5, 0.0), (1.0, 0.8), (4.0, 1.0)] {
+            reference.advance(dt, tput);
+            world.jobs.advance(slot, dt, tput);
+        }
+        let s = slot as usize;
+        assert_eq!(world.jobs.remaining_hours[s], reference.remaining_hours);
+        assert_eq!(world.jobs.executing_hours[s], reference.executing_hours);
+        assert_eq!(world.jobs.idle_hours[s], reference.idle_hours);
+        assert_eq!(world.jobs.tput_integral[s], reference.tput_integral);
+        assert_eq!(world.jobs.mean_tput(slot), reference.mean_tput());
+    }
+}

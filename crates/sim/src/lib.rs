@@ -40,6 +40,7 @@
 
 pub use eva_engine as engine;
 
+mod arena;
 pub mod backend;
 pub mod cache;
 pub mod faults;

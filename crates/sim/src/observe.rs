@@ -10,10 +10,11 @@ use std::collections::BTreeMap;
 use eva_cloud::ProvisionRequest;
 use eva_core::{InstanceSnapshot, JobObservation, Plan, PlannedInstance, SchedulerContext, TaskSnapshot};
 use eva_interference::TaskContext;
-use eva_types::{InstanceId, TaskId, WorkloadKind};
+use eva_types::{InstanceId, SimDuration, TaskId, WorkloadKind};
 
 use eva_types::SimTime;
 
+use crate::arena::NO_SLOT;
 use crate::script::ExecActionKind;
 use crate::state::TaskState;
 use crate::world::{ClusterSim, Event};
@@ -28,35 +29,37 @@ impl ClusterSim {
 
     /// Moves (or first-places) a task onto `dest`.
     pub(crate) fn transfer_task(&mut self, tid: TaskId, dest: InstanceId) {
-        let Some(job) = self.jobs.get(&tid.job) else {
+        let Some(tslot) = self.world.tasks.slot_of(tid) else {
             return;
         };
-        let Some(spec) = job.spec.task(tid) else {
+        let s = tslot as usize;
+        let jslot = self.world.tasks.job_slot[s];
+        if !self.world.jobs.arrived[jslot as usize] {
             return;
+        }
+        let (checkpoint, launch) = {
+            let spec = self.task_spec(tslot);
+            (
+                spec.checkpoint_delay.scale(self.migration_delay_scale),
+                spec.launch_delay.scale(self.migration_delay_scale),
+            )
         };
-        let checkpoint = spec.checkpoint_delay.scale(self.migration_delay_scale);
-        let launch = spec.launch_delay.scale(self.migration_delay_scale);
 
-        let Some(rt) = self.tasks.get_mut(&tid) else {
-            return;
-        };
-        let was_running = rt.is_running();
-        let had_instance = rt.assigned_to.is_some();
-        let old = rt.assigned_to;
+        let was_running = self.world.tasks.is_running(tslot);
+        let old = self.world.tasks.assigned[s];
+        let had_instance = old != NO_SLOT;
 
-        if let Some(old_id) = old {
-            if old_id == dest {
+        if had_instance {
+            if self.world.insts.ids[old as usize] == dest {
                 return;
             }
-            if let Some(set) = self.on_instance.get_mut(&old_id) {
-                set.remove(&tid);
-            }
+            self.world.insts.detach(old, tslot);
             if was_running {
                 let busy = self.now() + checkpoint;
-                let entry = self.busy_until.entry(old_id).or_insert(busy);
-                *entry = (*entry).max(busy);
+                let slot_busy = &mut self.world.insts.busy_until[old as usize];
+                *slot_busy = (*slot_busy).max(busy);
                 if self.recorder.is_some() {
-                    let progress = self.job_progress_fraction(tid.job);
+                    let progress = self.job_progress_fraction_slot(jslot);
                     self.record(ExecActionKind::Stop {
                         task: tid,
                         progress,
@@ -65,11 +68,8 @@ impl ClusterSim {
             }
         }
 
-        let gen = {
-            let g = self.task_gen.entry(tid).or_insert(0);
-            *g += 1;
-            *g
-        };
+        self.world.tasks.gen[s] += 1;
+        let gen = self.world.tasks.gen[s];
         let depart = if was_running {
             self.now() + checkpoint
         } else {
@@ -77,21 +77,21 @@ impl ClusterSim {
         };
         let ready = depart.max(self.instance_ready_at(dest)) + launch;
 
-        let rt = self.tasks.get_mut(&tid).unwrap();
-        rt.assigned_to = Some(dest);
-        rt.state = TaskState::InTransit {
+        self.world.tasks.state[s] = TaskState::InTransit {
             generation: gen,
             ready_at: ready,
         };
         if had_instance {
-            rt.migrations += 1;
+            self.world.tasks.migrations[s] += 1;
             self.migration_count += 1;
         }
-        self.on_instance.entry(dest).or_default().insert(tid);
+        let dslot = self.world.insts.ensure(dest);
+        self.world.tasks.assigned[s] = dslot;
+        self.world.insts.attach(dslot, tslot);
         self.push(
             ready,
             Event::TaskReady {
-                task: tid,
+                slot: tslot,
                 generation: gen,
             },
         );
@@ -99,54 +99,45 @@ impl ClusterSim {
     /// Builds the scheduler-facing observations for the current instant.
     pub(crate) fn build_observations(&self) -> Vec<JobObservation> {
         let mut obs = Vec::new();
-        for (id, job) in &self.jobs {
-            if job.is_done() {
-                continue;
-            }
+        for &jslot in &self.world.jobs.active {
+            let spec = self.job_spec(jslot);
+            let base = self.world.jobs.task_range(jslot).start;
             let mut contexts = Vec::new();
             let mut any_running = false;
-            for spec in &job.spec.tasks {
-                let Some(rt) = self.tasks.get(&spec.id) else {
-                    continue;
-                };
-                if !rt.is_running() {
+            for (pos, tspec) in spec.tasks.iter().enumerate() {
+                let tslot = self.world.tasks.slot_by_pos[base + pos];
+                if !self.world.tasks.is_running(tslot) {
                     continue;
                 }
                 any_running = true;
-                let others: Vec<WorkloadKind> = rt
-                    .assigned_to
-                    .and_then(|i| self.on_instance.get(&i))
-                    .map(|set| {
-                        set.iter()
-                            .filter(|t| **t != spec.id)
-                            .filter_map(|t| self.tasks.get(t))
-                            .filter(|t| t.is_running())
-                            .filter_map(|t| self.workload_of(t.id))
-                            .collect()
-                    })
-                    .unwrap_or_default();
-                contexts.push(TaskContext::new(spec.id, spec.workload, others));
+                let inst = self.world.tasks.assigned[tslot as usize];
+                let others: Vec<WorkloadKind> = if inst == NO_SLOT {
+                    Vec::new()
+                } else {
+                    self.world.insts.tasks[inst as usize]
+                        .iter()
+                        .filter(|&&t| t != tslot && self.world.tasks.is_running(t))
+                        .map(|&t| self.world.tasks.workload[t as usize])
+                        .collect()
+                };
+                contexts.push(TaskContext::new(tspec.id, tspec.workload, others));
             }
             if !any_running {
                 continue;
             }
-            let observed = if job.spec.gang_coupled {
-                self.job_tput(job)
+            let observed = if spec.gang_coupled {
+                self.job_tput(jslot)
             } else {
                 // Single-task jobs report the task's own throughput.
-                job.spec
-                    .tasks
-                    .first()
-                    .and_then(|s| {
-                        self.tasks
-                            .get(&s.id)
-                            .map(|rt| self.task_tput(rt, s.workload))
-                    })
-                    .unwrap_or(0.0)
+                if spec.tasks.is_empty() {
+                    0.0
+                } else {
+                    self.task_tput(self.world.tasks.slot_by_pos[base])
+                }
             };
             obs.push(JobObservation {
-                job: *id,
-                gang_coupled: job.spec.gang_coupled,
+                job: spec.id,
+                gang_coupled: spec.gang_coupled,
                 observed_tput: observed,
                 contexts,
             });
@@ -157,24 +148,25 @@ impl ClusterSim {
     /// Builds the scheduler context snapshot.
     pub(crate) fn build_snapshot(&self) -> (Vec<TaskSnapshot>, Vec<InstanceSnapshot>) {
         let mut tasks = Vec::new();
-        for job in self.jobs.values() {
-            if job.is_done() {
-                continue;
-            }
-            for spec in &job.spec.tasks {
-                let Some(rt) = self.tasks.get(&spec.id) else {
-                    continue;
-                };
+        for &jslot in &self.world.jobs.active {
+            let spec = self.job_spec(jslot);
+            let base = self.world.jobs.task_range(jslot).start;
+            let remaining =
+                SimDuration::from_hours_f64(self.world.jobs.remaining_hours[jslot as usize]);
+            for (pos, tspec) in spec.tasks.iter().enumerate() {
+                let tslot = self.world.tasks.slot_by_pos[base + pos];
+                let assigned = self.world.tasks.assigned[tslot as usize];
                 tasks.push(TaskSnapshot {
-                    id: spec.id,
-                    workload: spec.workload,
-                    demand: spec.demand.clone(),
-                    checkpoint_delay: spec.checkpoint_delay.scale(self.migration_delay_scale),
-                    launch_delay: spec.launch_delay.scale(self.migration_delay_scale),
-                    gang_size: job.spec.num_tasks() as u32,
-                    gang_coupled: job.spec.gang_coupled,
-                    assigned_to: rt.assigned_to,
-                    remaining_hint: Some(job.remaining_hint()),
+                    id: tspec.id,
+                    workload: tspec.workload,
+                    demand: tspec.demand.clone(),
+                    checkpoint_delay: tspec.checkpoint_delay.scale(self.migration_delay_scale),
+                    launch_delay: tspec.launch_delay.scale(self.migration_delay_scale),
+                    gang_size: spec.num_tasks() as u32,
+                    gang_coupled: spec.gang_coupled,
+                    assigned_to: (assigned != NO_SLOT)
+                        .then(|| self.world.insts.ids[assigned as usize]),
+                    remaining_hint: Some(remaining),
                 });
             }
         }
@@ -206,7 +198,7 @@ impl ClusterSim {
                         &mut self.rng,
                     ) {
                         Ok(id) => {
-                            self.on_instance.entry(id).or_default();
+                            self.world.insts.ensure(id);
                             id
                         }
                         Err(_) => continue,
@@ -220,9 +212,13 @@ impl ClusterSim {
         let moves: Vec<(TaskId, InstanceId)> = target
             .iter()
             .filter(|(tid, dest)| {
-                self.tasks
-                    .get(tid)
-                    .map(|rt| rt.assigned_to != Some(**dest))
+                self.world
+                    .tasks
+                    .slot_of(**tid)
+                    .map(|s| {
+                        let a = self.world.tasks.assigned[s as usize];
+                        a == NO_SLOT || self.world.insts.ids[a as usize] != **dest
+                    })
                     .unwrap_or(false)
             })
             .map(|(t, d)| (*t, *d))
@@ -266,11 +262,19 @@ impl ClusterSim {
                 .filter_map(|i| self.catalog.get(i.type_id))
                 .map(|t| t.hourly_cost.as_dollars())
                 .sum();
-            let running = self.tasks.values().filter(|t| t.is_running()).count();
-            let transit = self
+            let running = self
+                .world
                 .tasks
-                .values()
-                .filter(|t| matches!(t.state, TaskState::InTransit { .. }))
+                .state
+                .iter()
+                .filter(|s| **s == TaskState::Running)
+                .count();
+            let transit = self
+                .world
+                .tasks
+                .state
+                .iter()
+                .filter(|s| matches!(s, TaskState::InTransit { .. }))
                 .count();
             eprintln!(
                 "round {:>5} t={:>7.2}h tasks r{running}/x{transit} inst {} rate ${rate:.0}/h",
@@ -285,8 +289,7 @@ impl ClusterSim {
         self.execute_plan(&plan);
         self.recompute_completions();
 
-        let active = self.jobs.values().any(|j| !j.is_done());
-        if active {
+        if !self.world.jobs.active.is_empty() {
             self.schedule_round(self.now() + self.round_period);
         } else if self.arrivals_remaining == 0 {
             // Final cleanup: drain everything still alive, and tombstone

@@ -6,7 +6,6 @@ use eva_workloads::ShardMeta;
 use serde::{Deserialize, Serialize};
 
 use crate::metrics::{CdfPoint, SimReport};
-use crate::state::JobProgress;
 use crate::world::ClusterSim;
 
 /// Consumes a fully-stepped world and produces its experiment report.
@@ -26,11 +25,30 @@ pub(crate) fn finalize(mut sim: ClusterSim) -> SimReport {
         .unwrap_or(now)
         .max(now);
 
-    let completed: Vec<&JobProgress> = sim.jobs.values().filter(|j| j.is_done()).collect();
+    // Completed job slots ascend in JobId order, matching the former
+    // map iteration, so each metric folds in the identical sequence.
+    let completed: Vec<u32> = (0..sim.world.jobs.ids.len() as u32)
+        .filter(|&s| sim.world.jobs.is_done(s))
+        .collect();
     let n = completed.len().max(1) as f64;
-    let avg_jct_hours = completed.iter().filter_map(|j| j.jct_hours()).sum::<f64>() / n;
-    let avg_idle_hours = completed.iter().map(|j| j.idle_hours).sum::<f64>() / n;
-    let avg_norm_tput = completed.iter().map(|j| j.mean_tput()).sum::<f64>() / n;
+    let avg_jct_hours = completed
+        .iter()
+        .filter_map(|&s| {
+            sim.world.jobs.completed_at[s as usize]
+                .map(|t| t.duration_since(sim.job_spec(s).arrival).as_hours_f64())
+        })
+        .sum::<f64>()
+        / n;
+    let avg_idle_hours = completed
+        .iter()
+        .map(|&s| sim.world.jobs.idle_hours[s as usize])
+        .sum::<f64>()
+        / n;
+    let avg_norm_tput = completed
+        .iter()
+        .map(|&s| sim.world.jobs.mean_tput(s))
+        .sum::<f64>()
+        / n;
     let jobs_completed = completed.len();
 
     let uptimes: Vec<f64> = sim
@@ -339,6 +357,7 @@ mod tests {
             jobs: tasks,
             tasks,
             straddlers: 0,
+            weight: (tasks * 2) as u64,
         }
     }
 

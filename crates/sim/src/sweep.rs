@@ -53,6 +53,30 @@ struct TraceEntry {
     label: String,
     handle: TraceHandle,
     shard: Option<ShardMeta>,
+    /// Relative simulation cost of the trace (`jobs + tasks`), computed
+    /// once when the axis entry is built — shard windows reuse the weight
+    /// cached on their [`ShardMeta`] — so longest-first planning never
+    /// rescans a job vector per cell.
+    weight: u64,
+}
+
+impl TraceEntry {
+    fn new(label: String, handle: TraceHandle, shard: Option<ShardMeta>) -> Self {
+        let weight = match &shard {
+            Some(meta) => meta.weight,
+            None => handle
+                .jobs()
+                .iter()
+                .map(|j| 1 + j.num_tasks() as u64)
+                .sum(),
+        };
+        TraceEntry {
+            label,
+            handle,
+            shard,
+            weight,
+        }
+    }
 }
 
 /// A declarative grid of simulation cells.
@@ -86,11 +110,7 @@ impl SweepGrid {
     /// [`SweepGrid::paper_schedulers`]).
     pub fn new(trace_label: impl Into<String>, trace: impl Into<TraceHandle>) -> Self {
         SweepGrid {
-            traces: vec![TraceEntry {
-                label: trace_label.into(),
-                handle: trace.into(),
-                shard: None,
-            }],
+            traces: vec![TraceEntry::new(trace_label.into(), trace.into(), None)],
             schedulers: Vec::new(),
             seeds: vec![42],
             fidelities: vec![FidelityMode::Stochastic],
@@ -104,11 +124,7 @@ impl SweepGrid {
 
     /// Adds another trace axis value.
     pub fn trace(mut self, label: impl Into<String>, trace: impl Into<TraceHandle>) -> Self {
-        self.traces.push(TraceEntry {
-            label: label.into(),
-            handle: trace.into(),
-            shard: None,
-        });
+        self.traces.push(TraceEntry::new(label.into(), trace.into(), None));
         self
     }
 
@@ -132,11 +148,7 @@ impl SweepGrid {
                 }
                 windows
                     .into_iter()
-                    .map(|w| TraceEntry {
-                        label: entry.label.clone(),
-                        handle: w.handle,
-                        shard: Some(w.meta),
-                    })
+                    .map(|w| TraceEntry::new(entry.label.clone(), w.handle, Some(w.meta)))
                     .collect()
             })
             .collect();
@@ -349,10 +361,13 @@ impl SweepGrid {
     }
 
     /// Rough relative runtime of a cell, for longest-first scheduling:
-    /// trace job count scaled by fidelity (stochastic samples delays) and
-    /// backend weight (live = simulate + replay on real threads).
+    /// the trace's cached `jobs + tasks` weight scaled by fidelity
+    /// (stochastic samples delays) and backend weight (live = simulate +
+    /// replay on real threads). The weight is computed once per trace
+    /// axis entry — shard windows carry it on their [`ShardMeta`] — so
+    /// planning a million-job grid never rescans a job vector.
     pub(crate) fn cost_estimate(&self, cell: &SweepCell) -> u64 {
-        let jobs = self.traces[cell.trace_index].handle.len().max(1) as u64;
+        let weight = self.traces[cell.trace_index].weight.max(1);
         let fidelity = match cell.fidelity {
             FidelityMode::Stochastic => 3,
             FidelityMode::Nominal => 2,
@@ -361,7 +376,7 @@ impl SweepGrid {
             BackendKind::Sim => 1,
             BackendKind::Live => 3,
         };
-        jobs * fidelity * backend
+        weight * fidelity * backend
     }
 }
 
@@ -497,6 +512,7 @@ impl SweepResult {
                 jobs: 0,
                 tasks: 0,
                 straddlers: 0,
+                weight: 0,
             });
             match index.get(&group_key) {
                 Some(&g) => groups[g].1.push((meta, cell.report.clone())),

@@ -6,7 +6,16 @@
 //! scheduler through the round logic in the `observe` module but
 //! contains no scheduling policy itself; report assembly lives in the
 //! `report` module.
+//!
+//! World state lives in the slot-indexed SoA arenas of the private
+//! `arena` module:
+//! IDs intern to contiguous `u32` slots at construction, events carry
+//! slots instead of IDs, and the per-event hot loops walk flat vectors.
+//! Slot order is ID order, so every iteration (and therefore every float
+//! accumulation) happens in exactly the sequence the former
+//! `BTreeMap`-keyed world produced — reports are byte-identical.
 
+use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet};
 
 use rand::rngs::StdRng;
@@ -16,22 +25,24 @@ use eva_baselines::{
 };
 use eva_cloud::{Catalog, CloudProvider, DelayModel};
 use eva_core::{EvaScheduler, Scheduler};
-use eva_types::{InstanceId, JobId, SimDuration, SimTime, TaskId, WorkloadKind};
+use eva_types::{InstanceId, JobSpec, SimDuration, SimTime, TaskSpec, WorkloadKind};
 use eva_workloads::{InterferenceModel, Trace, TraceHandle, WorkloadCatalog};
 
+use crate::arena::{WorldArena, NO_SLOT};
 use crate::engine::{CancelToken, EventEngine, RngStreams, SimEvent, DELAY_STREAM};
 use crate::faults::{FaultAction, FaultPlan};
 use crate::metrics::SimReport;
 use crate::runner::{InterferenceSpec, SchedulerKind, SimConfig};
 use crate::script::{ExecAction, ExecActionKind, ExecScript};
-use crate::state::{JobProgress, TaskRuntime, TaskState};
+use crate::state::TaskState;
 
-/// Events the cluster world reacts to.
+/// Events the cluster world reacts to. Task/job events carry arena
+/// slots, not IDs — dispatch is a direct index, never a lookup.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub(crate) enum Event {
     Arrival(usize),
-    TaskReady { task: TaskId, generation: u64 },
-    JobDone { job: JobId, generation: u64 },
+    TaskReady { slot: u32, generation: u64 },
+    JobDone { slot: u32, generation: u64 },
     Round,
     /// Injected fault striking (index into the compiled fault plan).
     Fault(usize),
@@ -69,11 +80,8 @@ pub struct ClusterSim {
     pub(crate) round_period: SimDuration,
     pub(crate) migration_delay_scale: f64,
 
-    pub(crate) jobs: BTreeMap<JobId, JobProgress>,
-    pub(crate) tasks: BTreeMap<TaskId, TaskRuntime>,
-    pub(crate) task_gen: BTreeMap<TaskId, u64>,
-    pub(crate) on_instance: BTreeMap<InstanceId, BTreeSet<TaskId>>,
-    pub(crate) busy_until: BTreeMap<InstanceId, SimTime>,
+    /// All job/task/instance state, slot-indexed (see [`crate::arena`]).
+    pub(crate) world: WorldArena,
     pub(crate) draining: BTreeSet<InstanceId>,
 
     pub(crate) engine: EventEngine<Event>,
@@ -84,7 +92,6 @@ pub struct ClusterSim {
     // Adversarial fault state.
     pub(crate) fault_plan: FaultPlan,
     pub(crate) fault_tokens: Vec<CancelToken>,
-    pub(crate) straggle: BTreeMap<InstanceId, f64>,
     pub(crate) active_stragglers: BTreeMap<usize, InstanceId>,
     pub(crate) preemption_log: Vec<(SimTime, InstanceId)>,
     pub(crate) worker_crashes: u64,
@@ -98,6 +105,10 @@ pub struct ClusterSim {
     pub(crate) total_tasks: usize,
     pub(crate) rounds: u64,
     pub(crate) full_rounds: u64,
+
+    // Reusable hot-path scratch (per-event, allocation-free steady state).
+    tput_buf: RefCell<Vec<WorkloadKind>>,
+    job_scratch: Vec<(u32, f64)>,
 }
 
 impl ClusterSim {
@@ -162,6 +173,7 @@ impl ClusterSim {
         };
         let delays = DelayModel::table1(cfg.fidelity);
         let cloud = CloudProvider::new(catalog.clone(), delays);
+        let world = WorldArena::from_trace(cfg.trace.trace());
 
         let mut sim = ClusterSim {
             catalog,
@@ -171,11 +183,7 @@ impl ClusterSim {
             scheduler,
             round_period: cfg.round_period,
             migration_delay_scale: cfg.migration_delay_scale,
-            jobs: BTreeMap::new(),
-            tasks: BTreeMap::new(),
-            task_gen: BTreeMap::new(),
-            on_instance: BTreeMap::new(),
-            busy_until: BTreeMap::new(),
+            world,
             draining: BTreeSet::new(),
             engine: EventEngine::new(),
             round_pending: false,
@@ -183,7 +191,6 @@ impl ClusterSim {
             recorder: None,
             fault_plan,
             fault_tokens: Vec::new(),
-            straggle: BTreeMap::new(),
             active_stragglers: BTreeMap::new(),
             preemption_log: Vec::new(),
             worker_crashes: 0,
@@ -195,6 +202,8 @@ impl ClusterSim {
             total_tasks: cfg.trace.jobs().iter().map(|j| j.num_tasks()).sum(),
             rounds: 0,
             full_rounds: 0,
+            tput_buf: RefCell::new(Vec::new()),
+            job_scratch: Vec::new(),
             cfg,
         };
         for (idx, job) in sim.cfg.trace.jobs().iter().enumerate() {
@@ -264,16 +273,28 @@ impl ClusterSim {
         }
     }
 
-    /// Fraction of `job`'s work already completed, in `[0, 1]`.
-    pub(crate) fn job_progress_fraction(&self, job: JobId) -> f64 {
-        let Some(j) = self.jobs.get(&job) else {
+    /// The spec of the job in `jslot` (slots index the shared trace).
+    pub(crate) fn job_spec(&self, jslot: u32) -> &JobSpec {
+        &self.cfg.trace.jobs()[self.world.jobs.spec_idx[jslot as usize] as usize]
+    }
+
+    /// The spec of the task in `tslot`.
+    pub(crate) fn task_spec(&self, tslot: u32) -> &TaskSpec {
+        let jslot = self.world.tasks.job_slot[tslot as usize];
+        &self.job_spec(jslot).tasks[self.world.tasks.spec_pos[tslot as usize] as usize]
+    }
+
+    /// Fraction of the job in `jslot`'s work already completed, in `[0, 1]`.
+    pub(crate) fn job_progress_fraction_slot(&self, jslot: u32) -> f64 {
+        let s = jslot as usize;
+        if !self.world.jobs.arrived[s] {
             return 0.0;
-        };
-        let total = j.spec.duration_at_full_tput.as_hours_f64();
+        }
+        let total = self.world.jobs.total_hours[s];
         if total <= 0.0 {
             1.0
         } else {
-            (1.0 - j.remaining_hours / total).clamp(0.0, 1.0)
+            (1.0 - self.world.jobs.remaining_hours[s] / total).clamp(0.0, 1.0)
         }
     }
 
@@ -309,27 +330,25 @@ impl ClusterSim {
     fn handle(&mut self, event: Event) {
         match event {
             Event::Arrival(idx) => {
-                let spec = self.cfg.trace.jobs()[idx].clone();
                 self.arrivals_remaining -= 1;
-                for t in &spec.tasks {
-                    self.tasks.insert(t.id, TaskRuntime::new(t.id));
-                }
-                self.jobs.insert(spec.id, JobProgress::new(spec));
+                let slot = self.world.slot_of_spec[idx];
+                self.world.jobs.activate(slot);
                 self.schedule_round(self.now());
             }
-            Event::TaskReady { task, generation } => {
-                let matches = self
-                    .tasks
-                    .get(&task)
-                    .map(|rt| {
-                        matches!(rt.state, TaskState::InTransit { generation: g, .. } if g == generation)
-                    })
-                    .unwrap_or(false);
+            Event::TaskReady { slot, generation } => {
+                let s = slot as usize;
+                let matches = matches!(
+                    self.world.tasks.state[s],
+                    TaskState::InTransit { generation: g, .. } if g == generation
+                );
                 if matches {
-                    let rt = self.tasks.get_mut(&task).unwrap();
-                    rt.state = TaskState::Running;
-                    if let (Some(instance), true) = (rt.assigned_to, self.recorder.is_some()) {
-                        let progress = self.job_progress_fraction(task.job);
+                    self.world.tasks.state[s] = TaskState::Running;
+                    let inst = self.world.tasks.assigned[s];
+                    if self.recorder.is_some() && inst != NO_SLOT {
+                        let task = self.world.tasks.ids[s];
+                        let instance = self.world.insts.ids[inst as usize];
+                        let progress =
+                            self.job_progress_fraction_slot(self.world.tasks.job_slot[s]);
                         self.record(ExecActionKind::Start {
                             task,
                             instance,
@@ -339,7 +358,7 @@ impl ClusterSim {
                     self.recompute_completions();
                 }
             }
-            Event::JobDone { job, generation } => self.handle_job_done(job, generation),
+            Event::JobDone { slot, generation } => self.handle_job_done(slot, generation),
             Event::Round => self.handle_round(),
             Event::Fault(idx) => self.apply_fault(idx),
             Event::FaultExpire(idx) => self.expire_fault(idx),
@@ -363,34 +382,25 @@ impl ClusterSim {
     /// [`ExecActionKind::Kill`]), in-transit tasks lose their transfer;
     /// all go back to pending for the next round to re-place.
     fn kill_instance_tasks(&mut self, victim: InstanceId) {
-        let tids: Vec<TaskId> = self
-            .on_instance
-            .get(&victim)
-            .map(|s| s.iter().copied().collect())
-            .unwrap_or_default();
-        for tid in tids {
-            let running = self
-                .tasks
-                .get(&tid)
-                .map(|rt| match rt.state {
-                    TaskState::Done => None,
-                    _ => Some(rt.is_running()),
-                })
-                .unwrap_or(None);
-            let Some(running) = running else { continue };
+        let Some(islot) = self.world.insts.get(victim) else {
+            return;
+        };
+        // Snapshot: slot order is TaskId order.
+        let tslots = self.world.insts.tasks[islot as usize].clone();
+        for tslot in tslots {
+            let s = tslot as usize;
+            let running = match self.world.tasks.state[s] {
+                TaskState::Done => continue,
+                st => st == TaskState::Running,
+            };
             if running {
-                let progress = self.job_progress_fraction(tid.job);
-                self.record(ExecActionKind::Kill {
-                    task: tid,
-                    progress,
-                });
+                let task = self.world.tasks.ids[s];
+                let progress = self.job_progress_fraction_slot(self.world.tasks.job_slot[s]);
+                self.record(ExecActionKind::Kill { task, progress });
             }
-            let rt = self.tasks.get_mut(&tid).unwrap();
-            rt.state = TaskState::Pending;
-            rt.assigned_to = None;
-            if let Some(set) = self.on_instance.get_mut(&victim) {
-                set.remove(&tid);
-            }
+            self.world.tasks.state[s] = TaskState::Pending;
+            self.world.tasks.assigned[s] = NO_SLOT;
+            self.world.insts.detach(islot, tslot);
         }
     }
 
@@ -406,9 +416,7 @@ impl ClusterSim {
                 self.kill_instance_tasks(victim);
                 let _ = self.cloud.terminate(victim, now);
                 self.draining.remove(&victim);
-                self.on_instance.remove(&victim);
-                self.busy_until.remove(&victim);
-                self.straggle.remove(&victim);
+                self.world.insts.release(victim);
                 self.preemption_log.push((now, victim));
                 self.recompute_completions();
                 self.schedule_round(now);
@@ -431,24 +439,29 @@ impl ClusterSim {
                 // Applied as a billing schedule at construction.
             }
             FaultAction::CkptDrop => {
-                let candidates: Vec<JobId> = self
+                // Active slots ascend in JobId order, matching the former
+                // map iteration; jobs without progress (or done) never
+                // qualify, so the candidate list is unchanged.
+                let candidates: Vec<u32> = self
+                    .world
                     .jobs
+                    .active
                     .iter()
-                    .filter(|(_, j)| {
-                        !j.is_done()
-                            && j.remaining_hours + 1e-12
-                                < j.spec.duration_at_full_tput.as_hours_f64()
+                    .copied()
+                    .filter(|&slot| {
+                        self.world.jobs.remaining_hours[slot as usize] + 1e-12
+                            < self.world.jobs.total_hours[slot as usize]
                     })
-                    .map(|(id, _)| *id)
                     .collect();
                 if candidates.is_empty() {
                     return;
                 }
-                let victim = candidates[(ev.draw % candidates.len() as u64) as usize];
-                let j = self.jobs.get_mut(&victim).unwrap();
-                let total = j.spec.duration_at_full_tput.as_hours_f64();
-                let done = (total - j.remaining_hours).max(0.0);
-                j.remaining_hours = (j.remaining_hours + CKPT_DROP_LOSS * done).min(total);
+                let victim = candidates[(ev.draw % candidates.len() as u64) as usize] as usize;
+                let total = self.world.jobs.total_hours[victim];
+                let remaining = self.world.jobs.remaining_hours[victim];
+                let done = (total - remaining).max(0.0);
+                self.world.jobs.remaining_hours[victim] =
+                    (remaining + CKPT_DROP_LOSS * done).min(total);
                 self.dropped_checkpoints += 1;
                 self.recompute_completions();
             }
@@ -456,7 +469,9 @@ impl ClusterSim {
                 let Some(victim) = self.fault_victim(ev.draw) else {
                     return;
                 };
-                self.straggle.insert(victim, factor);
+                if let Some(islot) = self.world.insts.get(victim) {
+                    self.world.insts.straggle[islot as usize] = factor;
+                }
                 self.active_stragglers.insert(idx, victim);
                 self.recompute_completions();
             }
@@ -473,8 +488,12 @@ impl ClusterSim {
                 if let Some(victim) = self.active_stragglers.remove(&idx) {
                     // A later straggler may have re-slowed the same
                     // instance; only lift when no window still covers it.
+                    // (A preempted victim lost its slot — and its factor —
+                    // already; the slot may now belong to a new instance.)
                     if !self.active_stragglers.values().any(|v| *v == victim) {
-                        self.straggle.remove(&victim);
+                        if let Some(islot) = self.world.insts.get(victim) {
+                            self.world.insts.straggle[islot as usize] = 1.0;
+                        }
                     }
                     self.recompute_completions();
                 }
@@ -500,7 +519,11 @@ impl ClusterSim {
 
     /// Tasks currently mapped to `instance` (running or in transit).
     pub fn tasks_on(&self, instance: InstanceId) -> usize {
-        self.on_instance.get(&instance).map(|s| s.len()).unwrap_or(0)
+        self.world
+            .insts
+            .get(instance)
+            .map(|s| self.world.insts.tasks[s as usize].len())
+            .unwrap_or(0)
     }
 
     /// The cloud provider (for invariant checks in tests).
@@ -513,30 +536,43 @@ impl ClusterSim {
         &self.fault_plan
     }
 
-    fn handle_job_done(&mut self, job: JobId, generation: u64) {
-        let valid = self
-            .jobs
-            .get(&job)
-            .map(|j| !j.is_done() && j.completion_generation == generation)
-            .unwrap_or(false);
+    /// Audits the world's slot bookkeeping (for invariant checks in
+    /// tests): every job, task, and live instance ID must round-trip
+    /// through its arena slot back to the same ID, cross-references
+    /// (task↔instance, task↔job, active set) must agree, and every
+    /// draining instance must still hold a slot.
+    pub fn audit_slots(&self) -> Result<(), String> {
+        self.world.audit()?;
+        for id in &self.draining {
+            if self.world.insts.get(*id).is_none() {
+                return Err(format!("draining instance {id} holds no slot"));
+            }
+        }
+        Ok(())
+    }
+
+    fn handle_job_done(&mut self, slot: u32, generation: u64) {
+        let s = slot as usize;
+        let valid = self.world.jobs.arrived[s]
+            && !self.world.jobs.is_done(slot)
+            && self.world.jobs.completion_gen[s] == generation;
         if !valid {
             return;
         }
-        let task_ids: Vec<TaskId> = {
-            let j = self.jobs.get_mut(&job).unwrap();
-            debug_assert!(j.remaining_hours < 1e-6, "early completion event");
-            j.completed_at = Some(self.engine.now());
-            j.spec.tasks.iter().map(|t| t.id).collect()
-        };
+        debug_assert!(
+            self.world.jobs.remaining_hours[s] < 1e-6,
+            "early completion event"
+        );
+        self.world.jobs.completed_at[s] = Some(self.engine.now());
+        self.world.jobs.retire(slot);
+        let job = self.world.jobs.ids[s];
         self.record(ExecActionKind::JobDone { job });
-        for tid in task_ids {
-            if let Some(rt) = self.tasks.get_mut(&tid) {
-                rt.state = TaskState::Done;
-                if let Some(inst) = rt.assigned_to.take() {
-                    if let Some(set) = self.on_instance.get_mut(&inst) {
-                        set.remove(&tid);
-                    }
-                }
+        for t in self.world.jobs.task_range(slot) {
+            self.world.tasks.state[t] = TaskState::Done;
+            let inst = self.world.tasks.assigned[t];
+            if inst != NO_SLOT {
+                self.world.tasks.assigned[t] = NO_SLOT;
+                self.world.insts.detach(inst, t as u32);
             }
         }
         self.try_terminations();
@@ -545,57 +581,41 @@ impl ClusterSim {
         self.schedule_round(self.now() + self.round_period);
     }
 
-    /// The ground-truth throughput of a running task given its co-located
-    /// running neighbours.
-    pub(crate) fn task_tput(&self, task: &TaskRuntime, workload: WorkloadKind) -> f64 {
-        let Some(inst) = task.assigned_to else {
-            return 0.0;
-        };
-        if !task.is_running() {
+    /// The ground-truth throughput of the running task in `tslot` given
+    /// its co-located running neighbours.
+    pub(crate) fn task_tput(&self, tslot: u32) -> f64 {
+        let s = tslot as usize;
+        let inst = self.world.tasks.assigned[s];
+        if inst == NO_SLOT || !self.world.tasks.is_running(tslot) {
             return 0.0;
         }
-        let others: Vec<WorkloadKind> = self
-            .on_instance
-            .get(&inst)
-            .map(|set| {
-                set.iter()
-                    .filter(|tid| **tid != task.id)
-                    .filter_map(|tid| self.tasks.get(tid))
-                    .filter(|t| t.is_running())
-                    .filter_map(|t| self.workload_of(t.id))
-                    .collect()
-            })
-            .unwrap_or_default();
-        let base = self.interference.throughput(workload, &others);
+        let mut others = self.tput_buf.borrow_mut();
+        others.clear();
+        for &t in &self.world.insts.tasks[inst as usize] {
+            if t != tslot && self.world.tasks.is_running(t) {
+                others.push(self.world.tasks.workload[t as usize]);
+            }
+        }
+        let base = self
+            .interference
+            .throughput(self.world.tasks.workload[s], &others);
         // A straggler window slows every task on the afflicted instance.
         // The factor changes only at fault events (which recompute
         // completions), so throughput stays piecewise-constant and
-        // progress integration stays exact.
-        match self.straggle.get(&inst) {
-            Some(factor) => base * factor,
-            None => base,
-        }
-    }
-
-    pub(crate) fn workload_of(&self, task: TaskId) -> Option<WorkloadKind> {
-        self.jobs
-            .get(&task.job)
-            .and_then(|j| j.spec.task(task))
-            .map(|t| t.workload)
+        // progress integration stays exact. Unafflicted slots hold 1.0,
+        // and `x * 1.0` is bitwise `x`.
+        base * self.world.insts.straggle[inst as usize]
     }
 
     /// Effective job throughput: gang-coupled jobs run at the minimum of
     /// their tasks (0 unless all run); single tasks at their own rate.
-    pub(crate) fn job_tput(&self, job: &JobProgress) -> f64 {
+    pub(crate) fn job_tput(&self, jslot: u32) -> f64 {
         let mut min_tput = f64::INFINITY;
-        for spec in &job.spec.tasks {
-            let Some(rt) = self.tasks.get(&spec.id) else {
-                return 0.0;
-            };
-            if !rt.is_running() {
+        for t in self.world.jobs.task_range(jslot) {
+            if !self.world.tasks.is_running(t as u32) {
                 return 0.0;
             }
-            min_tput = min_tput.min(self.task_tput(rt, spec.workload));
+            min_tput = min_tput.min(self.task_tput(t as u32));
         }
         if min_tput.is_finite() {
             min_tput
@@ -612,18 +632,17 @@ impl ClusterSim {
         if dt_hours <= 0.0 {
             return;
         }
-        // Job progress.
-        let tputs: Vec<(JobId, f64)> = self
-            .jobs
-            .iter()
-            .filter(|(_, j)| !j.is_done())
-            .map(|(id, j)| (*id, self.job_tput(j)))
-            .collect();
-        for (id, tput) in tputs {
-            if let Some(j) = self.jobs.get_mut(&id) {
-                j.advance(dt_hours, tput);
-            }
+        // Job progress. Throughputs are pure reads, so computing them all
+        // before applying preserves the old interleaved map semantics.
+        let mut tputs = std::mem::take(&mut self.job_scratch);
+        tputs.clear();
+        for &slot in &self.world.jobs.active {
+            tputs.push((slot, self.job_tput(slot)));
         }
+        for &(slot, tput) in &tputs {
+            self.world.jobs.advance(slot, dt_hours, tput);
+        }
+        self.job_scratch = tputs;
         // Allocation integrals.
         let mut alloc = [0.0f64; 3];
         let mut cap = [0.0f64; 3];
@@ -635,19 +654,14 @@ impl ClusterSim {
             cap[0] += f64::from(ty.capacity.gpu);
             cap[1] += f64::from(ty.capacity.cpu);
             cap[2] += ty.capacity.ram_mb as f64;
-            if let Some(set) = self.on_instance.get(&inst.id) {
-                for tid in set {
-                    let Some(job) = self.jobs.get(&tid.job) else {
-                        continue;
-                    };
-                    let Some(spec) = job.spec.task(*tid) else {
-                        continue;
-                    };
+            if let Some(islot) = self.world.insts.get(inst.id) {
+                for &tslot in &self.world.insts.tasks[islot as usize] {
+                    let spec = self.task_spec(tslot);
                     let d = ty.demand_of(&spec.demand);
                     alloc[0] += f64::from(d.gpu);
                     alloc[1] += f64::from(d.cpu);
                     alloc[2] += d.ram_mb as f64;
-                    if self.tasks.get(tid).map(|t| t.is_running()).unwrap_or(false) {
+                    if self.world.tasks.is_running(tslot) {
                         running_tasks += 1;
                     }
                 }
@@ -662,46 +676,40 @@ impl ClusterSim {
 
     /// Re-derives every active job's completion event.
     pub(crate) fn recompute_completions(&mut self) {
-        let jobs: Vec<JobId> = self
-            .jobs
-            .iter()
-            .filter(|(_, j)| !j.is_done())
-            .map(|(id, _)| *id)
-            .collect();
-        for id in jobs {
-            let tput = self.job_tput(&self.jobs[&id]);
-            let job = self.jobs.get_mut(&id).unwrap();
-            job.completion_generation += 1;
-            let generation = job.completion_generation;
-            if let Some(eta) = job.eta_hours(tput) {
-                let at = self.engine.now() + SimDuration::from_hours_f64(eta);
-                self.push(
-                    at,
-                    Event::JobDone {
-                        job: id,
-                        generation,
-                    },
-                );
+        let mut tputs = std::mem::take(&mut self.job_scratch);
+        tputs.clear();
+        for &slot in &self.world.jobs.active {
+            tputs.push((slot, self.job_tput(slot)));
+        }
+        let now = self.engine.now();
+        for &(slot, tput) in &tputs {
+            let s = slot as usize;
+            self.world.jobs.completion_gen[s] += 1;
+            let generation = self.world.jobs.completion_gen[s];
+            if let Some(eta) = self.world.jobs.eta_hours(slot, tput) {
+                let at = now + SimDuration::from_hours_f64(eta);
+                self.push(at, Event::JobDone { slot, generation });
             }
         }
+        self.job_scratch = tputs;
     }
 
     /// Terminates drained instances whose departures have finished.
     pub(crate) fn try_terminations(&mut self) {
         let candidates: Vec<InstanceId> = self.draining.iter().copied().collect();
         for id in candidates {
-            let empty = self
-                .on_instance
-                .get(&id)
-                .map(|s| s.is_empty())
+            let islot = self.world.insts.get(id);
+            let empty = islot
+                .map(|s| self.world.insts.tasks[s as usize].is_empty())
                 .unwrap_or(true);
             if empty {
                 let now = self.engine.now();
-                let busy = self.busy_until.get(&id).copied().unwrap_or(now);
+                let busy = islot
+                    .map(|s| self.world.insts.busy_until[s as usize])
+                    .unwrap_or(SimTime::ZERO);
                 let _ = self.cloud.terminate(id, busy.max(now));
                 self.draining.remove(&id);
-                self.on_instance.remove(&id);
-                self.busy_until.remove(&id);
+                self.world.insts.release(id);
             }
         }
     }

@@ -159,14 +159,18 @@ impl TraceHandle {
             .enumerate()
             .map(|(index, (chunk, edge))| {
                 let first = chunk.first().map(|j| j.arrival).unwrap_or(whole_first);
-                let tasks = chunk.iter().map(|j| j.num_tasks()).sum();
-                let straddlers = match edge {
-                    Some(edge) => chunk
-                        .iter()
-                        .filter(|j| j.arrival + j.duration_at_full_tput > edge)
-                        .count(),
-                    None => 0,
-                };
+                // One pass over the chunk for every derived statistic, so
+                // sharding a million-job trace never rescans a window.
+                let mut tasks = 0usize;
+                let mut straddlers = 0usize;
+                for j in &chunk {
+                    tasks += j.num_tasks();
+                    if let Some(edge) = edge {
+                        if j.arrival + j.duration_at_full_tput > edge {
+                            straddlers += 1;
+                        }
+                    }
+                }
                 let jobs = chunk.len();
                 TraceWindow {
                     handle: TraceHandle::new(Trace::new(chunk)),
@@ -178,6 +182,7 @@ impl TraceHandle {
                         jobs,
                         tasks,
                         straddlers,
+                        weight: (jobs + tasks) as u64,
                     },
                 }
             })
@@ -291,7 +296,7 @@ pub struct TraceWindow {
 
 /// Position and weight metadata of one shard window, carried through
 /// sweep-cell keys so shard reports can be spliced back together.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ShardMeta {
     /// Zero-based window index.
     pub index: usize,
@@ -314,6 +319,65 @@ pub struct ShardMeta {
     /// next window begins, so spliced integer metrics are no longer
     /// guaranteed exact (see `eva_sim`'s partition audit).
     pub straddlers: usize,
+    /// Cached relative simulation cost of the window (`jobs + tasks`),
+    /// computed in [`TraceHandle::shard`]'s single pass so longest-first
+    /// cell planning never rescans a window's job vector. A derived
+    /// cache, not content: excluded from serialization (cell keys, the
+    /// report cache, and golden JSON are byte-unchanged) and from
+    /// equality (a deserialized meta compares equal at `weight == 0`).
+    pub weight: u64,
+}
+
+impl PartialEq for ShardMeta {
+    fn eq(&self, other: &Self) -> bool {
+        self.index == other.index
+            && self.count == other.count
+            && self.offset == other.offset
+            && self.end == other.end
+            && self.jobs == other.jobs
+            && self.tasks == other.tasks
+            && self.straddlers == other.straddlers
+    }
+}
+
+// Hand-written (the vendored derive has no `#[serde(skip)]`): identical
+// to the derived impls for every field except `weight`, which is a
+// derived cache and stays out of the serialized form entirely.
+impl Serialize for ShardMeta {
+    fn serialize(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("index".to_string(), self.index.serialize()),
+            ("count".to_string(), self.count.serialize()),
+            ("offset".to_string(), self.offset.serialize()),
+            ("end".to_string(), self.end.serialize()),
+            ("jobs".to_string(), self.jobs.serialize()),
+            ("tasks".to_string(), self.tasks.serialize()),
+            ("straddlers".to_string(), self.straddlers.serialize()),
+        ])
+    }
+}
+
+impl Deserialize for ShardMeta {
+    fn deserialize(value: &serde::Value) -> Result<Self, serde::Error> {
+        if value.as_object().is_none() {
+            return Err(serde::Error::invalid_type("object", value));
+        }
+        let field = |name: &'static str| {
+            value
+                .get_field(name)
+                .ok_or_else(|| serde::Error::missing_field(name))
+        };
+        Ok(ShardMeta {
+            index: Deserialize::deserialize(field("index")?)?,
+            count: Deserialize::deserialize(field("count")?)?,
+            offset: Deserialize::deserialize(field("offset")?)?,
+            end: Deserialize::deserialize(field("end")?)?,
+            jobs: Deserialize::deserialize(field("jobs")?)?,
+            tasks: Deserialize::deserialize(field("tasks")?)?,
+            straddlers: Deserialize::deserialize(field("straddlers")?)?,
+            weight: 0,
+        })
+    }
 }
 
 impl ShardMeta {
@@ -408,6 +472,7 @@ mod tests {
             assert_eq!(w.meta.count, 3);
             assert_eq!(w.meta.jobs, w.handle.len());
             assert_eq!(w.meta.tasks, 4);
+            assert_eq!(w.meta.weight, (w.meta.jobs + w.meta.tasks) as u64);
             assert_eq!(w.meta.label(), format!("{}/3", k + 1));
         }
         // Arrival order is preserved across the window boundary.
@@ -555,9 +620,14 @@ mod tests {
             jobs: 7,
             tasks: 9,
             straddlers: 2,
+            weight: 16,
         };
         let json = serde_json::to_string(&meta).unwrap();
+        // The cached weight is derived, not content: it never reaches
+        // serialized cell keys or the report cache.
+        assert!(!json.contains("weight"), "{json}");
         let back: ShardMeta = serde_json::from_str(&json).unwrap();
-        assert_eq!(meta, back);
+        assert_eq!(meta, back, "equality ignores the skipped cache field");
+        assert_eq!(back.weight, 0);
     }
 }
