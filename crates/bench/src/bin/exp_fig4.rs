@@ -46,4 +46,5 @@ fn main() {
         }
     }
     save_json("fig4.json", &art);
+    eva_bench::finish();
 }

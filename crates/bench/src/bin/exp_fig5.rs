@@ -41,4 +41,5 @@ fn main() {
         );
     }
     save_json("fig5.json", &(base, art));
+    eva_bench::finish();
 }

@@ -50,4 +50,5 @@ fn main() {
         );
     }
     save_json("fig6.json", &art);
+    eva_bench::finish();
 }

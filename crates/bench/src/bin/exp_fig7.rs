@@ -49,4 +49,5 @@ fn main() {
         );
     }
     save_json("fig7.json", &art);
+    eva_bench::finish();
 }

@@ -39,4 +39,5 @@ fn main() {
         );
     }
     save_json("fig8.json", &art);
+    eva_bench::finish();
 }

@@ -13,6 +13,11 @@
 //! * `huge_100k` — the 100,000-job stress tier simulated end to end on
 //!   one cell (Stratus): jobs per second. This is the CI release-smoke
 //!   target.
+//! * `federated` — a cold ≥20-cell grid of light cells swept twice from
+//!   scratch: once single-process, once under a two-process
+//!   [`eva_sim::Federation`] (claim files over a throwaway cache dir),
+//!   asserting the merged JSON is byte-identical and recording both
+//!   throughputs.
 //! * peak RSS (`VmHWM` from `/proc/self/status`, so a process-lifetime
 //!   high-water mark) snapshotted after the sweep and after the huge
 //!   run.
@@ -24,7 +29,10 @@
 //! * `--smoke SECS` — run *only* the huge-100k probe and exit non-zero
 //!   if it exceeds the wall-clock budget (the CI smoke step);
 //! * `--check FILE` — validate an existing snapshot's schema without
-//!   simulating anything (the CI schema step).
+//!   simulating anything (the CI schema step); warns when the optional
+//!   `huge_1m` tier was not run.
+//! * `--fed-worker DIR` — internal: what the federated probe's spawned
+//!   worker runs; sweeps only the federated grid against cache `DIR`.
 
 use std::path::PathBuf;
 use std::time::Instant;
@@ -32,11 +40,14 @@ use std::time::Instant;
 use serde::{Deserialize, Serialize};
 
 use eva_core::EvaConfig;
-use eva_sim::{ClusterSim, SchedulerKind, SimConfig, SweepGrid, SweepRunner};
+use eva_sim::{
+    join_workers, ClusterSim, Federation, ReportCache, SchedulerKind, SimConfig, SweepGrid,
+    SweepRunner,
+};
 use eva_types::SimDuration;
 use eva_workloads::{SyntheticTraceConfig, Trace, UniformHours};
 
-const SCHEMA: &str = "eva-perf-v1";
+const SCHEMA: &str = "eva-perf-v2";
 
 /// The committed snapshot format. `--check` round-trips a file through
 /// this struct, so adding a field here is a schema change CI will catch.
@@ -48,6 +59,7 @@ struct BenchSnapshot {
     sweep: SweepProbe,
     huge_100k: HugeProbe,
     huge_1m: Option<HugeProbe>,
+    federated: FederatedProbe,
     peak_rss_mb: RssProbe,
 }
 
@@ -64,6 +76,19 @@ struct SweepProbe {
     cells: usize,
     wall_secs: f64,
     cells_per_sec: f64,
+}
+
+/// Cold multi-process sweep vs the same grid single-process. Both runs
+/// start from empty throwaway cache dirs, and the probe asserts their
+/// merged JSON is byte-identical before reporting throughput.
+#[derive(Debug, Serialize, Deserialize)]
+struct FederatedProbe {
+    procs: usize,
+    cells: usize,
+    wall_secs: f64,
+    cells_per_sec: f64,
+    procs1_wall_secs: f64,
+    procs1_cells_per_sec: f64,
 }
 
 /// One end-to-end run of a huge synthetic tier.
@@ -139,6 +164,76 @@ fn probe_sweep() -> SweepProbe {
     }
 }
 
+/// The federated probe's grid: 30 deliberately light cells (a short
+/// dense trace × the five paper schedulers × six seeds) so claim/merge
+/// overhead — not simulation time — dominates what the probe measures.
+fn fed_grid() -> SweepGrid {
+    SweepGrid::new("fed", dense_trace(30))
+        .paper_schedulers()
+        .seeds(vec![1, 2, 3, 4, 5, 6])
+}
+
+/// A throwaway cold cache dir for one half of the federated probe.
+fn fed_probe_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("eva-perf-fed-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// What a spawned `--fed-worker DIR` process runs: only the federated
+/// grid, claiming cells against the coordinator's cache dir.
+fn run_fed_worker(dir: PathBuf) {
+    let runner = SweepRunner::new(eva_bench::default_threads())
+        .with_cache(ReportCache::new(dir))
+        .with_federation(Federation::new(1));
+    runner.run_with_stats(&fed_grid());
+}
+
+fn probe_federated(procs: usize) -> FederatedProbe {
+    let grid = fed_grid();
+
+    // Cold single-process baseline on its own cache dir.
+    let base_dir = fed_probe_dir("base");
+    let runner = SweepRunner::new(eva_bench::default_threads())
+        .with_cache(ReportCache::new(base_dir.clone()));
+    let start = Instant::now();
+    let (baseline, _) = runner.run_with_stats(&grid);
+    let procs1_wall_secs = start.elapsed().as_secs_f64();
+
+    // Cold federated run: same grid, fresh dir, `procs - 1` spawned
+    // workers claiming cells alongside the coordinator.
+    let fed_dir = fed_probe_dir("run");
+    let fed = Federation::new(procs).worker_args(vec![
+        "--fed-worker".to_string(),
+        fed_dir.display().to_string(),
+    ]);
+    let runner = SweepRunner::new(eva_bench::default_threads())
+        .with_cache(ReportCache::new(fed_dir.clone()))
+        .with_federation(fed);
+    let start = Instant::now();
+    let (federated, _) = runner.run_with_stats(&grid);
+    let wall_secs = start.elapsed().as_secs_f64();
+    join_workers();
+
+    let same = serde_json::to_string(&federated).ok() == serde_json::to_string(&baseline).ok();
+    let _ = std::fs::remove_dir_all(&base_dir);
+    let _ = std::fs::remove_dir_all(&fed_dir);
+    if !same {
+        eprintln!("error: federated merge diverged from the single-process run");
+        std::process::exit(1);
+    }
+
+    let cells = grid.cells().len();
+    FederatedProbe {
+        procs,
+        cells,
+        wall_secs,
+        cells_per_sec: cells as f64 / wall_secs.max(1e-9),
+        procs1_wall_secs,
+        procs1_cells_per_sec: cells as f64 / procs1_wall_secs.max(1e-9),
+    }
+}
+
 fn probe_huge(cfg: SyntheticTraceConfig) -> HugeProbe {
     let jobs = cfg.num_jobs;
     let trace = cfg.generate(42);
@@ -210,6 +305,18 @@ fn check_snapshot(path: &str) -> Result<(), String> {
     if snap.huge_100k.jobs != 100_000 || snap.huge_100k.jobs_per_sec <= 0.0 {
         return Err("huge_100k probe must cover 100,000 jobs".to_string());
     }
+    if snap.huge_1m.is_none() {
+        println!("warning: huge_1m: tier not run (regenerate with --full to cover it)");
+    }
+    if snap.federated.procs < 2 {
+        return Err("federated probe must use at least two processes".to_string());
+    }
+    if snap.federated.cells < 20 {
+        return Err("federated probe must cover at least 20 cells".to_string());
+    }
+    if snap.federated.cells_per_sec <= 0.0 || snap.federated.procs1_cells_per_sec <= 0.0 {
+        return Err("federated probe must report both throughputs".to_string());
+    }
     Ok(())
 }
 
@@ -221,6 +328,14 @@ fn main() {
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            "--fed-worker" => {
+                let Some(dir) = args.next().map(PathBuf::from) else {
+                    eprintln!("error: --fed-worker needs a cache dir");
+                    std::process::exit(2);
+                };
+                run_fed_worker(dir);
+                return;
+            }
             "--out" => out = args.next().map(PathBuf::from),
             "--full" => full = true,
             "--smoke" => {
@@ -296,6 +411,14 @@ fn main() {
     );
     let after_huge_100k = peak_rss_mb();
 
+    println!("   probing federated sweep (2 processes, cold claim-coordinated grid)...");
+    let federated = probe_federated(2);
+    println!(
+        "   {} cells in {:.2}s ({:.1} cells/s federated, {:.1} cells/s single-process)",
+        federated.cells, federated.wall_secs, federated.cells_per_sec,
+        federated.procs1_cells_per_sec
+    );
+
     let huge_1m = full.then(|| {
         println!("   probing huge-1m (Stratus, single cell)...");
         let p = probe_huge(SyntheticTraceConfig::huge_1m());
@@ -313,6 +436,7 @@ fn main() {
         sweep,
         huge_100k,
         huge_1m,
+        federated,
         peak_rss_mb: RssProbe {
             after_sweep,
             after_huge_100k,

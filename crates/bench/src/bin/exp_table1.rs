@@ -41,4 +41,5 @@ fn main() {
     }
     stats("Job Checkpointing", &ckpt);
     stats("Job Launching", &launch);
+    eva_bench::finish();
 }

@@ -48,4 +48,5 @@ fn main() {
         println!();
     }
     save_json("table10_fig3.json", &reports);
+    eva_bench::finish();
 }

@@ -151,4 +151,5 @@ fn main() {
         },
     );
     save_json("table12_robustness.json", &rows);
+    eva_bench::finish();
 }

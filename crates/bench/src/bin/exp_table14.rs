@@ -15,4 +15,5 @@ fn main() {
         "Table 14: Alibaba trace, Gavel durations",
     );
     save_json("table14.json", &reports);
+    eva_bench::finish();
 }

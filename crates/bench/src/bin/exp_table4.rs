@@ -131,4 +131,5 @@ fn main() {
         "1.00",
         format!("≤{time_limit:?}")
     );
+    eva_bench::finish();
 }

@@ -75,4 +75,5 @@ fn main() {
             if row.from_cache { "  [cached]" } else { "" }
         );
     }
+    eva_bench::finish();
 }

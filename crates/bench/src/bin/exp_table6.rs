@@ -92,4 +92,5 @@ fn main() {
             std(&jcts)
         );
     }
+    eva_bench::finish();
 }

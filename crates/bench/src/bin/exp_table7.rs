@@ -25,4 +25,5 @@ fn main() {
             if w.gang_coupled { ", gang-coupled" } else { "" },
         );
     }
+    eva_bench::finish();
 }

@@ -15,4 +15,5 @@ fn main() {
             100.0 * stats.gpu_fraction(gpus)
         );
     }
+    eva_bench::finish();
 }

@@ -21,10 +21,20 @@
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Duration;
 
 use serde::{Deserialize, Serialize};
 
-use crate::cache::ReportCache;
+use crate::cache::{ClaimAttempt, ReportCache};
+
+/// The two timing knobs of a federated run: when a peer's claim counts
+/// as stale (stealable), and how often to re-poll the cache while
+/// waiting on a live peer.
+#[derive(Debug, Clone, Copy)]
+pub struct ClaimTiming {
+    pub stale: Duration,
+    pub poll: Duration,
+}
 
 /// What a pool run did: logical cells, unique representatives, and how
 /// many representatives were actually executed vs served from the cache.
@@ -38,6 +48,10 @@ pub struct PoolStats {
     pub executed: usize,
     /// Representatives served from the persistent cache.
     pub cache_hits: usize,
+    /// Representatives published by a peer process during a federated
+    /// run (they were missing when this process planned, and appeared in
+    /// the cache while it executed). Always 0 outside federation.
+    pub peer: usize,
 }
 
 impl PoolStats {
@@ -47,12 +61,17 @@ impl PoolStats {
         self.unique > 0 && self.executed == 0
     }
 
-    /// One-line human summary, e.g. `5 unique of 8 cells: 2 simulated, 3 cached`.
+    /// One-line human summary, e.g. `5 unique of 8 cells: 2 simulated, 3 cached`
+    /// (federated runs append `, N from peers`).
     pub fn summary(&self) -> String {
-        format!(
+        let mut line = format!(
             "{} unique of {} cells: {} simulated, {} cached",
             self.unique, self.total, self.executed, self.cache_hits
-        )
+        );
+        if self.peer > 0 {
+            line.push_str(&format!(", {} from peers", self.peer));
+        }
+        line
     }
 }
 
@@ -65,23 +84,30 @@ pub struct RunPlan {
     pub rep_of: Vec<usize>,
     /// Representative indices in execution order.
     pub order: Vec<usize>,
+    /// Memoized fingerprint of every cell. The fingerprint closure runs
+    /// exactly once per cell — dedup and every later cache lookup reuse
+    /// these strings instead of re-deriving them.
+    pub keys: Vec<String>,
 }
 
 impl RunPlan {
     /// Builds the plan from per-cell fingerprint and cost functions.
+    /// `fingerprint` is invoked once per cell; the strings are kept on
+    /// the plan ([`RunPlan::keys`]) for cache keying.
     pub fn build(
         count: usize,
         fingerprint: &(dyn Fn(usize) -> String + Sync),
         cost: &(dyn Fn(usize) -> u64 + Sync),
     ) -> RunPlan {
-        let mut first: BTreeMap<String, usize> = BTreeMap::new();
+        let keys: Vec<String> = (0..count).map(fingerprint).collect();
+        let mut first: BTreeMap<&str, usize> = BTreeMap::new();
         let mut rep_of = Vec::with_capacity(count);
-        for i in 0..count {
-            rep_of.push(*first.entry(fingerprint(i)).or_insert(i));
+        for (i, key) in keys.iter().enumerate() {
+            rep_of.push(*first.entry(key.as_str()).or_insert(i));
         }
         let mut order: Vec<usize> = first.into_values().collect();
         order.sort_by_key(|&i| (std::cmp::Reverse(cost(i)), i));
-        RunPlan { rep_of, order }
+        RunPlan { rep_of, order, keys }
     }
 
     /// Cells that actually execute after deduplication.
@@ -175,8 +201,8 @@ impl CellPool {
                     };
                     let result = match cache {
                         Some(cache) => {
-                            let key = fingerprint(i);
-                            match cache.lookup::<R>(&key) {
+                            let key = &plan.keys[i];
+                            match cache.lookup::<R>(key) {
                                 Some(hit) => {
                                     cache_hits.fetch_add(1, Ordering::Relaxed);
                                     (hit, true)
@@ -184,7 +210,7 @@ impl CellPool {
                                 None => {
                                     executed.fetch_add(1, Ordering::Relaxed);
                                     let fresh = run(i);
-                                    cache.store(&key, &fresh);
+                                    cache.store(key, &fresh);
                                     (fresh, false)
                                 }
                             }
@@ -220,6 +246,146 @@ impl CellPool {
             unique: plan.unique_count(),
             executed: executed.into_inner(),
             cache_hits: cache_hits.into_inner(),
+            peer: 0,
+        };
+        (results, from_cache, stats)
+    }
+
+    /// [`CellPool::run_flagged`] for a **federated** run: several
+    /// processes share one cache dir and divide the representatives
+    /// between them by claiming (see [`ReportCache::try_claim`]).
+    ///
+    /// Phase 1 sweeps the longest-first order on this pool's threads:
+    /// cached representatives hit as usual, unclaimed ones are claimed,
+    /// executed, published, and released; representatives claimed by a
+    /// peer are left pending. Phase 2 settles the pending ones — each is
+    /// either published by its peer (a `peer` hit) or its claim goes
+    /// stale/dead and this process steals and runs it, so a killed
+    /// worker never wedges the run.
+    ///
+    /// The merged output is **byte-identical** to [`CellPool::run_flagged`]
+    /// with the same cache for any process count: results come from the
+    /// cache's deterministic serialization either way, and merging in
+    /// logical cell order erases scheduling entirely. Per-cell flags
+    /// report `true` for everything this process did not compute
+    /// (cache + peer).
+    pub fn run_federated<R>(
+        &self,
+        count: usize,
+        fingerprint: &(dyn Fn(usize) -> String + Sync),
+        cost: &(dyn Fn(usize) -> u64 + Sync),
+        cache: &ReportCache,
+        timing: ClaimTiming,
+        run: &(dyn Fn(usize) -> R + Sync),
+    ) -> (Vec<R>, Vec<bool>, PoolStats)
+    where
+        R: Clone + Send + Serialize + Deserialize,
+    {
+        let plan = RunPlan::build(count, fingerprint, cost);
+        let slots: Vec<Mutex<Option<(R, bool)>>> = (0..count).map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        let executed = AtomicUsize::new(0);
+        let cache_hits = AtomicUsize::new(0);
+        let peer = AtomicUsize::new(0);
+
+        // Phase 1: claim-or-skip sweep over the longest-first order.
+        let workers = self.threads.min(plan.order.len()).max(1);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let k = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(&i) = plan.order.get(k) else {
+                        break;
+                    };
+                    let key = &plan.keys[i];
+                    if let Some(hit) = cache.lookup::<R>(key) {
+                        cache_hits.fetch_add(1, Ordering::Relaxed);
+                        *slots[i].lock().unwrap() = Some((hit, true));
+                        continue;
+                    }
+                    match cache.try_claim(key, timing.stale) {
+                        ClaimAttempt::Acquired(guard) => {
+                            // A peer may have published between the miss
+                            // and the claim; don't redo its work.
+                            let result = match cache.lookup::<R>(key) {
+                                Some(hit) => {
+                                    peer.fetch_add(1, Ordering::Relaxed);
+                                    (hit, true)
+                                }
+                                None => {
+                                    executed.fetch_add(1, Ordering::Relaxed);
+                                    let fresh = run(i);
+                                    cache.store(key, &fresh);
+                                    (fresh, false)
+                                }
+                            };
+                            guard.release();
+                            *slots[i].lock().unwrap() = Some(result);
+                        }
+                        // A live peer is on it — settle in phase 2.
+                        ClaimAttempt::Held(_) => {}
+                    }
+                });
+            }
+        });
+
+        // Phase 2: wait out (or steal) the representatives peers claimed.
+        for &i in &plan.order {
+            if slots[i].lock().unwrap().is_some() {
+                continue;
+            }
+            let key = &plan.keys[i];
+            let result = loop {
+                if let Some(hit) = cache.lookup::<R>(key) {
+                    peer.fetch_add(1, Ordering::Relaxed);
+                    break (hit, true);
+                }
+                match cache.try_claim(key, timing.stale) {
+                    ClaimAttempt::Acquired(guard) => {
+                        let result = match cache.lookup::<R>(key) {
+                            Some(hit) => {
+                                peer.fetch_add(1, Ordering::Relaxed);
+                                (hit, true)
+                            }
+                            None => {
+                                executed.fetch_add(1, Ordering::Relaxed);
+                                let fresh = run(i);
+                                cache.store(key, &fresh);
+                                (fresh, false)
+                            }
+                        };
+                        guard.release();
+                        break result;
+                    }
+                    ClaimAttempt::Held(_) => std::thread::sleep(timing.poll),
+                }
+            };
+            *slots[i].lock().unwrap() = Some(result);
+        }
+
+        let representatives: Vec<Option<(R, bool)>> = slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("no worker panicked holding a slot lock")
+            })
+            .collect();
+        let (results, from_cache): (Vec<R>, Vec<bool>) = plan
+            .rep_of
+            .iter()
+            .map(|&rep| {
+                let (result, cached) = representatives[rep]
+                    .as_ref()
+                    .expect("every representative cell was claimed and completed");
+                (result.clone(), *cached)
+            })
+            .unzip();
+        let stats = PoolStats {
+            total: count,
+            unique: plan.unique_count(),
+            executed: executed.into_inner(),
+            cache_hits: cache_hits.into_inner(),
+            peer: peer.into_inner(),
         };
         (results, from_cache, stats)
     }
@@ -322,5 +488,128 @@ mod tests {
         assert!(results.is_empty());
         assert_eq!(stats.total, 0);
         assert!(!stats.all_cached(), "no cells ≠ fully cached");
+    }
+
+    #[test]
+    fn plan_memoizes_one_fingerprint_per_cell() {
+        let calls = AtomicUsize::new(0);
+        let plan = RunPlan::build(
+            6,
+            &|i| {
+                calls.fetch_add(1, Ordering::Relaxed);
+                format!("group-{}", i % 2)
+            },
+            &|_| 1,
+        );
+        assert_eq!(calls.into_inner(), 6, "fingerprint runs exactly once per cell");
+        assert_eq!(plan.keys.len(), 6);
+        assert_eq!(plan.keys[0], "group-0");
+        assert_eq!(plan.keys[plan.rep_of[2]], plan.keys[2]);
+    }
+
+    const STALE: Duration = Duration::from_secs(600);
+    const TIMING: ClaimTiming = ClaimTiming {
+        stale: STALE,
+        poll: Duration::from_millis(5),
+    };
+
+    fn fed_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("eva-pool-fed-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn federated_alone_matches_plain_run_and_leaves_no_claims() {
+        let dir = fed_dir("alone");
+        let cache = ReportCache::new(&dir);
+        let run = |i: usize| (i as u64) * 7;
+        let pool = CellPool::new(2);
+        let (fed, flags, stats) =
+            pool.run_federated(5, &ident, &|_| 1, &cache, TIMING, &run);
+        let (plain, _) = CellPool::new(2).run(5, &ident, &|_| 1, None, &run);
+        assert_eq!(fed, plain);
+        assert_eq!(flags, vec![false; 5]);
+        assert_eq!(stats.executed, 5);
+        assert_eq!(stats.peer, 0);
+        assert!(!stats.summary().contains("from peers"));
+        // No claim files survive a completed run.
+        let claims = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.path().extension().is_some_and(|x| x == "claim"))
+            .count();
+        assert_eq!(claims, 0);
+        // Warm federated rerun is pure cache.
+        let (warm, flags, stats) =
+            pool.run_federated(5, &ident, &|_| 1, &cache, TIMING, &run);
+        assert_eq!(warm, fed);
+        assert_eq!(flags, vec![true; 5]);
+        assert!(stats.all_cached());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn federated_steals_dead_holders_claim() {
+        let dir = fed_dir("steal");
+        let cache = ReportCache::new(&dir);
+        // A claim from a pid that cannot exist wedges nothing: the run
+        // steals it and computes the cell itself.
+        std::fs::create_dir_all(&dir).unwrap();
+        let host = std::fs::read_to_string("/proc/sys/kernel/hostname")
+            .map(|s| s.trim().to_string())
+            .unwrap_or_else(|_| "?".to_string());
+        std::fs::write(
+            cache.claim_path("cell-1"),
+            format!("{{\"pid\":4294967295,\"host\":\"{host}\",\"ts_ms\":1,\"key\":\"cell-1\"}}"),
+        )
+        .unwrap();
+        let (results, _, stats) = CellPool::new(2).run_federated(
+            3,
+            &ident,
+            &|_| 1,
+            &cache,
+            TIMING,
+            &|i| (i as u64) * 3,
+        );
+        assert_eq!(results, vec![0, 3, 6]);
+        assert_eq!(stats.executed, 3);
+        assert!(cache.read_claim("cell-1").is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn federated_waits_for_a_live_peer_to_publish() {
+        let dir = fed_dir("peer");
+        let cache = ReportCache::new(&dir);
+        // A live claim (our own pid, held by the test) makes the run
+        // wait; "the peer" publishes from another thread and releases.
+        let guard = match cache.try_claim("cell-0", STALE) {
+            crate::cache::ClaimAttempt::Acquired(g) => g,
+            crate::cache::ClaimAttempt::Held(_) => panic!("fresh claim held"),
+        };
+        let publisher = {
+            let cache = cache.clone();
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(40));
+                cache.store("cell-0", &123u64);
+                guard.release();
+            })
+        };
+        let (results, flags, stats) = CellPool::new(2).run_federated(
+            1,
+            &ident,
+            &|_| 1,
+            &cache,
+            TIMING,
+            &|_| -> u64 { unreachable!("the peer owns this cell") },
+        );
+        publisher.join().unwrap();
+        assert_eq!(results, vec![123u64]);
+        assert_eq!(flags, vec![true]);
+        assert_eq!(stats.peer, 1);
+        assert_eq!(stats.executed, 0);
+        assert!(stats.summary().ends_with("1 from peers"));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -37,10 +37,12 @@ pub mod prelude {
     pub use eva_cloud::{Catalog, CloudProvider, DelayModel, FidelityMode};
     pub use eva_core::{EvaConfig, EvaScheduler, Plan, Scheduler, SchedulerContext, TaskSnapshot};
     pub use eva_sim::{
-        run_recorded, run_simulation, BackendKind, CellPool, ClusterSim, ExecBackend, Experiment,
-        FaultPlan, FaultRegime, FaultSpec, LiveBackend, LiveOutcome, PartitionAudit, PoolStats,
-        ReportCache, SchedulerKind, SimBackend, SimConfig, SimReport, SplicedOutcome,
-        SplicedResult, SweepArtifact, SweepGrid, SweepResult, SweepRunner,
+        claim_stale_deadline, join_workers, run_recorded, run_simulation, worker_role,
+        BackendKind, CacheStats, CellPool, ClusterSim, ExecBackend, Experiment, FaultPlan,
+        FaultRegime, FaultSpec, Federation, LiveBackend, LiveOutcome, MergeReport, PartitionAudit,
+        PoolStats, PruneReport, ReportCache, SchedulerKind, SimBackend, SimConfig, SimReport,
+        SplicedOutcome, SplicedResult, SweepArtifact, SweepGrid, SweepResult, SweepRunner,
+        VerifyReport, SCHEMA_VERSION,
     };
     pub use eva_types::{
         Cost, DemandSpec, InstanceId, JobId, JobSpec, ResourceVector, SimDuration, SimTime, TaskId,

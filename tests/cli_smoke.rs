@@ -38,7 +38,7 @@ fn help_lists_every_subcommand() {
     let out = run_eva(&["help"]);
     assert!(out.status.success());
     let stdout = String::from_utf8(out.stdout).unwrap();
-    for cmd in ["simulate", "compare", "sweep", "workloads", "catalog"] {
+    for cmd in ["simulate", "compare", "sweep", "workloads", "catalog", "cache"] {
         assert!(stdout.contains(cmd), "help does not mention `{cmd}`");
     }
     for flag in [
@@ -50,6 +50,7 @@ fn help_lists_every_subcommand() {
         "--cache",
         "--no-cache",
         "--cache-dir",
+        "--procs",
     ] {
         assert!(stdout.contains(flag), "help does not mention `{flag}`");
     }
