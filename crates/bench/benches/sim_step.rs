@@ -8,6 +8,10 @@
 //! * `cluster_sim/build_100k` — world construction (arena interning of
 //!   every job/task slot) for the 100,000-job stress tier: the fixed
 //!   cost a huge cell pays before its first event.
+//! * `cluster_sim/steady_churn` — 100 events through a *warm* sim (past
+//!   its third round), where completions, reschedules, and incremental
+//!   integral updates dominate instead of arrival setup. This is the
+//!   regime the dirty-set O(changed) hot loop targets.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 
@@ -50,6 +54,35 @@ fn bench_run_to_completion(c: &mut Criterion) {
     group.finish();
 }
 
+fn warm_churning_sim(cfg: &SimConfig) -> ClusterSim {
+    let mut sim = ClusterSim::new(cfg);
+    while sim.rounds_executed() < 3 && sim.step() {}
+    sim
+}
+
+fn bench_steady_churn(c: &mut Criterion) {
+    let cfg = SimConfig::new(dense_trace(60), SchedulerKind::Eva(EvaConfig::eva()));
+    let mut group = c.benchmark_group("cluster_sim");
+    group.sample_size(20);
+    group.bench_function("steady_churn", |b| {
+        // The warm sim lives in the closure and is re-warmed when a
+        // sample drains it, so every iteration steps steady-state churn
+        // rather than paying construction or arrival setup.
+        let mut sim = warm_churning_sim(&cfg);
+        b.iter(|| {
+            let mut events = 0u32;
+            for _ in 0..100 {
+                if !sim.step() {
+                    sim = warm_churning_sim(&cfg);
+                }
+                events += 1;
+            }
+            events
+        })
+    });
+    group.finish();
+}
+
 fn bench_build_100k(c: &mut Criterion) {
     let trace = SyntheticTraceConfig::huge_100k().generate(42);
     let cfg = SimConfig::new(trace, SchedulerKind::Stratus);
@@ -65,6 +98,7 @@ criterion_group!(
     benches,
     bench_first_round,
     bench_run_to_completion,
+    bench_steady_churn,
     bench_build_100k
 );
 criterion_main!(benches);

@@ -3,9 +3,10 @@
 //!
 //! Probes, in order:
 //!
-//! * `sim_step` — manual re-timings of the two `sim_step` criterion
+//! * `sim_step` — manual re-timings of the `sim_step` criterion
 //!   targets (ns per first scheduling round, ns per small
-//!   run-to-completion), so the committed snapshot and `cargo bench`
+//!   run-to-completion, ns per 100 steady-state events in a warm
+//!   churning sim), so the committed snapshot and `cargo bench`
 //!   measure the same thing.
 //! * `sweep` — the paper-set sweep (small + large synthetic traces ×
 //!   the five §6.1 schedulers × two seeds) through the multi-threaded
@@ -30,7 +31,9 @@
 //!   if it exceeds the wall-clock budget (the CI smoke step);
 //! * `--check FILE` — validate an existing snapshot's schema without
 //!   simulating anything (the CI schema step); warns when the optional
-//!   `huge_1m` tier was not run.
+//!   `huge_1m` tier was not run. When an older committed `BENCH_*.json`
+//!   sits next to `FILE`, also prints per-metric deltas against the
+//!   most recent one (informational — regressions warn, never fail).
 //! * `--fed-worker DIR` — internal: what the federated probe's spawned
 //!   worker runs; sweeps only the federated grid against cache `DIR`.
 
@@ -47,7 +50,7 @@ use eva_sim::{
 use eva_types::SimDuration;
 use eva_workloads::{SyntheticTraceConfig, Trace, UniformHours};
 
-const SCHEMA: &str = "eva-perf-v2";
+const SCHEMA: &str = "eva-perf-v3";
 
 /// The committed snapshot format. `--check` round-trips a file through
 /// this struct, so adding a field here is a schema change CI will catch.
@@ -68,6 +71,10 @@ struct BenchSnapshot {
 struct SimStepProbe {
     first_round_ns: u64,
     run_to_completion_ns: u64,
+    /// ns per 100 events through a *warm* sim (past its third round),
+    /// where steady-state churn — not arrival and placement setup —
+    /// dominates. This is the number the dirty-set hot loop moves.
+    steady_churn_ns: u64,
 }
 
 /// Paper-set sweep throughput.
@@ -98,6 +105,12 @@ struct HugeProbe {
     jobs_completed: usize,
     wall_secs: f64,
     jobs_per_sec: f64,
+    /// Heap events pushed over the run — completion-rescheduling churn
+    /// shows up here first (selective rescheduling exists to hold it
+    /// down).
+    events_scheduled: u64,
+    /// Event-queue high-water mark (live events + tombstones).
+    event_queue_peak: usize,
 }
 
 /// `VmHWM` high-water marks (MiB); 0 where the kernel interface is
@@ -132,6 +145,14 @@ fn median_ns(iters: usize, mut f: impl FnMut()) -> u64 {
     samples[samples.len() / 2]
 }
 
+/// A dense-trace sim warmed past its third round, where placement has
+/// settled and the event mix is steady-state churn.
+fn warm_churning_sim(cfg: &SimConfig) -> ClusterSim {
+    let mut sim = ClusterSim::new(cfg);
+    while sim.rounds_executed() < 3 && sim.step() {}
+    sim
+}
+
 fn probe_sim_step() -> SimStepProbe {
     let first = SimConfig::new(dense_trace(60), SchedulerKind::Eva(EvaConfig::eva()));
     let first_round_ns = median_ns(20, || {
@@ -142,9 +163,20 @@ fn probe_sim_step() -> SimStepProbe {
     let run_to_completion_ns = median_ns(10, || {
         ClusterSim::new(&whole).run();
     });
+    // Same shape as the `steady_churn` criterion target: time 100-event
+    // batches against a warm sim, re-warming whenever one drains.
+    let mut warm = warm_churning_sim(&first);
+    let steady_churn_ns = median_ns(20, || {
+        for _ in 0..100 {
+            if !warm.step() {
+                warm = warm_churning_sim(&first);
+            }
+        }
+    });
     SimStepProbe {
         first_round_ns,
         run_to_completion_ns,
+        steady_churn_ns,
     }
 }
 
@@ -239,13 +271,21 @@ fn probe_huge(cfg: SyntheticTraceConfig) -> HugeProbe {
     let trace = cfg.generate(42);
     let sim_cfg = SimConfig::new(trace, SchedulerKind::Stratus);
     let start = Instant::now();
-    let report = ClusterSim::new(&sim_cfg).run();
+    // Step to exhaustion by hand so the engine's scheduling counters can
+    // be read before finalization consumes the sim.
+    let mut sim = ClusterSim::new(&sim_cfg);
+    while sim.step() {}
+    let events_scheduled = sim.events_scheduled();
+    let event_queue_peak = sim.event_queue_peak();
+    let report = sim.run();
     let wall_secs = start.elapsed().as_secs_f64();
     HugeProbe {
         jobs,
         jobs_completed: report.jobs_completed,
         wall_secs,
         jobs_per_sec: report.jobs_completed as f64 / wall_secs.max(1e-9),
+        events_scheduled,
+        event_queue_peak,
     }
 }
 
@@ -286,6 +326,79 @@ fn repo_root() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
 }
 
+/// Numeric leaves of a JSON tree as `(dotted.path, value)` pairs, in
+/// document order.
+fn numeric_leaves(prefix: &str, value: &serde_json::Value, out: &mut Vec<(String, f64)>) {
+    match value {
+        serde_json::Value::Object(pairs) => {
+            for (key, child) in pairs {
+                let path = if prefix.is_empty() {
+                    key.clone()
+                } else {
+                    format!("{prefix}.{key}")
+                };
+                numeric_leaves(&path, child, out);
+            }
+        }
+        serde_json::Value::Number(n) => out.push((prefix.to_string(), n.as_f64())),
+        _ => {}
+    }
+}
+
+/// The most recent committed `BENCH_*.json` sorting strictly before
+/// `path` in its own directory (dates are `YYYY-MM-DD`, so filename
+/// order is date order).
+fn previous_snapshot(path: &std::path::Path) -> Option<PathBuf> {
+    let dir = path.parent()?;
+    let name = path.file_name()?.to_str()?.to_string();
+    std::fs::read_dir(dir)
+        .ok()?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json") && *n < *name)
+        })
+        .max()
+}
+
+/// Prints per-metric deltas of `path` against the previous committed
+/// snapshot next to it, if any. Purely informational: regressions warn,
+/// nothing fails — the committed trajectory is allowed to move.
+fn print_deltas(path: &std::path::Path) {
+    let Some(prev_path) = previous_snapshot(path) else {
+        println!("   (no earlier BENCH_*.json beside it to diff against)");
+        return;
+    };
+    let parse = |p: &std::path::Path| {
+        std::fs::read_to_string(p)
+            .ok()
+            .and_then(|s| serde_json::from_str_value(&s).ok())
+    };
+    let (Some(prev), Some(cur)) = (parse(&prev_path), parse(path)) else {
+        println!("   warning: could not parse snapshots for the delta report");
+        return;
+    };
+    println!("   deltas vs {}:", prev_path.display());
+    let (mut old, mut new) = (Vec::new(), Vec::new());
+    numeric_leaves("", &prev, &mut old);
+    numeric_leaves("", &cur, &mut new);
+    for (metric, now) in &new {
+        let Some((_, before)) = old.iter().find(|(m, _)| m == metric) else {
+            println!("      {metric}: {now} (new metric)");
+            continue;
+        };
+        if *before == 0.0 {
+            continue;
+        }
+        let pct = (now - before) / before * 100.0;
+        // Time-like metrics improve downward, throughputs upward; the
+        // reader knows which is which — just report the movement.
+        println!("      {metric}: {before} -> {now} ({pct:+.1}%)");
+    }
+}
+
 fn check_snapshot(path: &str) -> Result<(), String> {
     let json = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
     let snap: BenchSnapshot =
@@ -299,11 +412,17 @@ fn check_snapshot(path: &str) -> Result<(), String> {
     if snap.sim_step.first_round_ns == 0 || snap.sim_step.run_to_completion_ns == 0 {
         return Err("sim_step timings must be non-zero".to_string());
     }
+    if snap.sim_step.steady_churn_ns == 0 {
+        return Err("steady-state churn timing must be non-zero".to_string());
+    }
     if snap.sweep.cells == 0 || snap.sweep.cells_per_sec <= 0.0 {
         return Err("sweep probe must report cells and throughput".to_string());
     }
     if snap.huge_100k.jobs != 100_000 || snap.huge_100k.jobs_per_sec <= 0.0 {
         return Err("huge_100k probe must cover 100,000 jobs".to_string());
+    }
+    if snap.huge_100k.events_scheduled == 0 || snap.huge_100k.event_queue_peak == 0 {
+        return Err("huge_100k probe must report heap churn counters".to_string());
     }
     if snap.huge_1m.is_none() {
         println!("warning: huge_1m: tier not run (regenerate with --full to cover it)");
@@ -357,6 +476,7 @@ fn main() {
         match check_snapshot(&path) {
             Ok(()) => {
                 println!("ok: {path} matches {SCHEMA}");
+                print_deltas(std::path::Path::new(&path));
                 return;
             }
             Err(e) => {
@@ -388,11 +508,11 @@ fn main() {
     }
 
     println!("== perf trajectory snapshot ==");
-    println!("   probing sim_step (criterion targets, median of 20/10)...");
+    println!("   probing sim_step (criterion targets, median of 20/10/20)...");
     let sim_step = probe_sim_step();
     println!(
-        "   first_round {} ns, run_to_completion {} ns",
-        sim_step.first_round_ns, sim_step.run_to_completion_ns
+        "   first_round {} ns, run_to_completion {} ns, steady_churn {} ns/100 events",
+        sim_step.first_round_ns, sim_step.run_to_completion_ns, sim_step.steady_churn_ns
     );
 
     println!("   probing paper-set sweep (uncached)...");
@@ -406,8 +526,12 @@ fn main() {
     println!("   probing huge-100k (Stratus, single cell)...");
     let huge_100k = probe_huge(SyntheticTraceConfig::huge_100k());
     println!(
-        "   {} jobs in {:.1}s ({:.0} jobs/s)",
-        huge_100k.jobs_completed, huge_100k.wall_secs, huge_100k.jobs_per_sec
+        "   {} jobs in {:.1}s ({:.0} jobs/s, {} events scheduled, queue peak {})",
+        huge_100k.jobs_completed,
+        huge_100k.wall_secs,
+        huge_100k.jobs_per_sec,
+        huge_100k.events_scheduled,
+        huge_100k.event_queue_peak
     );
     let after_huge_100k = peak_rss_mb();
 

@@ -92,6 +92,8 @@ pub struct EventEngine<E> {
     /// supports no random removal, so canceled events stay queued and are
     /// skipped (and forgotten) when their turn comes — the dslab idiom.
     canceled: HashSet<u64>,
+    /// High-water mark of `events.len()` over the engine's lifetime.
+    peak_len: usize,
 }
 
 impl<E: SimEvent> EventEngine<E> {
@@ -102,6 +104,7 @@ impl<E: SimEvent> EventEngine<E> {
             seq: 0,
             now: SimTime::ZERO,
             canceled: HashSet::new(),
+            peak_len: 0,
         }
     }
 
@@ -121,6 +124,9 @@ impl<E: SimEvent> EventEngine<E> {
             seq: self.seq,
             event,
         }));
+        if self.events.len() > self.peak_len {
+            self.peak_len = self.events.len();
+        }
     }
 
     /// Like [`EventEngine::schedule`], but returns a token that can later
@@ -209,6 +215,13 @@ impl<E: SimEvent> EventEngine<E> {
     /// Total events scheduled over the engine's lifetime.
     pub fn scheduled_count(&self) -> u64 {
         self.seq
+    }
+
+    /// High-water mark of the queued entry count (live + tombstoned)
+    /// over the engine's lifetime — the heap-churn yardstick the perf
+    /// snapshots track alongside [`EventEngine::scheduled_count`].
+    pub fn peak_len(&self) -> usize {
+        self.peak_len
     }
 }
 

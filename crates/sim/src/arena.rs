@@ -30,6 +30,42 @@
 //! [`crate::state`]; the arena stores the same quantities in SoA form
 //! and must evolve them identically. `tests/arena_parity.rs` pins the
 //! end-to-end equivalence byte-for-byte against a pre-arena golden.
+//!
+//! # Dirty-set invariants (the O(changed) hot loop)
+//!
+//! Jobs advance *lazily*: every clock segment the simulation crosses is
+//! appended to a global log ([`JobArena::push_segment`]), and a job's
+//! progress lanes are only brought current ([`JobArena::settle`]) when
+//! something actually reads or perturbs them. Settling replays the
+//! logged segments one at a time through [`JobArena::advance`] at the
+//! job's cached `rate`, so the float-operation sequence — and therefore
+//! every report byte — is identical to the old advance-everyone-every-
+//! event loop. The machinery is sound iff the host (`ClusterSim`)
+//! upholds, and `audit()` checks, these invariants:
+//!
+//! 1. **Dirty before different.** Any event that can change a job's
+//!    effective throughput (task placement/readiness, straggler factor,
+//!    co-location set, fault surgery on `remaining_hours`) marks the
+//!    job dirty *within that event*, before the next segment is pushed.
+//!    [`JobArena::mark_dirty`] settles the job first, so all logged
+//!    segments are replayed at the rate that actually prevailed.
+//! 2. **Recompute drains.** Every event that marks jobs dirty ends by
+//!    draining the dirty list (`recompute_completions`), refreshing
+//!    each dirty job's cached `rate` and completion event. Hence at
+//!    every segment boundary the dirty list is empty and every cached
+//!    rate is current — `advance_to` never needs to settle anything.
+//! 3. **Cursor bounds.** `settled[j] <= seg_log.len()` for every active
+//!    job; done jobs may hold stale cursors (their lanes are frozen —
+//!    `advance` ignores them), and not-yet-arrived jobs get their
+//!    cursor pinned to the log head at activation.
+//! 4. **Flags mirror the list.** `dirty[j]` ⇔ `j ∈ dirty_list`, and
+//!    only arrived, not-done jobs are ever flagged.
+//!
+//! `ClusterSim::audit_slots` extends this with the incremental-integral
+//! invariant: the maintained capacity/allocation/running-task *rates*
+//! must equal a from-scratch scan of the live instance set, bit for bit
+//! (all components are integer-valued, so summation order cannot
+//! introduce drift).
 
 use eva_types::{InstanceId, JobId, SimTime, TaskId, WorkloadKind};
 use eva_workloads::Trace;
@@ -69,6 +105,23 @@ pub(crate) struct JobArena {
     /// ascending `JobId`): the iteration set of every per-event loop,
     /// so done and not-yet-arrived jobs cost nothing per event.
     pub active: Vec<u32>,
+    /// Cached effective throughput, refreshed whenever the job is
+    /// recomputed (dirty-set invariant 2 in the module docs).
+    pub rate: Vec<f64>,
+    /// Per-job cursor into [`Self::seg_log`]: segments below it are
+    /// already folded into the job's progress lanes.
+    pub settled: Vec<u32>,
+    /// Dirty flag, mirroring membership in [`Self::dirty_list`].
+    pub dirty: Vec<bool>,
+    /// Jobs marked dirty since the last recompute drain.
+    pub dirty_list: Vec<u32>,
+    /// Due time of the job's outstanding completion event (`None` when
+    /// none is scheduled), letting recompute skip re-pushing an event
+    /// that would land at the same instant.
+    pub scheduled_done_at: Vec<Option<SimTime>>,
+    /// Global log of clock segments (dt in hours) since the last
+    /// [`Self::settle_active_and_reset`] point.
+    pub seg_log: Vec<f64>,
 }
 
 impl JobArena {
@@ -87,9 +140,12 @@ impl JobArena {
         self.task_start[slot as usize] as usize..self.task_start[slot as usize + 1] as usize
     }
 
-    /// Marks the job arrived and inserts it into the active set.
+    /// Marks the job arrived and inserts it into the active set. The
+    /// settle cursor pins to the log head: segments before arrival
+    /// never touch this job.
     pub fn activate(&mut self, slot: u32) {
         self.arrived[slot as usize] = true;
+        self.settled[slot as usize] = self.seg_log.len() as u32;
         if let Err(pos) = self.active.binary_search(&slot) {
             self.active.insert(pos, slot);
         }
@@ -139,6 +195,51 @@ impl JobArena {
         } else {
             self.tput_integral[s] / self.executing_hours[s]
         }
+    }
+
+    /// Appends a clock segment to the global log (jobs fold it in
+    /// lazily when settled).
+    pub fn push_segment(&mut self, dt_hours: f64) {
+        self.seg_log.push(dt_hours);
+    }
+
+    /// Replays every unseen logged segment into the job's progress
+    /// lanes at its cached rate — segment by segment, so the float
+    /// operations match the eager per-event advance exactly.
+    pub fn settle(&mut self, slot: u32) {
+        let s = slot as usize;
+        let from = self.settled[s] as usize;
+        let rate = self.rate[s];
+        for k in from..self.seg_log.len() {
+            let dt = self.seg_log[k];
+            self.advance(slot, dt, rate);
+        }
+        self.settled[s] = self.seg_log.len() as u32;
+    }
+
+    /// Settles every active job and truncates the segment log (their
+    /// cursors reset with it). Called at points that read all progress
+    /// anyway (scheduler rounds, finalize), bounding replay length.
+    pub fn settle_active_and_reset(&mut self) {
+        for i in 0..self.active.len() {
+            let slot = self.active[i];
+            self.settle(slot);
+            self.settled[slot as usize] = 0;
+        }
+        self.seg_log.clear();
+    }
+
+    /// Flags an active job whose effective throughput may have changed,
+    /// settling its lanes first so the pending segments replay at the
+    /// rate that actually prevailed (dirty-set invariant 1).
+    pub fn mark_dirty(&mut self, slot: u32) {
+        let s = slot as usize;
+        if !self.arrived[s] || self.completed_at[s].is_some() || self.dirty[s] {
+            return;
+        }
+        self.settle(slot);
+        self.dirty[s] = true;
+        self.dirty_list.push(slot);
     }
 }
 
@@ -251,19 +352,30 @@ impl InstArena {
         self.free.push(slot);
     }
 
-    /// Maps a task slot onto an instance slot (sorted insert).
-    pub fn attach(&mut self, slot: u32, task: u32) {
+    /// Maps a task slot onto an instance slot (sorted insert); returns
+    /// whether the mapping was actually added, so callers can keep the
+    /// incremental allocation rates in lockstep.
+    pub fn attach(&mut self, slot: u32, task: u32) -> bool {
         let list = &mut self.tasks[slot as usize];
-        if let Err(pos) = list.binary_search(&task) {
-            list.insert(pos, task);
+        match list.binary_search(&task) {
+            Err(pos) => {
+                list.insert(pos, task);
+                true
+            }
+            Ok(_) => false,
         }
     }
 
-    /// Unmaps a task slot from an instance slot.
-    pub fn detach(&mut self, slot: u32, task: u32) {
+    /// Unmaps a task slot from an instance slot; returns whether the
+    /// mapping was actually removed.
+    pub fn detach(&mut self, slot: u32, task: u32) -> bool {
         let list = &mut self.tasks[slot as usize];
-        if let Ok(pos) = list.binary_search(&task) {
-            list.remove(pos);
+        match list.binary_search(&task) {
+            Ok(pos) => {
+                list.remove(pos);
+                true
+            }
+            Err(_) => false,
         }
     }
 
@@ -310,6 +422,12 @@ impl WorldArena {
             completion_gen: vec![0; n],
             arrived: vec![false; n],
             active: Vec::new(),
+            rate: vec![0.0; n],
+            settled: vec![0; n],
+            dirty: vec![false; n],
+            dirty_list: Vec::new(),
+            scheduled_done_at: vec![None; n],
+            seg_log: Vec::new(),
         };
         let mut tasks = TaskArena {
             ids: Vec::with_capacity(total_tasks),
@@ -381,6 +499,44 @@ impl WorldArena {
             if should != listed {
                 return Err(format!(
                     "job {} active-set membership {listed} (expected {should})",
+                    self.jobs.ids[slot as usize]
+                ));
+            }
+        }
+        // Dirty-set invariants 3 and 4 (module docs): flags mirror the
+        // list, only active jobs are flagged, and no active cursor runs
+        // past the segment log.
+        let mut flagged = 0usize;
+        for slot in 0..self.jobs.ids.len() as u32 {
+            if self.jobs.dirty[slot as usize] {
+                flagged += 1;
+                if !self.jobs.arrived[slot as usize] || self.jobs.is_done(slot) {
+                    return Err(format!(
+                        "inactive job {} is flagged dirty",
+                        self.jobs.ids[slot as usize]
+                    ));
+                }
+            }
+        }
+        for &slot in &self.jobs.dirty_list {
+            if !self.jobs.dirty[slot as usize] {
+                return Err(format!(
+                    "dirty list holds unflagged job {}",
+                    self.jobs.ids[slot as usize]
+                ));
+            }
+        }
+        if self.jobs.dirty_list.len() != flagged {
+            return Err(format!(
+                "dirty list length {} != {} flagged jobs",
+                self.jobs.dirty_list.len(),
+                flagged
+            ));
+        }
+        for &slot in &self.jobs.active {
+            if self.jobs.settled[slot as usize] as usize > self.jobs.seg_log.len() {
+                return Err(format!(
+                    "job {} settle cursor past the segment log",
                     self.jobs.ids[slot as usize]
                 ));
             }
@@ -501,5 +657,57 @@ mod tests {
         assert_eq!(world.jobs.idle_hours[s], reference.idle_hours);
         assert_eq!(world.jobs.tput_integral[s], reference.tput_integral);
         assert_eq!(world.jobs.mean_tput(slot), reference.mean_tput());
+    }
+
+    #[test]
+    fn lazy_settle_replays_segments_bit_identically_to_eager_advance() {
+        let trace = SyntheticTraceConfig::small_scale().generate(9);
+        let mut lazy = WorldArena::from_trace(&trace);
+        let mut eager = WorldArena::from_trace(&trace);
+        let (a, b) = (lazy.slot_of_spec[0], lazy.slot_of_spec[1]);
+        for slot in [a, b] {
+            lazy.jobs.activate(slot);
+            eager.jobs.activate(slot);
+        }
+        // Job a runs at 0.8 throughout; job b flips from idle to 1.0
+        // after two segments (marking dirty settles it at the old rate).
+        lazy.jobs.rate[a as usize] = 0.8;
+        for dt in [0.25, 0.125] {
+            lazy.jobs.push_segment(dt);
+            eager.jobs.advance(a, dt, 0.8);
+            eager.jobs.advance(b, dt, 0.0);
+        }
+        lazy.jobs.mark_dirty(b);
+        assert_eq!(lazy.jobs.dirty_list, vec![b]);
+        lazy.jobs.dirty[b as usize] = false;
+        lazy.jobs.dirty_list.clear();
+        lazy.jobs.rate[b as usize] = 1.0;
+        for dt in [0.5, 0.0625] {
+            lazy.jobs.push_segment(dt);
+            eager.jobs.advance(a, dt, 0.8);
+            eager.jobs.advance(b, dt, 1.0);
+        }
+        lazy.jobs.settle_active_and_reset();
+        for slot in [a, b] {
+            let s = slot as usize;
+            assert_eq!(lazy.jobs.remaining_hours[s], eager.jobs.remaining_hours[s]);
+            assert_eq!(lazy.jobs.executing_hours[s], eager.jobs.executing_hours[s]);
+            assert_eq!(lazy.jobs.idle_hours[s], eager.jobs.idle_hours[s]);
+            assert_eq!(lazy.jobs.tput_integral[s], eager.jobs.tput_integral[s]);
+            assert_eq!(lazy.jobs.settled[s], 0);
+        }
+        assert!(lazy.jobs.seg_log.is_empty());
+        lazy.audit().unwrap();
+    }
+
+    #[test]
+    fn attach_and_detach_report_whether_the_mapping_changed() {
+        let trace = SyntheticTraceConfig::small_scale().generate(1);
+        let mut world = WorldArena::from_trace(&trace);
+        let slot = world.insts.ensure(InstanceId(0));
+        assert!(world.insts.attach(slot, 4));
+        assert!(!world.insts.attach(slot, 4), "double attach is a no-op");
+        assert!(world.insts.detach(slot, 4));
+        assert!(!world.insts.detach(slot, 4), "double detach is a no-op");
     }
 }

@@ -40,6 +40,21 @@ use std::time::Duration;
 /// federation workers; unset/anything else = coordinator).
 pub const ROLE_ENV: &str = "EVA_FED_ROLE";
 
+/// Environment variable carrying a worker's 0-based fleet rank (the
+/// coordinator is rank 0; workers are spawned with 1, 2, …). Drives
+/// [`Federation::claim_stride`] so processes start their claim sweeps on
+/// disjoint prefixes of the longest-first order.
+pub const RANK_ENV: &str = "EVA_FED_RANK";
+
+/// This process's fleet rank: `EVA_FED_RANK`, or 0 (coordinator /
+/// unparsable).
+pub fn fed_rank() -> usize {
+    std::env::var(RANK_ENV)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
 /// Default claim staleness deadline (env override `EVA_CLAIM_STALE_SECS`).
 const CLAIM_STALE_SECS_DEFAULT: u64 = 600;
 
@@ -124,6 +139,16 @@ impl Federation {
         }
     }
 
+    /// This process's claim-prefix stride for
+    /// [`crate::CellPool::run_federated`]: its `EVA_FED_RANK` over the
+    /// federation's process count.
+    pub fn claim_stride(&self) -> crate::pool::ClaimStride {
+        crate::pool::ClaimStride {
+            rank: fed_rank(),
+            procs: self.procs,
+        }
+    }
+
     /// Spawns the `procs - 1` worker processes, once. Workers re-execute
     /// this binary (same argv unless [`Federation::worker_args`]
     /// overrode it) with `EVA_FED_ROLE=worker`; their stdout is
@@ -154,6 +179,7 @@ impl Federation {
             match Command::new(&exe)
                 .args(&args)
                 .env(ROLE_ENV, "worker")
+                .env(RANK_ENV, n.to_string())
                 .stdout(Stdio::null())
                 .spawn()
             {

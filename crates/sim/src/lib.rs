@@ -64,9 +64,9 @@ pub use cache::{
 };
 pub use eva_engine::{derive_seed, EventEngine, RngStreams, Scheduled, SimEvent};
 pub use faults::{FaultAction, FaultEvent, FaultPlan, FaultRegime, FaultSpec};
-pub use federate::{claim_stale_deadline, join_workers, worker_role, Federation};
+pub use federate::{claim_stale_deadline, fed_rank, join_workers, worker_role, Federation};
 pub use metrics::{CdfPoint, SimReport};
-pub use pool::{CellPool, ClaimTiming, PoolStats, RunPlan};
+pub use pool::{CellPool, ClaimStride, ClaimTiming, PoolStats, RunPlan};
 pub use report::{splice, PartitionAudit, SplicedReport, EXACT_METRICS, INEXACT_METRICS};
 pub use runner::{run_recorded, run_simulation, InterferenceSpec, SchedulerKind, SimConfig};
 pub use script::{ExecAction, ExecActionKind, ExecScript};

@@ -49,12 +49,22 @@ impl ClusterSim {
         let old = self.world.tasks.assigned[s];
         let had_instance = old != NO_SLOT;
 
+        if had_instance && self.world.insts.ids[old as usize] == dest {
+            return;
+        }
+        // The moved task's own job changes state (running → in transit),
+        // and leaving an instance changes every co-located job's
+        // interference set. Marking settles them, so the Stop progress
+        // read below is current.
+        self.world.jobs.mark_dirty(jslot);
         if had_instance {
-            if self.world.insts.ids[old as usize] == dest {
-                return;
+            let old_id = self.world.insts.ids[old as usize];
+            self.touch_instance_jobs(old);
+            if self.world.insts.detach(old, tslot) {
+                self.account_mapping(old_id, tslot, false);
             }
-            self.world.insts.detach(old, tslot);
             if was_running {
+                self.account_running(old_id, -1);
                 let busy = self.now() + checkpoint;
                 let slot_busy = &mut self.world.insts.busy_until[old as usize];
                 *slot_busy = (*slot_busy).max(busy);
@@ -87,7 +97,9 @@ impl ClusterSim {
         }
         let dslot = self.world.insts.ensure(dest);
         self.world.tasks.assigned[s] = dslot;
-        self.world.insts.attach(dslot, tslot);
+        if self.world.insts.attach(dslot, tslot) {
+            self.account_mapping(dest, tslot, true);
+        }
         self.push(
             ready,
             Event::TaskReady {
@@ -199,6 +211,7 @@ impl ClusterSim {
                     ) {
                         Ok(id) => {
                             self.world.insts.ensure(id);
+                            self.count_provision(id);
                             id
                         }
                         Err(_) => continue,
@@ -244,6 +257,11 @@ impl ClusterSim {
     pub(crate) fn handle_round(&mut self) {
         self.round_pending = false;
         self.record(ExecActionKind::Round);
+        // Rounds read every active job's progress (snapshot remaining
+        // hints), so this is the natural settle point: fold the segment
+        // log into all active jobs and truncate it, bounding how far
+        // any later settle has to replay.
+        self.world.jobs.settle_active_and_reset();
         let observations = self.build_observations();
         self.scheduler.observe(&observations);
         let (tasks, instances) = self.build_snapshot();

@@ -36,6 +36,34 @@ pub struct ClaimTiming {
     pub poll: Duration,
 }
 
+/// Where a federated process starts its phase-1 sweep of the
+/// longest-first claim order. With every process starting at index 0
+/// the whole fleet races for the same head cells, and most early
+/// `try_claim`s land on a peer's fresh claim — a *contested* attempt
+/// that burns a filesystem round-trip and defers the cell to phase 2.
+/// Striding rank `r` of `p` processes to offset `n·r/p` spreads the
+/// fleet across disjoint prefixes of the order; each sweep still visits
+/// all `n` entries (indices wrap mod `n`), so peer publication,
+/// stealing, and phase 2 behave exactly as before.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ClaimStride {
+    /// This process's 0-based rank in the fleet (0 = coordinator).
+    pub rank: usize,
+    /// Total processes sweeping the shared cache (`< 2` disables
+    /// striding).
+    pub procs: usize,
+}
+
+impl ClaimStride {
+    /// Starting index into a claim order of length `n`.
+    pub fn offset(&self, n: usize) -> usize {
+        if n == 0 || self.procs < 2 {
+            return 0;
+        }
+        n * self.rank.min(self.procs - 1) / self.procs
+    }
+}
+
 /// What a pool run did: logical cells, unique representatives, and how
 /// many representatives were actually executed vs served from the cache.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -52,6 +80,11 @@ pub struct PoolStats {
     /// run (they were missing when this process planned, and appeared in
     /// the cache while it executed). Always 0 outside federation.
     pub peer: usize,
+    /// Phase-1 claim attempts that found a live peer already holding the
+    /// claim — wasted filesystem round-trips that defer the cell to
+    /// phase 2. [`ClaimStride`] prefix biasing exists to drive this
+    /// down. Always 0 outside federation.
+    pub contested: usize,
 }
 
 impl PoolStats {
@@ -70,6 +103,9 @@ impl PoolStats {
         );
         if self.peer > 0 {
             line.push_str(&format!(", {} from peers", self.peer));
+        }
+        if self.contested > 0 {
+            line.push_str(&format!(", {} contested", self.contested));
         }
         line
     }
@@ -247,6 +283,7 @@ impl CellPool {
             executed: executed.into_inner(),
             cache_hits: cache_hits.into_inner(),
             peer: 0,
+            contested: 0,
         };
         (results, from_cache, stats)
     }
@@ -255,13 +292,15 @@ impl CellPool {
     /// processes share one cache dir and divide the representatives
     /// between them by claiming (see [`ReportCache::try_claim`]).
     ///
-    /// Phase 1 sweeps the longest-first order on this pool's threads:
-    /// cached representatives hit as usual, unclaimed ones are claimed,
+    /// Phase 1 sweeps the longest-first order on this pool's threads,
+    /// starting from this process's [`ClaimStride`] offset (wrapping mod
+    /// the order length, so coverage is unchanged): cached
+    /// representatives hit as usual, unclaimed ones are claimed,
     /// executed, published, and released; representatives claimed by a
-    /// peer are left pending. Phase 2 settles the pending ones — each is
-    /// either published by its peer (a `peer` hit) or its claim goes
-    /// stale/dead and this process steals and runs it, so a killed
-    /// worker never wedges the run.
+    /// peer are left pending (counted as `contested`). Phase 2 settles
+    /// the pending ones — each is either published by its peer (a `peer`
+    /// hit) or its claim goes stale/dead and this process steals and
+    /// runs it, so a killed worker never wedges the run.
     ///
     /// The merged output is **byte-identical** to [`CellPool::run_flagged`]
     /// with the same cache for any process count: results come from the
@@ -269,6 +308,9 @@ impl CellPool {
     /// logical cell order erases scheduling entirely. Per-cell flags
     /// report `true` for everything this process did not compute
     /// (cache + peer).
+    // Eight closure/config inputs mirror `run_flagged` plus the two
+    // federation knobs; bundling them would only obscure the call sites.
+    #[allow(clippy::too_many_arguments)]
     pub fn run_federated<R>(
         &self,
         count: usize,
@@ -276,6 +318,7 @@ impl CellPool {
         cost: &(dyn Fn(usize) -> u64 + Sync),
         cache: &ReportCache,
         timing: ClaimTiming,
+        stride: ClaimStride,
         run: &(dyn Fn(usize) -> R + Sync),
     ) -> (Vec<R>, Vec<bool>, PoolStats)
     where
@@ -287,16 +330,20 @@ impl CellPool {
         let executed = AtomicUsize::new(0);
         let cache_hits = AtomicUsize::new(0);
         let peer = AtomicUsize::new(0);
+        let contested = AtomicUsize::new(0);
+        let offset = stride.offset(plan.order.len());
 
-        // Phase 1: claim-or-skip sweep over the longest-first order.
+        // Phase 1: claim-or-skip sweep over the longest-first order,
+        // rotated to this process's stride offset.
         let workers = self.threads.min(plan.order.len()).max(1);
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| loop {
                     let k = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(&i) = plan.order.get(k) else {
+                    if k >= plan.order.len() {
                         break;
-                    };
+                    }
+                    let i = plan.order[(offset + k) % plan.order.len()];
                     let key = &plan.keys[i];
                     if let Some(hit) = cache.lookup::<R>(key) {
                         cache_hits.fetch_add(1, Ordering::Relaxed);
@@ -323,7 +370,9 @@ impl CellPool {
                             *slots[i].lock().unwrap() = Some(result);
                         }
                         // A live peer is on it — settle in phase 2.
-                        ClaimAttempt::Held(_) => {}
+                        ClaimAttempt::Held(_) => {
+                            contested.fetch_add(1, Ordering::Relaxed);
+                        }
                     }
                 });
             }
@@ -386,6 +435,7 @@ impl CellPool {
             executed: executed.into_inner(),
             cache_hits: cache_hits.into_inner(),
             peer: peer.into_inner(),
+            contested: contested.into_inner(),
         };
         (results, from_cache, stats)
     }
@@ -397,6 +447,19 @@ mod tests {
 
     fn ident(i: usize) -> String {
         format!("cell-{i}")
+    }
+
+    #[test]
+    fn stride_offsets_partition_the_order() {
+        let s = |rank| ClaimStride { rank, procs: 4 };
+        assert_eq!(s(0).offset(8), 0);
+        assert_eq!(s(1).offset(8), 2);
+        assert_eq!(s(3).offset(8), 6);
+        // Out-of-fleet ranks clamp to the last stripe.
+        assert_eq!(s(9).offset(8), 6);
+        // Unfederated runs and empty orders never stride.
+        assert_eq!(ClaimStride::default().offset(8), 0);
+        assert_eq!(s(2).offset(0), 0);
     }
 
     #[test]
@@ -526,7 +589,7 @@ mod tests {
         let run = |i: usize| (i as u64) * 7;
         let pool = CellPool::new(2);
         let (fed, flags, stats) =
-            pool.run_federated(5, &ident, &|_| 1, &cache, TIMING, &run);
+            pool.run_federated(5, &ident, &|_| 1, &cache, TIMING, ClaimStride::default(), &run);
         let (plain, _) = CellPool::new(2).run(5, &ident, &|_| 1, None, &run);
         assert_eq!(fed, plain);
         assert_eq!(flags, vec![false; 5]);
@@ -542,7 +605,7 @@ mod tests {
         assert_eq!(claims, 0);
         // Warm federated rerun is pure cache.
         let (warm, flags, stats) =
-            pool.run_federated(5, &ident, &|_| 1, &cache, TIMING, &run);
+            pool.run_federated(5, &ident, &|_| 1, &cache, TIMING, ClaimStride::default(), &run);
         assert_eq!(warm, fed);
         assert_eq!(flags, vec![true; 5]);
         assert!(stats.all_cached());
@@ -570,6 +633,7 @@ mod tests {
             &|_| 1,
             &cache,
             TIMING,
+            ClaimStride::default(),
             &|i| (i as u64) * 3,
         );
         assert_eq!(results, vec![0, 3, 6]);
@@ -602,6 +666,7 @@ mod tests {
             &|_| 1,
             &cache,
             TIMING,
+            ClaimStride::default(),
             &|_| -> u64 { unreachable!("the peer owns this cell") },
         );
         publisher.join().unwrap();
@@ -609,7 +674,9 @@ mod tests {
         assert_eq!(flags, vec![true]);
         assert_eq!(stats.peer, 1);
         assert_eq!(stats.executed, 0);
-        assert!(stats.summary().ends_with("1 from peers"));
+        // Phase 1 found the peer's live claim once before settling.
+        assert_eq!(stats.contested, 1);
+        assert!(stats.summary().ends_with("1 from peers, 1 contested"));
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -10,6 +10,10 @@ use crate::world::ClusterSim;
 
 /// Consumes a fully-stepped world and produces its experiment report.
 pub(crate) fn finalize(mut sim: ClusterSim) -> SimReport {
+    // Fold any deferred lazy progress into the job lanes before reading
+    // them (a fully drained run has settled everything already; this is
+    // the safety net for partially stepped worlds).
+    sim.world.jobs.settle_active_and_reset();
     // Safety: nothing should remain live.
     let now = sim.now();
     let leftovers: Vec<InstanceId> = sim.cloud.live_instances(now).map(|i| i.id).collect();

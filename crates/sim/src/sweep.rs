@@ -327,6 +327,7 @@ impl SweepGrid {
             interference: cell.interference,
             migration_delay_scale: cell.migration_delay_scale,
             faults: cell.faults,
+            reference_full_scan: false,
         }
     }
 
@@ -750,6 +751,7 @@ impl SweepRunner {
                     &cost,
                     cache,
                     fed.claim_timing(),
+                    fed.claim_stride(),
                     &run,
                 );
                 (reports, stats)

@@ -69,6 +69,22 @@ impl SimEvent for Event {
 /// checkpoint drop (the job's latest checkpoint is its recent work).
 pub(crate) const CKPT_DROP_LOSS: f64 = 0.25;
 
+/// One instance's slice of the incremental integral rates, indexed by
+/// `InstanceId` (provider IDs are sequential and never reused). All
+/// components are integer-valued `f64`s, so adding and later
+/// subtracting them leaves the running sums bit-identical to a
+/// from-scratch scan in any order.
+#[derive(Debug, Clone, Copy, Default)]
+struct InstAcct {
+    /// Whether the instance currently contributes to the rates: set at
+    /// provision (if its type is cataloged), cleared once the clock
+    /// reaches its termination time.
+    counted: bool,
+    cap: [f64; 3],
+    alloc: [f64; 3],
+    running: u32,
+}
+
 /// The simulated cluster: engine + world state + metric accumulators.
 pub struct ClusterSim {
     pub(crate) cfg: SimConfig,
@@ -106,9 +122,23 @@ pub struct ClusterSim {
     pub(crate) rounds: u64,
     pub(crate) full_rounds: u64,
 
+    // Incremental-integral state (see the dirty-set invariants in
+    // `crate::arena`): per-instance accounting plus the maintained
+    // capacity/allocation/running-task rates `advance_to` integrates.
+    inst_acct: Vec<InstAcct>,
+    cap_rate: [f64; 3],
+    alloc_rate: [f64; 3],
+    running_rate: usize,
+    /// Future-dated terminations (deadline, instance) whose capacity is
+    /// still counted; `advance_to` retires them once the clock passes.
+    cap_pending: BTreeSet<(SimTime, InstanceId)>,
+    /// Debug-only eager reference semantics (see
+    /// [`SimConfig::reference_full_scan`]).
+    full_scan: bool,
+
     // Reusable hot-path scratch (per-event, allocation-free steady state).
     tput_buf: RefCell<Vec<WorkloadKind>>,
-    job_scratch: Vec<(u32, f64)>,
+    term_scratch: Vec<InstanceId>,
 }
 
 impl ClusterSim {
@@ -202,8 +232,14 @@ impl ClusterSim {
             total_tasks: cfg.trace.jobs().iter().map(|j| j.num_tasks()).sum(),
             rounds: 0,
             full_rounds: 0,
+            inst_acct: Vec::new(),
+            cap_rate: [0.0; 3],
+            alloc_rate: [0.0; 3],
+            running_rate: 0,
+            cap_pending: BTreeSet::new(),
+            full_scan: cfg.reference_full_scan,
             tput_buf: RefCell::new(Vec::new()),
-            job_scratch: Vec::new(),
+            term_scratch: Vec::new(),
             cfg,
         };
         for (idx, job) in sim.cfg.trace.jobs().iter().enumerate() {
@@ -342,8 +378,18 @@ impl ClusterSim {
                     TaskState::InTransit { generation: g, .. } if g == generation
                 );
                 if matches {
-                    self.world.tasks.state[s] = TaskState::Running;
                     let inst = self.world.tasks.assigned[s];
+                    // A task starting changes its own job's gang state
+                    // and every co-located job's interference set.
+                    if inst != NO_SLOT {
+                        self.touch_instance_jobs(inst);
+                    } else {
+                        self.world.jobs.mark_dirty(self.world.tasks.job_slot[s]);
+                    }
+                    self.world.tasks.state[s] = TaskState::Running;
+                    if inst != NO_SLOT {
+                        self.account_running(self.world.insts.ids[inst as usize], 1);
+                    }
                     if self.recorder.is_some() && inst != NO_SLOT {
                         let task = self.world.tasks.ids[s];
                         let instance = self.world.insts.ids[inst as usize];
@@ -385,6 +431,9 @@ impl ClusterSim {
         let Some(islot) = self.world.insts.get(victim) else {
             return;
         };
+        // Every job with a task here changes throughput (marking also
+        // settles them, so the Kill progress reads below are current).
+        self.touch_instance_jobs(islot);
         // Snapshot: slot order is TaskId order.
         let tslots = self.world.insts.tasks[islot as usize].clone();
         for tslot in tslots {
@@ -397,10 +446,13 @@ impl ClusterSim {
                 let task = self.world.tasks.ids[s];
                 let progress = self.job_progress_fraction_slot(self.world.tasks.job_slot[s]);
                 self.record(ExecActionKind::Kill { task, progress });
+                self.account_running(victim, -1);
             }
             self.world.tasks.state[s] = TaskState::Pending;
             self.world.tasks.assigned[s] = NO_SLOT;
-            self.world.insts.detach(islot, tslot);
+            if self.world.insts.detach(islot, tslot) {
+                self.account_mapping(victim, tslot, false);
+            }
         }
     }
 
@@ -415,6 +467,7 @@ impl ClusterSim {
                 };
                 self.kill_instance_tasks(victim);
                 let _ = self.cloud.terminate(victim, now);
+                self.note_termination(victim);
                 self.draining.remove(&victim);
                 self.world.insts.release(victim);
                 self.preemption_log.push((now, victim));
@@ -439,6 +492,10 @@ impl ClusterSim {
                 // Applied as a billing schedule at construction.
             }
             FaultAction::CkptDrop => {
+                // Candidate filtering reads every active job's
+                // remaining work, so settle everyone (and truncate the
+                // segment log while at it).
+                self.world.jobs.settle_active_and_reset();
                 // Active slots ascend in JobId order, matching the former
                 // map iteration; jobs without progress (or done) never
                 // qualify, so the candidate list is unchanged.
@@ -457,6 +514,9 @@ impl ClusterSim {
                     return;
                 }
                 let victim = candidates[(ev.draw % candidates.len() as u64) as usize] as usize;
+                // Surgery on remaining work moves the completion time
+                // without changing the rate.
+                self.world.jobs.mark_dirty(victim as u32);
                 let total = self.world.jobs.total_hours[victim];
                 let remaining = self.world.jobs.remaining_hours[victim];
                 let done = (total - remaining).max(0.0);
@@ -470,6 +530,8 @@ impl ClusterSim {
                     return;
                 };
                 if let Some(islot) = self.world.insts.get(victim) {
+                    // Settle at the pre-straggle rate before it changes.
+                    self.touch_instance_jobs(islot);
                     self.world.insts.straggle[islot as usize] = factor;
                 }
                 self.active_stragglers.insert(idx, victim);
@@ -492,6 +554,8 @@ impl ClusterSim {
                     // already; the slot may now belong to a new instance.)
                     if !self.active_stragglers.values().any(|v| *v == victim) {
                         if let Some(islot) = self.world.insts.get(victim) {
+                            // Settle at the straggling rate before it lifts.
+                            self.touch_instance_jobs(islot);
                             self.world.insts.straggle[islot as usize] = 1.0;
                         }
                     }
@@ -539,8 +603,11 @@ impl ClusterSim {
     /// Audits the world's slot bookkeeping (for invariant checks in
     /// tests): every job, task, and live instance ID must round-trip
     /// through its arena slot back to the same ID, cross-references
-    /// (task↔instance, task↔job, active set) must agree, and every
-    /// draining instance must still hold a slot.
+    /// (task↔instance, task↔job, active set, dirty set) must agree,
+    /// every draining instance must still hold a slot, and the
+    /// incrementally maintained capacity/allocation/running-task rates
+    /// must equal a from-scratch scan of the live instance set bit for
+    /// bit (see the dirty-set invariants in the `arena` module docs).
     pub fn audit_slots(&self) -> Result<(), String> {
         self.world.audit()?;
         for id in &self.draining {
@@ -548,7 +615,103 @@ impl ClusterSim {
                 return Err(format!("draining instance {id} holds no slot"));
             }
         }
+        let now = self.engine.now();
+        let mut alloc = [0.0f64; 3];
+        let mut cap = [0.0f64; 3];
+        let mut running = 0usize;
+        for inst in self.cloud.live_instances(now) {
+            let Some(ty) = self.catalog.get(inst.type_id) else {
+                continue;
+            };
+            cap[0] += f64::from(ty.capacity.gpu);
+            cap[1] += f64::from(ty.capacity.cpu);
+            cap[2] += ty.capacity.ram_mb as f64;
+            if let Some(islot) = self.world.insts.get(inst.id) {
+                for &tslot in &self.world.insts.tasks[islot as usize] {
+                    let d = ty.demand_of(&self.task_spec(tslot).demand);
+                    alloc[0] += f64::from(d.gpu);
+                    alloc[1] += f64::from(d.cpu);
+                    alloc[2] += d.ram_mb as f64;
+                    if self.world.tasks.is_running(tslot) {
+                        running += 1;
+                    }
+                }
+            }
+        }
+        if cap != self.cap_rate || alloc != self.alloc_rate || running != self.running_rate {
+            return Err(format!(
+                "incremental rates diverged from live-set scan: \
+                 cap {:?} vs {cap:?}, alloc {:?} vs {alloc:?}, running {} vs {running}",
+                self.cap_rate, self.alloc_rate, self.running_rate
+            ));
+        }
+        for &(term, id) in &self.cap_pending {
+            if term <= now {
+                return Err(format!("stale pending capacity retirement for {id}"));
+            }
+            let counted = self
+                .inst_acct
+                .get(id.0 as usize)
+                .is_some_and(|a| a.counted);
+            if !counted {
+                return Err(format!("pending retirement of uncounted instance {id}"));
+            }
+        }
         Ok(())
+    }
+
+    /// Total events ever scheduled on the engine (heap-churn yardstick
+    /// for the perf snapshots).
+    pub fn events_scheduled(&self) -> u64 {
+        self.engine.scheduled_count()
+    }
+
+    /// High-water mark of the event queue (live + tombstoned entries).
+    pub fn event_queue_peak(&self) -> usize {
+        self.engine.peak_len()
+    }
+
+    /// Debug digest of every observable the lazy dirty-set path must
+    /// keep identical to the eager reference
+    /// ([`SimConfig::reference_full_scan`]): settles all active jobs
+    /// first so deferred progress is folded in, then formats each lane
+    /// with shortest-roundtrip float formatting (distinct bits ⇒
+    /// distinct strings). Test-only; not part of the stable API.
+    #[doc(hidden)]
+    pub fn oracle_digest(&mut self) -> String {
+        use std::fmt::Write as _;
+        for i in 0..self.world.jobs.active.len() {
+            let slot = self.world.jobs.active[i];
+            self.world.jobs.settle(slot);
+        }
+        let mut out = String::new();
+        let jobs = &self.world.jobs;
+        for s in 0..jobs.ids.len() {
+            let _ = writeln!(
+                out,
+                "job {}: rem={:?} exec={:?} idle={:?} tput_int={:?} rate={:?} done={:?} sched={:?}",
+                jobs.ids[s],
+                jobs.remaining_hours[s],
+                jobs.executing_hours[s],
+                jobs.idle_hours[s],
+                jobs.tput_integral[s],
+                jobs.rate[s],
+                jobs.completed_at[s],
+                jobs.scheduled_done_at[s],
+            );
+        }
+        let _ = writeln!(
+            out,
+            "integrals alloc={:?} cap={:?} run_hours={:?} \
+             rates alloc={:?} cap={:?} running={}",
+            self.alloc_integral,
+            self.capacity_integral,
+            self.task_running_hours,
+            self.alloc_rate,
+            self.cap_rate,
+            self.running_rate,
+        );
+        out
     }
 
     fn handle_job_done(&mut self, slot: u32, generation: u64) {
@@ -559,20 +722,32 @@ impl ClusterSim {
         if !valid {
             return;
         }
+        // Fold the deferred segments in before reading remaining work.
+        self.world.jobs.settle(slot);
         debug_assert!(
             self.world.jobs.remaining_hours[s] < 1e-6,
             "early completion event"
         );
         self.world.jobs.completed_at[s] = Some(self.engine.now());
+        self.world.jobs.scheduled_done_at[s] = None;
         self.world.jobs.retire(slot);
         let job = self.world.jobs.ids[s];
         self.record(ExecActionKind::JobDone { job });
         for t in self.world.jobs.task_range(slot) {
+            let was_running = self.world.tasks.state[t] == TaskState::Running;
             self.world.tasks.state[t] = TaskState::Done;
             let inst = self.world.tasks.assigned[t];
             if inst != NO_SLOT {
+                // Surviving co-located jobs lose an interfering neighbour.
+                self.touch_instance_jobs(inst);
+                let id = self.world.insts.ids[inst as usize];
                 self.world.tasks.assigned[t] = NO_SLOT;
-                self.world.insts.detach(inst, t as u32);
+                if self.world.insts.detach(inst, t as u32) {
+                    self.account_mapping(id, t as u32, false);
+                }
+                if was_running {
+                    self.account_running(id, -1);
+                }
             }
         }
         self.try_terminations();
@@ -626,78 +801,138 @@ impl ClusterSim {
 
     /// Advances all integrals and job progress to `t` (the engine clock
     /// itself advances in [`ClusterSim::step`]).
+    ///
+    /// O(1) in steady state: job progress is deferred by logging the
+    /// segment (clean jobs replay it on settle at their cached rate —
+    /// current by dirty-set invariant 2), and the allocation/capacity
+    /// integrals accrue from the maintained rates instead of rescanning
+    /// the live instance set.
     fn advance_to(&mut self, t: SimTime) {
         let now = self.engine.now();
         let dt_hours = t.duration_since(now).as_hours_f64();
         if dt_hours <= 0.0 {
             return;
         }
-        // Job progress. Throughputs are pure reads, so computing them all
-        // before applying preserves the old interleaved map semantics.
-        let mut tputs = std::mem::take(&mut self.job_scratch);
-        tputs.clear();
-        for &slot in &self.world.jobs.active {
-            tputs.push((slot, self.job_tput(slot)));
-        }
-        for &(slot, tput) in &tputs {
-            self.world.jobs.advance(slot, dt_hours, tput);
-        }
-        self.job_scratch = tputs;
-        // Allocation integrals.
-        let mut alloc = [0.0f64; 3];
-        let mut cap = [0.0f64; 3];
-        let mut running_tasks = 0usize;
-        for inst in self.cloud.live_instances(now) {
-            let Some(ty) = self.catalog.get(inst.type_id) else {
-                continue;
-            };
-            cap[0] += f64::from(ty.capacity.gpu);
-            cap[1] += f64::from(ty.capacity.cpu);
-            cap[2] += ty.capacity.ram_mb as f64;
-            if let Some(islot) = self.world.insts.get(inst.id) {
-                for &tslot in &self.world.insts.tasks[islot as usize] {
-                    let spec = self.task_spec(tslot);
-                    let d = ty.demand_of(&spec.demand);
-                    alloc[0] += f64::from(d.gpu);
-                    alloc[1] += f64::from(d.cpu);
-                    alloc[2] += d.ram_mb as f64;
-                    if self.world.tasks.is_running(tslot) {
-                        running_tasks += 1;
+        debug_assert!(
+            self.world.jobs.dirty_list.is_empty(),
+            "dirty jobs crossed a segment boundary unsettled"
+        );
+        if self.full_scan {
+            // Eager reference semantics, kept verbatim for the oracle:
+            // throughputs are pure reads, so computing them all before
+            // applying preserves the old interleaved map semantics.
+            let mut tputs: Vec<(u32, f64)> = Vec::with_capacity(self.world.jobs.active.len());
+            for &slot in &self.world.jobs.active {
+                tputs.push((slot, self.job_tput(slot)));
+            }
+            for &(slot, tput) in &tputs {
+                self.world.jobs.advance(slot, dt_hours, tput);
+            }
+            let mut alloc = [0.0f64; 3];
+            let mut cap = [0.0f64; 3];
+            let mut running_tasks = 0usize;
+            for inst in self.cloud.live_instances(now) {
+                let Some(ty) = self.catalog.get(inst.type_id) else {
+                    continue;
+                };
+                cap[0] += f64::from(ty.capacity.gpu);
+                cap[1] += f64::from(ty.capacity.cpu);
+                cap[2] += ty.capacity.ram_mb as f64;
+                if let Some(islot) = self.world.insts.get(inst.id) {
+                    for &tslot in &self.world.insts.tasks[islot as usize] {
+                        let spec = self.task_spec(tslot);
+                        let d = ty.demand_of(&spec.demand);
+                        alloc[0] += f64::from(d.gpu);
+                        alloc[1] += f64::from(d.cpu);
+                        alloc[2] += d.ram_mb as f64;
+                        if self.world.tasks.is_running(tslot) {
+                            running_tasks += 1;
+                        }
                     }
                 }
             }
+            for r in 0..3 {
+                self.alloc_integral[r] += alloc[r] * dt_hours;
+                self.capacity_integral[r] += cap[r] * dt_hours;
+            }
+            self.task_running_hours += running_tasks as f64 * dt_hours;
+        } else {
+            self.world.jobs.push_segment(dt_hours);
+            for r in 0..3 {
+                self.alloc_integral[r] += self.alloc_rate[r] * dt_hours;
+                self.capacity_integral[r] += self.cap_rate[r] * dt_hours;
+            }
+            self.task_running_hours += self.running_rate as f64 * dt_hours;
         }
-        for r in 0..3 {
-            self.alloc_integral[r] += alloc[r] * dt_hours;
-            self.capacity_integral[r] += cap[r] * dt_hours;
+        // Retire the capacity of instances whose termination deadline
+        // fell inside the segment just integrated: they were live at
+        // its start (so they counted, exactly like the eager scan at
+        // `now`), and every later segment starts at or past `t`.
+        while let Some(&(term, id)) = self.cap_pending.first() {
+            if term > t {
+                break;
+            }
+            self.cap_pending.pop_first();
+            self.uncount_instance(id);
         }
-        self.task_running_hours += running_tasks as f64 * dt_hours;
     }
 
-    /// Re-derives every active job's completion event.
+    /// Re-derives the completion events of jobs marked dirty since the
+    /// last drain. Refreshes each job's cached rate and skips the heap
+    /// push when the due time is unchanged — the outstanding event is
+    /// still valid, so steady-state heap churn tracks what *changed*.
+    /// Rescheduling is dirty-triggered in the reference mode too: a
+    /// completion time re-derived from a *later* anchor can flip by
+    /// ±1 ms of rounding, so re-deriving clean jobs would push spurious
+    /// replacement events rather than validate anything. Marking
+    /// completeness is instead cross-checked by the eager reference
+    /// advancing progress and integrals by full scan (`oracle_digest`
+    /// equality) and by `audit_slots` recomputing every cached rate.
     pub(crate) fn recompute_completions(&mut self) {
-        let mut tputs = std::mem::take(&mut self.job_scratch);
-        tputs.clear();
-        for &slot in &self.world.jobs.active {
-            tputs.push((slot, self.job_tput(slot)));
+        if self.world.jobs.dirty_list.is_empty() {
+            return;
         }
+        let mut dirty = std::mem::take(&mut self.world.jobs.dirty_list);
+        // Ascending slot order: dirty jobs reschedule in the relative
+        // order the eager full sweep pushed them.
+        dirty.sort_unstable();
         let now = self.engine.now();
-        for &(slot, tput) in &tputs {
+        for &slot in &dirty {
             let s = slot as usize;
+            self.world.jobs.dirty[s] = false;
+            if !self.world.jobs.arrived[s] || self.world.jobs.is_done(slot) {
+                continue;
+            }
+            let tput = self.job_tput(slot);
+            self.world.jobs.rate[s] = tput;
+            let at = self
+                .world
+                .jobs
+                .eta_hours(slot, tput)
+                .map(|eta| now + SimDuration::from_hours_f64(eta));
+            if at == self.world.jobs.scheduled_done_at[s] {
+                continue;
+            }
             self.world.jobs.completion_gen[s] += 1;
             let generation = self.world.jobs.completion_gen[s];
-            if let Some(eta) = self.world.jobs.eta_hours(slot, tput) {
-                let at = now + SimDuration::from_hours_f64(eta);
+            self.world.jobs.scheduled_done_at[s] = at;
+            if let Some(at) = at {
                 self.push(at, Event::JobDone { slot, generation });
             }
         }
-        self.job_scratch = tputs;
+        dirty.clear();
+        self.world.jobs.dirty_list = dirty;
     }
 
     /// Terminates drained instances whose departures have finished.
     pub(crate) fn try_terminations(&mut self) {
-        let candidates: Vec<InstanceId> = self.draining.iter().copied().collect();
-        for id in candidates {
+        if self.draining.is_empty() {
+            return;
+        }
+        let mut candidates = std::mem::take(&mut self.term_scratch);
+        candidates.clear();
+        candidates.extend(self.draining.iter().copied());
+        for &id in &candidates {
             let islot = self.world.insts.get(id);
             let empty = islot
                 .map(|s| self.world.insts.tasks[s as usize].is_empty())
@@ -708,9 +943,145 @@ impl ClusterSim {
                     .map(|s| self.world.insts.busy_until[s as usize])
                     .unwrap_or(SimTime::ZERO);
                 let _ = self.cloud.terminate(id, busy.max(now));
+                self.note_termination(id);
                 self.draining.remove(&id);
                 self.world.insts.release(id);
             }
+        }
+        candidates.clear();
+        self.term_scratch = candidates;
+    }
+
+    // ----- incremental integral accounting -------------------------------
+
+    /// Registers a freshly provisioned instance with the capacity rate.
+    /// Mirrors the eager scan's guard: instances whose type is not in
+    /// the catalog never count.
+    pub(crate) fn count_provision(&mut self, id: InstanceId) {
+        let idx = id.0 as usize;
+        if idx >= self.inst_acct.len() {
+            self.inst_acct.resize(idx + 1, InstAcct::default());
+        }
+        let Some(ty) = self
+            .cloud
+            .instance(id)
+            .and_then(|i| self.catalog.get(i.type_id))
+        else {
+            return;
+        };
+        let cap = [
+            f64::from(ty.capacity.gpu),
+            f64::from(ty.capacity.cpu),
+            ty.capacity.ram_mb as f64,
+        ];
+        let acct = &mut self.inst_acct[idx];
+        debug_assert!(!acct.counted, "instance {id} provisioned twice");
+        acct.counted = true;
+        acct.cap = cap;
+        for (rate, c) in self.cap_rate.iter_mut().zip(cap) {
+            *rate += c;
+        }
+    }
+
+    /// Folds one task's demand into (out of) its instance's allocation
+    /// rate at attach (detach). Callers gate on the arena's
+    /// `attach`/`detach` return value so the rate mirrors the mapping
+    /// lists exactly.
+    pub(crate) fn account_mapping(&mut self, id: InstanceId, tslot: u32, attached: bool) {
+        let Some(acct) = self.inst_acct.get(id.0 as usize) else {
+            return;
+        };
+        if !acct.counted {
+            return;
+        }
+        let Some(ty) = self.cloud.instance_type(id) else {
+            return;
+        };
+        let d = ty.demand_of(&self.task_spec(tslot).demand);
+        let dv = [f64::from(d.gpu), f64::from(d.cpu), d.ram_mb as f64];
+        let acct = &mut self.inst_acct[id.0 as usize];
+        if attached {
+            for (r, d) in dv.into_iter().enumerate() {
+                acct.alloc[r] += d;
+                self.alloc_rate[r] += d;
+            }
+        } else {
+            for (r, d) in dv.into_iter().enumerate() {
+                acct.alloc[r] -= d;
+                self.alloc_rate[r] -= d;
+            }
+        }
+    }
+
+    /// Adjusts the running-task rate when a task mapped to `id` starts
+    /// (`+1`) or stops (`-1`) running.
+    pub(crate) fn account_running(&mut self, id: InstanceId, delta: i32) {
+        let Some(acct) = self.inst_acct.get_mut(id.0 as usize) else {
+            return;
+        };
+        if !acct.counted {
+            return;
+        }
+        if delta > 0 {
+            acct.running += 1;
+            self.running_rate += 1;
+        } else {
+            acct.running -= 1;
+            self.running_rate -= 1;
+        }
+    }
+
+    /// Reconciles the rates with the provider after a `terminate` call.
+    /// The provider keeps the first termination time an instance was
+    /// given (clamped to its request time), so read back what actually
+    /// stuck: a past deadline retires the instance's contribution now,
+    /// a future one parks it on `cap_pending` for `advance_to`.
+    pub(crate) fn note_termination(&mut self, id: InstanceId) {
+        let Some(t) = self.cloud.instance(id).and_then(|i| i.terminated_at) else {
+            return;
+        };
+        let counted = self
+            .inst_acct
+            .get(id.0 as usize)
+            .is_some_and(|a| a.counted);
+        if !counted {
+            return;
+        }
+        if t <= self.engine.now() {
+            self.cap_pending.remove(&(t, id));
+            self.uncount_instance(id);
+        } else {
+            self.cap_pending.insert((t, id));
+        }
+    }
+
+    /// Removes a terminated instance's full contribution from the
+    /// rates. Tasks may still be mapped to it (a drained instance keeps
+    /// its capacity until its deadline passes, exactly like the eager
+    /// live-set scan); their later detach/stop transitions are ignored
+    /// by the `counted` guards.
+    fn uncount_instance(&mut self, id: InstanceId) {
+        let acct = &mut self.inst_acct[id.0 as usize];
+        if !acct.counted {
+            return;
+        }
+        acct.counted = false;
+        for r in 0..3 {
+            self.cap_rate[r] -= acct.cap[r];
+            self.alloc_rate[r] -= acct.alloc[r];
+        }
+        self.running_rate -= acct.running as usize;
+        acct.alloc = [0.0; 3];
+        acct.running = 0;
+    }
+
+    /// Marks every job with a task mapped to instance slot `islot`
+    /// dirty — their effective throughput may change with the
+    /// instance's state (placement, straggle factor, co-location set).
+    pub(crate) fn touch_instance_jobs(&mut self, islot: u32) {
+        let world = &mut self.world;
+        for &t in &world.insts.tasks[islot as usize] {
+            world.jobs.mark_dirty(world.tasks.job_slot[t as usize]);
         }
     }
 }

@@ -38,7 +38,8 @@ pub mod prelude {
     pub use eva_core::{EvaConfig, EvaScheduler, Plan, Scheduler, SchedulerContext, TaskSnapshot};
     pub use eva_sim::{
         claim_stale_deadline, join_workers, run_recorded, run_simulation, worker_role,
-        BackendKind, CacheStats, CellPool, ClusterSim, ExecBackend, Experiment, FaultPlan,
+        BackendKind, CacheStats, CellPool, ClaimStride, ClusterSim, ExecBackend, Experiment,
+        FaultPlan,
         FaultRegime, FaultSpec, Federation, LiveBackend, LiveOutcome, MergeReport, PartitionAudit,
         PoolStats, PruneReport, ReportCache, SchedulerKind, SimBackend, SimConfig, SimReport,
         SplicedOutcome, SplicedResult, SweepArtifact, SweepGrid, SweepResult, SweepRunner,
