@@ -12,13 +12,20 @@
 //!   its third round), where completions, reschedules, and incremental
 //!   integral updates dominate instead of arrival setup. This is the
 //!   regime the dirty-set O(changed) hot loop targets.
+//! * `cluster_sim/ingest_retire` — a steady-state streaming run: jobs
+//!   pulled one ingest ahead from the open-loop generator with
+//!   `retire_completed` on, so every completion recycles arena slots.
+//!   Reported per-run; divide by the job count for ns/job through the
+//!   full ingest → schedule → complete → retire cycle of `eva serve`.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 
 use eva_core::EvaConfig;
 use eva_sim::{ClusterSim, SchedulerKind, SimConfig};
 use eva_types::SimDuration;
-use eva_workloads::{SyntheticTraceConfig, Trace, UniformHours};
+use eva_workloads::{
+    SyntheticSource, SyntheticTraceConfig, Trace, TraceHandle, UniformHours,
+};
 
 fn dense_trace(jobs: usize) -> Trace {
     SyntheticTraceConfig {
@@ -94,11 +101,37 @@ fn bench_build_100k(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_ingest_retire(c: &mut Criterion) {
+    // 300 jobs at the dense 3-minute interarrival keeps a steady
+    // in-flight window churning through slot recycling.
+    let mut cfg = SimConfig::new(
+        TraceHandle::new(Trace::new(Vec::new())),
+        SchedulerKind::Stratus,
+    );
+    cfg.retire_completed = true;
+    let src_cfg = SyntheticTraceConfig {
+        num_jobs: 300,
+        mean_interarrival: SimDuration::from_mins(3),
+        duration: UniformHours::new(0.5, 1.5),
+        single_task_only: false,
+    };
+    let mut group = c.benchmark_group("cluster_sim");
+    group.sample_size(10);
+    group.bench_function("ingest_retire", |b| {
+        b.iter(|| {
+            let source = Box::new(SyntheticSource::new(&src_cfg, 17));
+            ClusterSim::from_source(&cfg, source).run().jobs_completed
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_first_round,
     bench_run_to_completion,
     bench_steady_churn,
-    bench_build_100k
+    bench_build_100k,
+    bench_ingest_retire
 );
 criterion_main!(benches);

@@ -13,15 +13,25 @@
 //!   [`SweepRunner`] with caching disabled: cells per second.
 //! * `huge_100k` — the 100,000-job stress tier simulated end to end on
 //!   one cell (Stratus): jobs per second. This is the CI release-smoke
-//!   target.
+//!   target. Runs in a spawned child process so its `VmHWM` is the
+//!   probe's own high-water mark, not the parent's lifetime one.
+//! * `huge_1m` (`--full`) — the million-job tier through the
+//!   *streaming* path: jobs pulled from the seeded generator via
+//!   [`ClusterSim::from_source`] with `retire_completed` on, so arena
+//!   rows track the in-flight window. Also a child process; its peak
+//!   RSS must come in *below* the batch 100k tier's despite 10× the
+//!   jobs — that drop is the point of the streaming service mode.
+//! * `serve` — the service loop end to end ([`eva_sim::serve()`] over an
+//!   open-loop synthetic source, rolling metrics into a sink):
+//!   sustained jobs per second and the RSS plateau of a long-lived
+//!   scheduler process (child process, `VmHWM` in kB).
 //! * `federated` — a cold ≥20-cell grid of light cells swept twice from
 //!   scratch: once single-process, once under a two-process
 //!   [`eva_sim::Federation`] (claim files over a throwaway cache dir),
 //!   asserting the merged JSON is byte-identical and recording both
 //!   throughputs.
-//! * peak RSS (`VmHWM` from `/proc/self/status`, so a process-lifetime
-//!   high-water mark) snapshotted after the sweep and after the huge
-//!   run.
+//! * peak RSS (`VmHWM` from `/proc/self/status`) snapshotted after the
+//!   sweep, plus the huge-100k child's own high-water mark.
 //!
 //! Flags:
 //!
@@ -33,9 +43,14 @@
 //!   simulating anything (the CI schema step); warns when the optional
 //!   `huge_1m` tier was not run. When an older committed `BENCH_*.json`
 //!   sits next to `FILE`, also prints per-metric deltas against the
-//!   most recent one (informational — regressions warn, never fail).
+//!   most recent one (informational — regressions warn, never fail)
+//!   and flags any metric the previous snapshot had that the new one
+//!   dropped (schema-drift guard).
 //! * `--fed-worker DIR` — internal: what the federated probe's spawned
 //!   worker runs; sweeps only the federated grid against cache `DIR`.
+//! * `--huge-worker 100k|1m` / `--serve-worker` — internal: run one
+//!   probe in a child process and print its JSON result, so `VmHWM`
+//!   measures that probe alone.
 
 use std::path::PathBuf;
 use std::time::Instant;
@@ -44,13 +59,15 @@ use serde::{Deserialize, Serialize};
 
 use eva_core::EvaConfig;
 use eva_sim::{
-    join_workers, ClusterSim, Federation, ReportCache, SchedulerKind, SimConfig, SweepGrid,
-    SweepRunner,
+    join_workers, serve, ClusterSim, Federation, ReportCache, SchedulerKind, ServeConfig,
+    SimConfig, SweepGrid, SweepRunner,
 };
 use eva_types::SimDuration;
-use eva_workloads::{SyntheticTraceConfig, Trace, UniformHours};
+use eva_workloads::{
+    SyntheticSource, SyntheticTraceConfig, Trace, TraceHandle, UniformHours,
+};
 
-const SCHEMA: &str = "eva-perf-v3";
+const SCHEMA: &str = "eva-perf-v4";
 
 /// The committed snapshot format. `--check` round-trips a file through
 /// this struct, so adding a field here is a schema change CI will catch.
@@ -62,6 +79,7 @@ struct BenchSnapshot {
     sweep: SweepProbe,
     huge_100k: HugeProbe,
     huge_1m: Option<HugeProbe>,
+    serve: ServeProbe,
     federated: FederatedProbe,
     peak_rss_mb: RssProbe,
 }
@@ -111,10 +129,33 @@ struct HugeProbe {
     events_scheduled: u64,
     /// Event-queue high-water mark (live events + tombstones).
     event_queue_peak: usize,
+    /// `VmHWM` of the probe's own child process (MiB); 0 when run
+    /// in-process (the `--smoke` path) or off Linux.
+    peak_rss_mb: u64,
+}
+
+/// The long-lived service loop under sustained open-loop load.
+#[derive(Debug, Serialize, Deserialize)]
+struct ServeProbe {
+    jobs: usize,
+    wall_secs: f64,
+    /// End-to-end throughput of `eva serve`: jobs retired per second of
+    /// wall clock, rolling metrics emission included.
+    sustained_jobs_per_sec: f64,
+    /// Rolling metrics lines the run emitted.
+    metrics_lines: usize,
+    /// High-water mark of concurrently live arena job rows — the
+    /// in-flight window retirement keeps the process down to.
+    peak_job_rows: usize,
+    /// `VmHWM` of the serve child process in kB — the memory plateau a
+    /// long-lived scheduler settles at. 0 off Linux.
+    rss_plateau_kb: u64,
 }
 
 /// `VmHWM` high-water marks (MiB); 0 where the kernel interface is
-/// unavailable (non-Linux).
+/// unavailable (non-Linux). `after_sweep` is the coordinating process's
+/// own mark; `after_huge_100k` mirrors the huge-100k child's, kept here
+/// so the v3 trajectory stays diffable.
 #[derive(Debug, Serialize, Deserialize)]
 struct RssProbe {
     after_sweep: u64,
@@ -286,11 +327,105 @@ fn probe_huge(cfg: SyntheticTraceConfig) -> HugeProbe {
         jobs_per_sec: report.jobs_completed as f64 / wall_secs.max(1e-9),
         events_scheduled,
         event_queue_peak,
+        peak_rss_mb: 0,
     }
 }
 
-/// `VmHWM` from `/proc/self/status` in MiB; 0 when unavailable.
-fn peak_rss_mb() -> u64 {
+/// An empty-trace config for streaming worlds (jobs arrive via a
+/// [`JobSource`](eva_workloads::JobSource), not the trace).
+fn streaming_cfg() -> SimConfig {
+    let mut cfg = SimConfig::new(
+        TraceHandle::new(Trace::new(Vec::new())),
+        SchedulerKind::Stratus,
+    );
+    cfg.retire_completed = true;
+    cfg
+}
+
+/// The million-job tier through the streaming path: jobs pulled from
+/// the seeded generator one ingest ahead, completed jobs retired, so
+/// neither the trace nor the arena ever materializes a million rows.
+fn probe_huge_streaming(cfg: SyntheticTraceConfig) -> HugeProbe {
+    let jobs = cfg.num_jobs;
+    let source = Box::new(SyntheticSource::new(&cfg, 42));
+    let start = Instant::now();
+    let mut sim = ClusterSim::from_source(&streaming_cfg(), source);
+    while sim.step() {}
+    // Growable-structure census on stderr: the first thing to read when
+    // a streamed tier's RSS stops plateauing.
+    eprintln!("   dims: {}", sim.arena_dims());
+    let events_scheduled = sim.events_scheduled();
+    let event_queue_peak = sim.event_queue_peak();
+    let report = sim.run();
+    let wall_secs = start.elapsed().as_secs_f64();
+    HugeProbe {
+        jobs,
+        jobs_completed: report.jobs_completed,
+        wall_secs,
+        jobs_per_sec: report.jobs_completed as f64 / wall_secs.max(1e-9),
+        events_scheduled,
+        event_queue_peak,
+        peak_rss_mb: peak_rss_mb(),
+    }
+}
+
+/// The service-loop probe: `serve` over a sustained open-loop synthetic
+/// stream (same 30-second mean interarrival as the huge tiers), rolling
+/// metrics written to a sink. Run in a child process so `VmHWM` is the
+/// plateau of a long-lived scheduler alone.
+fn probe_serve() -> ServeProbe {
+    const JOBS: usize = 20_000;
+    let source = Box::new(SyntheticSource::open_loop(120.0, JOBS, 42));
+    let opts = ServeConfig {
+        metrics_every: SimDuration::from_hours(4),
+        duration: None,
+    };
+    let start = Instant::now();
+    let outcome = serve(&streaming_cfg(), source, &opts, &mut std::io::sink())
+        .expect("serve probe runs");
+    let wall_secs = start.elapsed().as_secs_f64();
+    ServeProbe {
+        jobs: JOBS,
+        wall_secs,
+        sustained_jobs_per_sec: outcome.report.jobs_completed as f64 / wall_secs.max(1e-9),
+        metrics_lines: outcome.metrics_lines,
+        peak_job_rows: outcome.peak_job_rows,
+        rss_plateau_kb: peak_rss_kb(),
+    }
+}
+
+/// Re-runs this binary with `flag` and parses the single JSON line the
+/// worker prints, so the child's `VmHWM` covers exactly one probe.
+fn spawn_probe<T: serde::de::DeserializeOwned>(flag: &[&str]) -> T {
+    let exe = std::env::current_exe().expect("own binary path");
+    let out = std::process::Command::new(exe)
+        .args(flag)
+        .output()
+        .expect("spawn probe worker");
+    if !out.status.success() {
+        eprintln!(
+            "error: probe worker {flag:?} failed:\n{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        std::process::exit(1);
+    }
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let line = stdout
+        .lines()
+        .rev()
+        .find(|l| !l.trim().is_empty())
+        .unwrap_or("");
+    match serde_json::from_str(line) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: probe worker {flag:?} emitted unparseable output: {e}\n{stdout}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// `VmHWM` from `/proc/self/status` in kB; 0 when unavailable.
+fn peak_rss_kb() -> u64 {
     let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
         return 0;
     };
@@ -299,8 +434,12 @@ fn peak_rss_mb() -> u64 {
         .find_map(|l| l.strip_prefix("VmHWM:"))
         .and_then(|rest| rest.split_whitespace().next())
         .and_then(|kb| kb.parse::<u64>().ok())
-        .map(|kb| kb / 1024)
         .unwrap_or(0)
+}
+
+/// `VmHWM` in MiB; 0 when unavailable.
+fn peak_rss_mb() -> u64 {
+    peak_rss_kb() / 1024
 }
 
 /// UTC date as `YYYY-MM-DD` from the system clock (civil-from-days, no
@@ -343,6 +482,20 @@ fn numeric_leaves(prefix: &str, value: &serde_json::Value, out: &mut Vec<(String
         serde_json::Value::Number(n) => out.push((prefix.to_string(), n.as_f64())),
         _ => {}
     }
+}
+
+/// Dotted paths of numeric metrics present in `prev` but absent from
+/// `cur` — the schema-drift guard: a metric silently vanishing from the
+/// committed trajectory usually means a probe was dropped by accident.
+fn missing_metrics(prev: &serde_json::Value, cur: &serde_json::Value) -> Vec<String> {
+    let (mut old, mut new) = (Vec::new(), Vec::new());
+    numeric_leaves("", prev, &mut old);
+    numeric_leaves("", cur, &mut new);
+    old.iter()
+        .map(|(metric, _)| metric)
+        .filter(|metric| !new.iter().any(|(m, _)| m == *metric))
+        .cloned()
+        .collect()
 }
 
 /// The most recent committed `BENCH_*.json` sorting strictly before
@@ -397,6 +550,13 @@ fn print_deltas(path: &std::path::Path) {
         // reader knows which is which — just report the movement.
         println!("      {metric}: {before} -> {now} ({pct:+.1}%)");
     }
+    for metric in missing_metrics(&prev, &cur) {
+        println!(
+            "   warning: {metric}: present in {} but missing here — \
+             schema drift? (probes must not silently disappear)",
+            prev_path.display()
+        );
+    }
 }
 
 fn check_snapshot(path: &str) -> Result<(), String> {
@@ -424,8 +584,28 @@ fn check_snapshot(path: &str) -> Result<(), String> {
     if snap.huge_100k.events_scheduled == 0 || snap.huge_100k.event_queue_peak == 0 {
         return Err("huge_100k probe must report heap churn counters".to_string());
     }
-    if snap.huge_1m.is_none() {
+    if let Some(huge_1m) = &snap.huge_1m {
+        // The v4 million-job tier streams with retirement; its own
+        // high-water mark must undercut the *batch* 100k tier's despite
+        // 10× the jobs. Only checkable where /proc exists on both.
+        if huge_1m.peak_rss_mb > 0
+            && snap.huge_100k.peak_rss_mb > 0
+            && huge_1m.peak_rss_mb >= snap.huge_100k.peak_rss_mb
+        {
+            return Err(format!(
+                "huge_1m streamed {} MiB, not below the batch 100k tier's {} MiB — \
+                 retirement is not bounding memory",
+                huge_1m.peak_rss_mb, snap.huge_100k.peak_rss_mb
+            ));
+        }
+    } else {
         println!("warning: huge_1m: tier not run (regenerate with --full to cover it)");
+    }
+    if snap.serve.jobs == 0 || snap.serve.sustained_jobs_per_sec <= 0.0 {
+        return Err("serve probe must report sustained throughput".to_string());
+    }
+    if snap.serve.peak_job_rows == 0 || snap.serve.peak_job_rows >= snap.serve.jobs {
+        return Err("serve probe must show arena rows bounded below total jobs".to_string());
     }
     if snap.federated.procs < 2 {
         return Err("federated probe must use at least two processes".to_string());
@@ -453,6 +633,28 @@ fn main() {
                     std::process::exit(2);
                 };
                 run_fed_worker(dir);
+                return;
+            }
+            "--huge-worker" => {
+                let mut probe = match args.next().as_deref() {
+                    Some("100k") => probe_huge(SyntheticTraceConfig::huge_100k()),
+                    Some("1m") => probe_huge_streaming(SyntheticTraceConfig::huge_1m()),
+                    // Diagnostic tier (not in the snapshot): the 100k
+                    // config through the streaming path, for bisecting
+                    // memory growth against the batch 100k probe.
+                    Some("100k-stream") => probe_huge_streaming(SyntheticTraceConfig::huge_100k()),
+                    other => {
+                        eprintln!("error: --huge-worker needs 100k or 1m, got {other:?}");
+                        std::process::exit(2);
+                    }
+                };
+                probe.peak_rss_mb = peak_rss_mb();
+                println!("{}", serde_json::to_string(&probe).expect("probe serializes"));
+                return;
+            }
+            "--serve-worker" => {
+                let probe = probe_serve();
+                println!("{}", serde_json::to_string(&probe).expect("probe serializes"));
                 return;
             }
             "--out" => out = args.next().map(PathBuf::from),
@@ -523,17 +725,29 @@ fn main() {
     );
     let after_sweep = peak_rss_mb();
 
-    println!("   probing huge-100k (Stratus, single cell)...");
-    let huge_100k = probe_huge(SyntheticTraceConfig::huge_100k());
+    println!("   probing huge-100k (Stratus, single cell, child process)...");
+    let huge_100k: HugeProbe = spawn_probe(&["--huge-worker", "100k"]);
     println!(
-        "   {} jobs in {:.1}s ({:.0} jobs/s, {} events scheduled, queue peak {})",
+        "   {} jobs in {:.1}s ({:.0} jobs/s, {} events scheduled, queue peak {}, {} MiB peak)",
         huge_100k.jobs_completed,
         huge_100k.wall_secs,
         huge_100k.jobs_per_sec,
         huge_100k.events_scheduled,
-        huge_100k.event_queue_peak
+        huge_100k.event_queue_peak,
+        huge_100k.peak_rss_mb
     );
-    let after_huge_100k = peak_rss_mb();
+    let after_huge_100k = huge_100k.peak_rss_mb;
+
+    println!("   probing serve loop (open-loop synthetic stream, child process)...");
+    let serve_probe: ServeProbe = spawn_probe(&["--serve-worker"]);
+    println!(
+        "   {} jobs at {:.0} jobs/s sustained, {} rolling lines, peak {} arena rows, {} kB plateau",
+        serve_probe.jobs,
+        serve_probe.sustained_jobs_per_sec,
+        serve_probe.metrics_lines,
+        serve_probe.peak_job_rows,
+        serve_probe.rss_plateau_kb
+    );
 
     println!("   probing federated sweep (2 processes, cold claim-coordinated grid)...");
     let federated = probe_federated(2);
@@ -544,12 +758,18 @@ fn main() {
     );
 
     let huge_1m = full.then(|| {
-        println!("   probing huge-1m (Stratus, single cell)...");
-        let p = probe_huge(SyntheticTraceConfig::huge_1m());
+        println!("   probing huge-1m (Stratus, streaming + retirement, child process)...");
+        let p: HugeProbe = spawn_probe(&["--huge-worker", "1m"]);
         println!(
-            "   {} jobs in {:.1}s ({:.0} jobs/s)",
-            p.jobs_completed, p.wall_secs, p.jobs_per_sec
+            "   {} jobs in {:.1}s ({:.0} jobs/s, {} MiB peak vs {} MiB for batch 100k)",
+            p.jobs_completed, p.wall_secs, p.jobs_per_sec, p.peak_rss_mb, after_huge_100k
         );
+        if p.peak_rss_mb > 0 && after_huge_100k > 0 && p.peak_rss_mb >= after_huge_100k {
+            eprintln!(
+                "warning: streamed million-job tier did not undercut the batch \
+                 100k tier's peak RSS — retirement is not bounding memory"
+            );
+        }
         p
     });
 
@@ -560,6 +780,7 @@ fn main() {
         sweep,
         huge_100k,
         huge_1m,
+        serve: serve_probe,
         federated,
         peak_rss_mb: RssProbe {
             after_sweep,
@@ -581,5 +802,38 @@ fn main() {
             eprintln!("error: serialization failed: {e}");
             std::process::exit(1);
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(json: &str) -> serde_json::Value {
+        serde_json::from_str_value(json).expect("valid test JSON")
+    }
+
+    #[test]
+    fn missing_metrics_flags_dropped_numeric_leaves() {
+        let prev = v(r#"{"a": 1, "nested": {"kept": 2.5, "dropped": 3}, "also_gone": 4}"#);
+        let cur = v(r#"{"a": 9, "nested": {"kept": 0.5, "brand_new": 7}}"#);
+        let mut missing = missing_metrics(&prev, &cur);
+        missing.sort();
+        assert_eq!(missing, vec!["also_gone", "nested.dropped"]);
+    }
+
+    #[test]
+    fn missing_metrics_ignores_non_numeric_and_new_fields() {
+        let prev = v(r#"{"schema": "eva-perf-v3", "x": 1}"#);
+        let cur = v(r#"{"schema": "eva-perf-v4", "x": 2, "extra": 3}"#);
+        // `schema` is a string leaf, `extra` only exists in the new
+        // snapshot — neither is drift.
+        assert!(missing_metrics(&prev, &cur).is_empty());
+    }
+
+    #[test]
+    fn missing_metrics_clean_on_identical_schemas() {
+        let snap = r#"{"huge_1m": {"jobs": 1, "rss": 2}, "serve": {"rate": 3.5}}"#;
+        assert!(missing_metrics(&v(snap), &v(snap)).is_empty());
     }
 }

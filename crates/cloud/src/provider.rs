@@ -122,6 +122,14 @@ pub struct CloudProvider {
     /// each factor applying from its instant until the next step. Empty =
     /// static catalog prices (the exact historical billing path).
     price_steps: Vec<(SimTime, f64)>,
+    /// Frozen `(id, billed uptime hours)` of retired instances, in
+    /// retirement order (see [`CloudProvider::retire_instance`]).
+    retired_uptimes: Vec<(InstanceId, f64)>,
+    /// Total bill of retired instances. Exact micro-dollar integers sum
+    /// order-free, so a running total loses nothing.
+    retired_bill: Cost,
+    /// Latest termination time among retired instances.
+    retired_end: Option<SimTime>,
 }
 
 impl CloudProvider {
@@ -141,6 +149,9 @@ impl CloudProvider {
             launches: 0,
             pool_limit: None,
             price_steps: Vec::new(),
+            retired_uptimes: Vec::new(),
+            retired_bill: Cost::ZERO,
+            retired_end: None,
         }
     }
 
@@ -267,7 +278,9 @@ impl CloudProvider {
             .and_then(|i| self.catalog.get(i.type_id))
     }
 
-    /// Iterates over all instances ever provisioned.
+    /// Iterates over every instance record still held — all instances
+    /// ever provisioned, minus any whose record was folded away by
+    /// [`CloudProvider::retire_instance`].
     pub fn instances(&self) -> impl Iterator<Item = &Instance> {
         self.instances.values()
     }
@@ -320,12 +333,67 @@ impl CloudProvider {
     }
 
     /// The total bill across all instances up to `now` — the paper's
-    /// primary "Total Cost" metric.
+    /// primary "Total Cost" metric. Retired instances contribute their
+    /// frozen bill.
     pub fn total_bill(&self, now: SimTime) -> Cost {
-        self.instances
-            .keys()
-            .map(|id| self.instance_bill(*id, now).unwrap_or(Cost::ZERO))
-            .sum()
+        self.retired_bill
+            + self
+                .instances
+                .keys()
+                .map(|id| self.instance_bill(*id, now).unwrap_or(Cost::ZERO))
+                .sum()
+    }
+
+    /// Drops a *terminated* instance's record, folding its billed
+    /// uptime and bill into frozen accumulators first. Returns whether
+    /// a record was retired (`false` for unknown or still-live ids).
+    ///
+    /// A terminated instance's uptime and bill are independent of the
+    /// observation time once it is in the past — `uptime(now)` and
+    /// [`CloudProvider::instance_bill`] both clamp to `terminated_at` —
+    /// so folding at retirement is bit-identical to folding at the end
+    /// of the run. Long-lived service worlds retire records as
+    /// terminations pass to keep provider memory proportional to the
+    /// live fleet, not the fleet-ever-launched.
+    pub fn retire_instance(&mut self, id: InstanceId) -> bool {
+        let Some(t) = self.instances.get(&id).and_then(|i| i.terminated_at) else {
+            return false;
+        };
+        let bill = self.instance_bill(id, t).unwrap_or(Cost::ZERO);
+        let inst = self.instances.remove(&id).expect("checked above");
+        self.retired_uptimes.push((id, inst.uptime(t).as_hours_f64()));
+        self.retired_bill += bill;
+        self.retired_end = Some(self.retired_end.map_or(t, |e| e.max(t)));
+        true
+    }
+
+    /// Latest termination time across all instances ever provisioned,
+    /// retired records included — the report's billing horizon.
+    pub fn max_terminated_at(&self) -> Option<SimTime> {
+        let held = self
+            .instances
+            .values()
+            .filter_map(|i| i.terminated_at)
+            .max();
+        match (held, self.retired_end) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// `(id, billed uptime hours)` for every instance ever provisioned
+    /// — retired records included — in ascending id order, the exact
+    /// sequence the report's `billed_hours` fold and uptime CDF have
+    /// always consumed.
+    pub fn uptime_rows(&self, end: SimTime) -> Vec<(InstanceId, f64)> {
+        let mut rows: Vec<(InstanceId, f64)> = self
+            .instances
+            .values()
+            .map(|i| (i.id, i.uptime(end).as_hours_f64()))
+            .collect();
+        rows.extend_from_slice(&self.retired_uptimes);
+        rows.sort_by_key(|&(id, _)| id);
+        rows
     }
 }
 
@@ -451,6 +519,48 @@ mod tests {
         let total = cloud.total_bill(now);
         assert_eq!(total, Cost::from_dollars(0.08925 + 0.1323));
         assert_eq!(cloud.launch_count(), 2);
+    }
+
+    #[test]
+    fn retiring_records_is_invisible_to_the_report_views() {
+        // Two providers walk the same lifecycle; one retires records as
+        // terminations land. Every report-facing view must agree bit
+        // for bit, including under a dynamic price schedule.
+        let (mut keep, mut rng_a) = nominal_cloud();
+        let (mut prune, mut rng_b) = nominal_cloud();
+        let steps = vec![(SimTime::from_secs(1800), 2.0)];
+        keep.set_price_schedule(steps.clone());
+        prune.set_price_schedule(steps);
+        let ty = keep.catalog().by_name("c7i.large").unwrap().id;
+        let mut ids = Vec::new();
+        for k in 0..4u64 {
+            let req = ProvisionRequest {
+                type_id: ty,
+                at: SimTime::from_secs(600 * k),
+            };
+            let a = keep.provision(req, &mut rng_a).unwrap();
+            let b = prune.provision(req, &mut rng_b).unwrap();
+            assert_eq!(a, b);
+            ids.push(a);
+        }
+        // Terminate out of id order; retire as each termination lands.
+        for &pos in &[3usize, 1, 2] {
+            let at = SimTime::from_secs(2000 + 700 * pos as u64);
+            keep.terminate(ids[pos], at).unwrap();
+            prune.terminate(ids[pos], at).unwrap();
+            assert!(prune.retire_instance(ids[pos]));
+        }
+        // ids[0] stays live; retiring a live record is refused.
+        assert!(!prune.retire_instance(ids[0]));
+        let end = SimTime::from_secs(9000);
+        keep.terminate(ids[0], end).unwrap();
+        prune.terminate(ids[0], end).unwrap();
+        assert_eq!(keep.total_bill(end), prune.total_bill(end));
+        assert_eq!(keep.max_terminated_at(), prune.max_terminated_at());
+        assert_eq!(keep.uptime_rows(end), prune.uptime_rows(end));
+        assert_eq!(keep.launch_count(), prune.launch_count());
+        assert_eq!(prune.instances().count(), 1);
+        assert_eq!(keep.instances().count(), 4);
     }
 
     #[test]

@@ -16,7 +16,18 @@
 //!   recycled through a free list when instances retire — per-instance
 //!   state (mapped tasks, busy-until, straggle factor) lives in parallel
 //!   `Vec`s indexed by slot, with a dense `InstanceId → slot` table on
-//!   the side (provider IDs are sequential).
+//!   the side (provider IDs are sequential);
+//! * **job slots recycle too** when retirement is enabled: a completed
+//!   job folds its report contribution into the host's completed-job
+//!   log, releases its task range, and returns its slot through
+//!   [`JobArena::release`] — the same free-list discipline as
+//!   instances — so a long-lived streaming world holds state for the
+//!   in-flight window only, not for every job ever ingested. Streaming
+//!   worlds intern jobs out of ID order as they arrive
+//!   ([`WorldArena::intern_job`]), so they carry side `BTreeMap`
+//!   lookups in place of the sorted-lane binary search, and the active
+//!   set orders by *ID* (identical to slot order whenever slots were
+//!   interned in ID order, which keeps batch bytes unchanged).
 //!
 //! Dynamic state is stored as structure-of-arrays `Vec`s: the per-event
 //! integration loop touches `remaining_hours`/`tput_integral`/… as flat
@@ -67,7 +78,9 @@
 //! (all components are integer-valued, so summation order cannot
 //! introduce drift).
 
-use eva_types::{InstanceId, JobId, SimTime, TaskId, WorkloadKind};
+use std::collections::BTreeMap;
+
+use eva_types::{InstanceId, JobId, JobSpec, SimTime, TaskId, WorkloadKind};
 use eva_workloads::Trace;
 
 use crate::state::TaskState;
@@ -78,13 +91,21 @@ pub(crate) const NO_SLOT: u32 = u32::MAX;
 /// Job state, slot-indexed in ascending [`JobId`] order.
 #[derive(Debug)]
 pub(crate) struct JobArena {
-    /// Slot → job ID (ascending; slot order is ID order).
+    /// Slot → job ID (ascending when interned from a trace; streaming
+    /// worlds recycle slots and rely on [`Self::lookup`] instead).
     pub ids: Vec<JobId>,
-    /// Slot → index of the job's spec in the trace's job vector.
+    /// Slot → index of the job's spec in the trace's job vector
+    /// ([`NO_SLOT`] for streamed jobs, whose specs live in
+    /// [`Self::owned`]).
     pub spec_idx: Vec<u32>,
-    /// Prefix table: job `j`'s tasks occupy task slots
-    /// `task_start[j]..task_start[j + 1]`.
+    /// Slot → first task slot of the job's contiguous task range.
     pub task_start: Vec<u32>,
+    /// Slot → length of the job's task range.
+    pub task_count: Vec<u32>,
+    /// Owned specs for jobs interned from a stream (batch worlds leave
+    /// this empty and index the shared trace through `spec_idx`).
+    /// Boxed so releasing a slot actually reclaims the spec's memory.
+    pub owned: Vec<Option<Box<JobSpec>>>,
     /// Total work in full-throughput hours (the spec duration, cached).
     pub total_hours: Vec<f64>,
     /// Remaining work in full-throughput hours.
@@ -122,12 +143,24 @@ pub(crate) struct JobArena {
     /// Global log of clock segments (dt in hours) since the last
     /// [`Self::settle_active_and_reset`] point.
     pub seg_log: Vec<f64>,
+    /// Slots returned through [`Self::release`]: their lanes are reset
+    /// and their stale IDs are excluded from audits until reuse.
+    pub released: Vec<bool>,
+    /// Recycled job slots awaiting reuse (mirrors the instance arena's
+    /// free list).
+    pub free: Vec<u32>,
+    /// `JobId → slot` map, maintained only for streaming worlds where
+    /// slot recycling breaks the sorted-lane binary search.
+    pub lookup: Option<BTreeMap<JobId, u32>>,
 }
 
 impl JobArena {
-    /// Slot of `id`, if the trace contains it.
+    /// Slot of `id`, if the world currently holds it.
     pub fn slot_of(&self, id: JobId) -> Option<u32> {
-        self.ids.binary_search(&id).ok().map(|s| s as u32)
+        match &self.lookup {
+            Some(map) => map.get(&id).copied(),
+            None => self.ids.binary_search(&id).ok().map(|s| s as u32),
+        }
     }
 
     /// True once the job has no work left.
@@ -137,7 +170,20 @@ impl JobArena {
 
     /// The job's contiguous task-slot range.
     pub fn task_range(&self, slot: u32) -> std::ops::Range<usize> {
-        self.task_start[slot as usize] as usize..self.task_start[slot as usize + 1] as usize
+        let start = self.task_start[slot as usize] as usize;
+        start..start + self.task_count[slot as usize] as usize
+    }
+
+    /// Position of `slot` in the ID-ordered active set (`Ok` when
+    /// listed). Ordering by ID keeps iteration — and therefore float
+    /// accumulation — in `JobId` order even when recycled slots are
+    /// interned out of order; with trace interning, slot order *is* ID
+    /// order and this degenerates to the old slot-ordered search.
+    fn active_pos(&self, slot: u32) -> Result<usize, usize> {
+        let key = self.ids[slot as usize];
+        let ids = &self.ids;
+        self.active
+            .binary_search_by(|&x| ids[x as usize].cmp(&key).then(x.cmp(&slot)))
     }
 
     /// Marks the job arrived and inserts it into the active set. The
@@ -146,16 +192,47 @@ impl JobArena {
     pub fn activate(&mut self, slot: u32) {
         self.arrived[slot as usize] = true;
         self.settled[slot as usize] = self.seg_log.len() as u32;
-        if let Err(pos) = self.active.binary_search(&slot) {
+        if let Err(pos) = self.active_pos(slot) {
             self.active.insert(pos, slot);
         }
     }
 
     /// Removes a completed job from the active set.
     pub fn retire(&mut self, slot: u32) {
-        if let Ok(pos) = self.active.binary_search(&slot) {
+        if let Ok(pos) = self.active_pos(slot) {
             self.active.remove(pos);
         }
+    }
+
+    /// Returns a completed, already-retired job's slot to the free
+    /// list, resetting every dynamic lane so it recycles clean. The
+    /// caller must have folded the job's report contribution first —
+    /// after release the lanes carry nothing. `completion_gen` stays
+    /// monotone across recycling so stale completion events can never
+    /// validate against a reused slot.
+    pub fn release(&mut self, slot: u32) {
+        let s = slot as usize;
+        debug_assert!(self.completed_at[s].is_some(), "releasing an unfinished job");
+        debug_assert!(!self.dirty[s], "releasing a dirty job");
+        debug_assert!(self.active_pos(slot).is_err(), "releasing an active job");
+        if let Some(map) = self.lookup.as_mut() {
+            map.remove(&self.ids[s]);
+        }
+        self.arrived[s] = false;
+        self.completed_at[s] = None;
+        self.scheduled_done_at[s] = None;
+        self.total_hours[s] = 0.0;
+        self.remaining_hours[s] = 0.0;
+        self.executing_hours[s] = 0.0;
+        self.idle_hours[s] = 0.0;
+        self.tput_integral[s] = 0.0;
+        self.rate[s] = 0.0;
+        self.settled[s] = 0;
+        if let Some(spec) = self.owned.get_mut(s) {
+            *spec = None;
+        }
+        self.released[s] = true;
+        self.free.push(slot);
     }
 
     /// Advances the job by `dt_hours` at effective throughput `tput` —
@@ -266,12 +343,22 @@ pub(crate) struct TaskArena {
     /// `slot_by_pos[task_start[j] + pos]` (identity whenever spec tasks
     /// are declared in index order, which every generator does).
     pub slot_by_pos: Vec<u32>,
+    /// `TaskId → slot` map, maintained only for streaming worlds (see
+    /// [`JobArena::lookup`]).
+    pub lookup: Option<BTreeMap<TaskId, u32>>,
+    /// Released task ranges awaiting exact-fit reuse: range length →
+    /// start slots. Jobs release their whole contiguous range at once,
+    /// so recycling preserves the job-major contiguity invariant.
+    pub free_ranges: BTreeMap<u32, Vec<u32>>,
 }
 
 impl TaskArena {
-    /// Slot of `id`, if the trace contains it.
+    /// Slot of `id`, if the world currently holds it.
     pub fn slot_of(&self, id: TaskId) -> Option<u32> {
-        self.ids.binary_search(&id).ok().map(|s| s as u32)
+        match &self.lookup {
+            Some(map) => map.get(&id).copied(),
+            None => self.ids.binary_search(&id).ok().map(|s| s as u32),
+        }
     }
 
     /// True when the task currently computes (and therefore interferes).
@@ -383,6 +470,12 @@ impl InstArena {
     pub fn live_slots(&self) -> impl Iterator<Item = u32> + '_ {
         self.slot_by_id.iter().copied().filter(|&s| s != NO_SLOT)
     }
+
+    /// Size of the `InstanceId → slot` table (grows with the largest
+    /// provider ID ever seen, 4 bytes per ID).
+    pub fn id_space(&self) -> usize {
+        self.slot_by_id.len()
+    }
 }
 
 /// The complete interned world state: jobs + tasks + instances.
@@ -396,6 +489,33 @@ pub(crate) struct WorldArena {
 }
 
 impl WorldArena {
+    /// Element counts of every growable structure, for memory
+    /// diagnosis (the streaming tiers must keep all of these bounded
+    /// by the in-flight window, not total jobs ingested).
+    #[doc(hidden)]
+    pub fn dims(&self) -> String {
+        let task_free: usize = self
+            .tasks
+            .free_ranges
+            .values()
+            .map(|starts| starts.len())
+            .sum();
+        format!(
+            "job_rows={} job_free={} job_lookup={} task_rows={} task_free_ranges={} \
+             task_lookup={} inst_rows={} inst_id_space={} seg_log={} slot_of_spec={}",
+            self.jobs.ids.len(),
+            self.jobs.free.len(),
+            self.jobs.lookup.as_ref().map_or(0, |m| m.len()),
+            self.tasks.ids.len(),
+            task_free,
+            self.tasks.lookup.as_ref().map_or(0, |m| m.len()),
+            self.insts.ids.len(),
+            self.insts.id_space(),
+            self.jobs.seg_log.len(),
+            self.slot_of_spec.len(),
+        )
+    }
+
     /// Interns every job and task ID of `trace` into slots. All dynamic
     /// state starts at its pre-arrival default; instances intern lazily
     /// as the provider provisions them.
@@ -412,7 +532,9 @@ impl WorldArena {
         let mut jobs = JobArena {
             ids: Vec::with_capacity(n),
             spec_idx: Vec::with_capacity(n),
-            task_start: Vec::with_capacity(n + 1),
+            task_start: Vec::with_capacity(n),
+            task_count: Vec::with_capacity(n),
+            owned: Vec::new(),
             total_hours: Vec::with_capacity(n),
             remaining_hours: Vec::with_capacity(n),
             executing_hours: vec![0.0; n],
@@ -428,6 +550,9 @@ impl WorldArena {
             dirty_list: Vec::new(),
             scheduled_done_at: vec![None; n],
             seg_log: Vec::new(),
+            released: vec![false; n],
+            free: Vec::new(),
+            lookup: None,
         };
         let mut tasks = TaskArena {
             ids: Vec::with_capacity(total_tasks),
@@ -439,6 +564,8 @@ impl WorldArena {
             migrations: vec![0; total_tasks],
             gen: vec![0; total_tasks],
             slot_by_pos: vec![0; total_tasks],
+            lookup: None,
+            free_ranges: BTreeMap::new(),
         };
         let mut slot_of_spec = vec![0u32; n];
 
@@ -453,6 +580,7 @@ impl WorldArena {
             jobs.ids.push(spec.id);
             jobs.spec_idx.push(si);
             jobs.task_start.push(tasks.ids.len() as u32);
+            jobs.task_count.push(spec.tasks.len() as u32);
             let total = spec.duration_at_full_tput.as_hours_f64();
             jobs.total_hours.push(total);
             jobs.remaining_hours.push(total);
@@ -473,7 +601,6 @@ impl WorldArena {
                 tasks.slot_by_pos[(base + pos) as usize] = tslot;
             }
         }
-        jobs.task_start.push(tasks.ids.len() as u32);
         debug_assert!(tasks.ids.windows(2).all(|w| w[0] < w[1]));
 
         WorldArena {
@@ -484,18 +611,177 @@ impl WorldArena {
         }
     }
 
+    /// Switches the world to streaming mode: job and task ID lookups go
+    /// through side maps (slot recycling breaks the sorted-lane binary
+    /// search) and [`Self::intern_job`] becomes legal. Call before any
+    /// streamed intern; existing slots seed the maps.
+    pub fn enable_streaming(&mut self) {
+        self.jobs.lookup = Some(
+            self.jobs
+                .ids
+                .iter()
+                .enumerate()
+                .map(|(s, &id)| (id, s as u32))
+                .collect(),
+        );
+        self.tasks.lookup = Some(
+            self.tasks
+                .ids
+                .iter()
+                .enumerate()
+                .map(|(s, &id)| (id, s as u32))
+                .collect(),
+        );
+    }
+
+    /// Interns one streamed job, recycling a released job slot and an
+    /// exact-fit released task range when available, appending fresh
+    /// lanes otherwise. The spec is owned by the slot (released with
+    /// it); all dynamic state starts at its pre-arrival default.
+    /// Requires [`Self::enable_streaming`].
+    pub fn intern_job(&mut self, spec: JobSpec) -> u32 {
+        debug_assert!(self.jobs.lookup.is_some(), "streaming intern without lookup maps");
+        let n_tasks = spec.tasks.len() as u32;
+        let jobs = &mut self.jobs;
+        let jslot = match jobs.free.pop() {
+            Some(s) => {
+                debug_assert!(jobs.released[s as usize]);
+                jobs.released[s as usize] = false;
+                s
+            }
+            None => {
+                let s = jobs.ids.len() as u32;
+                jobs.ids.push(spec.id);
+                jobs.spec_idx.push(NO_SLOT);
+                jobs.task_start.push(0);
+                jobs.task_count.push(0);
+                jobs.total_hours.push(0.0);
+                jobs.remaining_hours.push(0.0);
+                jobs.executing_hours.push(0.0);
+                jobs.idle_hours.push(0.0);
+                jobs.tput_integral.push(0.0);
+                jobs.completed_at.push(None);
+                jobs.completion_gen.push(0);
+                jobs.arrived.push(false);
+                jobs.rate.push(0.0);
+                jobs.settled.push(0);
+                jobs.dirty.push(false);
+                jobs.scheduled_done_at.push(None);
+                jobs.released.push(false);
+                s
+            }
+        };
+        while jobs.owned.len() <= jslot as usize {
+            jobs.owned.push(None);
+        }
+        let base = match self
+            .tasks
+            .free_ranges
+            .get_mut(&n_tasks)
+            .and_then(|starts| starts.pop())
+        {
+            Some(b) => b,
+            None => {
+                let b = self.tasks.ids.len() as u32;
+                for _ in 0..n_tasks {
+                    self.tasks.ids.push(TaskId::new(spec.id, 0));
+                    self.tasks.job_slot.push(jslot);
+                    self.tasks.spec_pos.push(0);
+                    self.tasks.workload.push(WorkloadKind(0));
+                    self.tasks.state.push(TaskState::Pending);
+                    self.tasks.assigned.push(NO_SLOT);
+                    self.tasks.migrations.push(0);
+                    self.tasks.gen.push(0);
+                    self.tasks.slot_by_pos.push(0);
+                }
+                b
+            }
+        };
+
+        let js = jslot as usize;
+        jobs.ids[js] = spec.id;
+        jobs.spec_idx[js] = NO_SLOT;
+        jobs.task_start[js] = base;
+        jobs.task_count[js] = n_tasks;
+        let total = spec.duration_at_full_tput.as_hours_f64();
+        jobs.total_hours[js] = total;
+        jobs.remaining_hours[js] = total;
+        if let Some(map) = jobs.lookup.as_mut() {
+            let prev = map.insert(spec.id, jslot);
+            debug_assert!(prev.is_none(), "duplicate streamed job id {}", spec.id);
+        }
+
+        // Task slots ascending by TaskId within the job, as in
+        // `from_trace`.
+        let mut positions: Vec<u32> = (0..n_tasks).collect();
+        positions.sort_by_key(|&p| spec.tasks[p as usize].id);
+        for (k, &pos) in positions.iter().enumerate() {
+            let t = &spec.tasks[pos as usize];
+            debug_assert_eq!(t.id.job, spec.id, "task under foreign job");
+            let tslot = base + k as u32;
+            let ts = tslot as usize;
+            self.tasks.ids[ts] = t.id;
+            self.tasks.job_slot[ts] = jslot;
+            self.tasks.spec_pos[ts] = pos;
+            self.tasks.workload[ts] = t.workload;
+            self.tasks.state[ts] = TaskState::Pending;
+            self.tasks.assigned[ts] = NO_SLOT;
+            self.tasks.migrations[ts] = 0;
+            self.tasks.slot_by_pos[(base + pos) as usize] = tslot;
+            if let Some(map) = self.tasks.lookup.as_mut() {
+                map.insert(t.id, tslot);
+            }
+        }
+        jobs.owned[js] = Some(Box::new(spec));
+        jslot
+    }
+
+    /// Releases a completed job's task range and job slot back to their
+    /// free lists. The caller must have recorded the job's report
+    /// contribution and detached every task already (completion does
+    /// both).
+    pub fn release_job(&mut self, jslot: u32) {
+        let range = self.jobs.task_range(jslot);
+        let (base, len) = (range.start as u32, range.len() as u32);
+        for t in range {
+            debug_assert_eq!(self.tasks.assigned[t], NO_SLOT, "releasing a mapped task");
+            self.tasks.state[t] = TaskState::Pending;
+            self.tasks.migrations[t] = 0;
+            // `gen` stays monotone so stale readiness events can never
+            // validate against a recycled task slot.
+            if let Some(map) = self.tasks.lookup.as_mut() {
+                map.remove(&self.tasks.ids[t]);
+            }
+        }
+        if len > 0 {
+            self.tasks.free_ranges.entry(len).or_default().push(base);
+        }
+        self.jobs.release(jslot);
+    }
+
     /// Verifies every slot↔ID round trip and cross-reference; returns a
     /// description of the first violation. Backs the public
     /// `ClusterSim::audit_slots` test hook.
     pub fn audit(&self) -> Result<(), String> {
         for (slot, &id) in self.jobs.ids.iter().enumerate() {
+            if self.jobs.released[slot] {
+                // Released slots hold stale IDs; they must read as inert
+                // until reuse.
+                if self.jobs.arrived[slot]
+                    || self.jobs.completed_at[slot].is_some()
+                    || self.jobs.dirty[slot]
+                {
+                    return Err(format!("released job slot {slot} is not inert"));
+                }
+                continue;
+            }
             if self.jobs.slot_of(id) != Some(slot as u32) {
                 return Err(format!("job {id} does not round-trip slot {slot}"));
             }
         }
         for slot in 0..self.jobs.ids.len() as u32 {
             let should = self.jobs.arrived[slot as usize] && !self.jobs.is_done(slot);
-            let listed = self.jobs.active.binary_search(&slot).is_ok();
+            let listed = self.jobs.active_pos(slot).is_ok();
             if should != listed {
                 return Err(format!(
                     "job {} active-set membership {listed} (expected {should})",
@@ -533,6 +819,14 @@ impl WorldArena {
                 flagged
             ));
         }
+        if !self
+            .jobs
+            .active
+            .windows(2)
+            .all(|w| self.jobs.ids[w[0] as usize] < self.jobs.ids[w[1] as usize])
+        {
+            return Err("active set out of JobId order".to_string());
+        }
         for &slot in &self.jobs.active {
             if self.jobs.settled[slot as usize] as usize > self.jobs.seg_log.len() {
                 return Err(format!(
@@ -541,7 +835,20 @@ impl WorldArena {
                 ));
             }
         }
+        // Free task ranges hold stale IDs and back-references; skip them
+        // (audits run in tests, so the scan cost is fine).
+        let mut task_free = vec![false; self.tasks.ids.len()];
+        for (&len, starts) in &self.tasks.free_ranges {
+            for &base in starts {
+                for t in base..base + len {
+                    task_free[t as usize] = true;
+                }
+            }
+        }
         for (slot, &id) in self.tasks.ids.iter().enumerate() {
+            if task_free[slot] {
+                continue;
+            }
             if self.tasks.slot_of(id) != Some(slot as u32) {
                 return Err(format!("task {id} does not round-trip slot {slot}"));
             }
@@ -698,6 +1005,49 @@ mod tests {
         }
         assert!(lazy.jobs.seg_log.is_empty());
         lazy.audit().unwrap();
+    }
+
+    #[test]
+    fn streamed_jobs_recycle_slots_and_exact_fit_task_ranges() {
+        use eva_types::JobSpec;
+        fn reid(mut spec: JobSpec, id: JobId) -> JobSpec {
+            spec.id = id;
+            for (i, t) in spec.tasks.iter_mut().enumerate() {
+                t.id = TaskId::new(id, i as u32);
+            }
+            spec
+        }
+        let jobs = SyntheticTraceConfig::small_scale().generate(8).into_jobs();
+        let mut world = WorldArena::from_trace(&Trace::new(vec![]));
+        world.enable_streaming();
+        let a = world.intern_job(jobs[0].clone());
+        let b = world.intern_job(reid(jobs[1].clone(), JobId(1_000)));
+        assert_ne!(a, b);
+        assert_eq!(world.jobs.slot_of(jobs[0].id), Some(a));
+        let a_range = world.jobs.task_range(a);
+        world.jobs.activate(a);
+        world.audit().unwrap();
+
+        // Complete and release the first job: its slot, task range, and
+        // owned spec all come back.
+        world.jobs.retire(a);
+        world.jobs.completed_at[a as usize] = Some(SimTime::from_secs(60));
+        world.release_job(a);
+        assert!(world.jobs.released[a as usize]);
+        assert!(world.jobs.owned[a as usize].is_none(), "spec memory reclaimed");
+        assert_eq!(world.jobs.slot_of(jobs[0].id), None);
+        world.audit().unwrap();
+
+        // A same-shape job recycles both the job slot and the exact-fit
+        // task range; lookups land on the recycled slot.
+        let c = world.intern_job(reid(jobs[0].clone(), JobId(2_000)));
+        assert_eq!(c, a, "job slot recycled");
+        assert_eq!(world.jobs.task_range(c), a_range, "task range recycled");
+        assert_eq!(world.jobs.slot_of(JobId(2_000)), Some(c));
+        let t0 = world.jobs.task_range(c).start as u32;
+        assert_eq!(world.tasks.slot_of(TaskId::new(JobId(2_000), 0)), Some(t0));
+        assert!(world.jobs.owned[c as usize].is_some());
+        world.audit().unwrap();
     }
 
     #[test]

@@ -235,4 +235,23 @@ mod tests {
         assert_eq!(Federation::new(0).procs(), 1);
         assert_eq!(Federation::new(3).procs(), 3);
     }
+
+    #[test]
+    fn stale_deadline_zero_means_immediate_steal() {
+        // Operators drain a wedged federation with
+        // `EVA_CLAIM_STALE_SECS=0`: every peer claim is immediately
+        // stale, so any process may steal and re-run the cell.
+        std::env::set_var("EVA_CLAIM_STALE_SECS", "0");
+        let deadline = claim_stale_deadline();
+        let fed = Federation::new(2);
+        std::env::remove_var("EVA_CLAIM_STALE_SECS");
+        assert_eq!(deadline, Duration::ZERO);
+        assert_eq!(fed.stale_deadline(), Duration::ZERO);
+        assert_eq!(fed.claim_timing().stale, Duration::ZERO);
+        // Unset (or garbage) falls back to the 600 s default.
+        assert_eq!(
+            claim_stale_deadline(),
+            Duration::from_secs(CLAIM_STALE_SECS_DEFAULT)
+        );
+    }
 }

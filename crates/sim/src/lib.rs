@@ -51,6 +51,7 @@ pub mod pool;
 pub mod report;
 pub mod runner;
 pub mod script;
+pub mod serve;
 pub mod state;
 pub mod sweep;
 pub mod world;
@@ -65,11 +66,12 @@ pub use cache::{
 pub use eva_engine::{derive_seed, EventEngine, RngStreams, Scheduled, SimEvent};
 pub use faults::{FaultAction, FaultEvent, FaultPlan, FaultRegime, FaultSpec};
 pub use federate::{claim_stale_deadline, fed_rank, join_workers, worker_role, Federation};
-pub use metrics::{CdfPoint, SimReport};
+pub use metrics::{CdfPoint, MetricsRegistry, MetricsSnapshot, SimReport};
 pub use pool::{CellPool, ClaimStride, ClaimTiming, PoolStats, RunPlan};
 pub use report::{splice, PartitionAudit, SplicedReport, EXACT_METRICS, INEXACT_METRICS};
 pub use runner::{run_recorded, run_simulation, InterferenceSpec, SchedulerKind, SimConfig};
 pub use script::{ExecAction, ExecActionKind, ExecScript};
+pub use serve::{serve, ServeConfig, ServeOutcome};
 pub use state::{JobProgress, TaskState};
 pub use sweep::{
     fidelity_label, CellKey, CellOutcome, Experiment, SplicedOutcome, SplicedResult, SweepArtifact,

@@ -83,6 +83,130 @@ impl SimReport {
     }
 }
 
+/// Number of buckets in the service-mode wait histogram.
+const WAIT_BUCKETS: usize = 80;
+
+/// Fixed log-scale histogram of job wait (idle) hours. Buckets cover
+/// `2^((i - 40) / 4)` hours, spanning ~0.001 h to ~1000 h in quarter-
+/// octave steps — coarse, allocation-free, and deterministic (bucket
+/// counts are integers, so snapshots never depend on summation order).
+#[derive(Debug, Clone, PartialEq)]
+struct WaitHistogram {
+    counts: [u64; WAIT_BUCKETS],
+    total: u64,
+}
+
+impl Default for WaitHistogram {
+    fn default() -> Self {
+        WaitHistogram {
+            counts: [0; WAIT_BUCKETS],
+            total: 0,
+        }
+    }
+}
+
+impl WaitHistogram {
+    fn bucket(hours: f64) -> usize {
+        if hours <= 0.0 {
+            return 0;
+        }
+        (((hours.log2() * 4.0).floor() as i64) + 40).clamp(0, WAIT_BUCKETS as i64 - 1) as usize
+    }
+
+    fn record(&mut self, hours: f64) {
+        self.counts[Self::bucket(hours)] += 1;
+        self.total += 1;
+    }
+
+    /// Lower bound of the bucket holding quantile `q` (0 when empty).
+    /// Bucket 0 also holds exact-zero waits, reported as 0.
+    fn quantile(&self, q: f64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                if i == 0 {
+                    return 0.0;
+                }
+                return ((i as f64 - 40.0) / 4.0).exp2();
+            }
+        }
+        0.0
+    }
+}
+
+/// Rolling service-mode counters and histograms, maintained by
+/// `ClusterSim` as events fire and snapshotted per scheduler round (or
+/// on `eva serve`'s metrics interval).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsRegistry {
+    /// Jobs ingested/arrived so far.
+    pub arrivals_total: u64,
+    /// Jobs completed so far.
+    pub completions_total: u64,
+    wait_hist: WaitHistogram,
+}
+
+impl MetricsRegistry {
+    /// Counts one job arrival.
+    pub fn record_arrival(&mut self) {
+        self.arrivals_total += 1;
+    }
+
+    /// Counts one job completion with its accumulated wait (idle) hours.
+    pub fn record_completion(&mut self, wait_hours: f64) {
+        self.completions_total += 1;
+        self.wait_hist.record(wait_hours);
+    }
+
+    /// Median completed-job wait (bucket lower bound, hours).
+    pub fn p50_wait_hours(&self) -> f64 {
+        self.wait_hist.quantile(0.50)
+    }
+
+    /// 99th-percentile completed-job wait (bucket lower bound, hours).
+    pub fn p99_wait_hours(&self) -> f64 {
+        self.wait_hist.quantile(0.99)
+    }
+}
+
+/// One rolling metrics snapshot: the JSON line `eva serve` emits every
+/// `--metrics-every` interval of simulated time. Deterministic for a
+/// fixed seed and source — two identical runs emit identical lines.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Simulated time of the snapshot (hours).
+    pub t_hours: f64,
+    /// Jobs ingested so far.
+    pub arrivals_total: u64,
+    /// Jobs completed so far.
+    pub completions_total: u64,
+    /// Jobs currently in the system (arrived, not done).
+    pub queue_depth: usize,
+    /// Tasks currently in the Running state on counted instances.
+    pub running_tasks: usize,
+    /// Instantaneous GPU allocation fraction across live capacity.
+    pub utilization_gpu: f64,
+    /// Median completed-job wait (idle) hours.
+    pub p50_wait_hours: f64,
+    /// 99th-percentile completed-job wait (idle) hours.
+    pub p99_wait_hours: f64,
+    /// Event-queue entries currently held (live + tombstoned).
+    pub event_queue_len: usize,
+    /// High-water mark of the event queue.
+    pub event_queue_peak: usize,
+    /// Arena job rows currently holding a live (unreleased) job — the
+    /// bounded-memory observable: with retirement on this tracks the
+    /// in-flight window, not total jobs ingested.
+    pub live_job_slots: usize,
+    /// Scheduler rounds executed so far.
+    pub rounds: u64,
+}
+
 /// Builds an empirical CDF (at most `max_points` evenly indexed points).
 pub fn empirical_cdf(mut values: Vec<f64>, max_points: usize) -> Vec<CdfPoint> {
     if values.is_empty() {
@@ -169,6 +293,44 @@ mod tests {
         assert!(row.contains("test"));
         assert!(row.contains("42.00"));
         assert!(row.contains("50.0%"));
+    }
+
+    #[test]
+    fn wait_histogram_quantiles_are_monotone() {
+        let mut reg = MetricsRegistry::default();
+        for i in 0..100 {
+            reg.record_completion(i as f64 * 0.1);
+        }
+        assert_eq!(reg.completions_total, 100);
+        let (p50, p99) = (reg.p50_wait_hours(), reg.p99_wait_hours());
+        assert!(p50 > 0.0 && p50 <= 5.0, "p50 {p50}");
+        assert!(p99 >= p50 && p99 <= 16.0, "p99 {p99}");
+        // Zero waits land in the zero bucket; empty registries read 0.
+        let mut z = MetricsRegistry::default();
+        z.record_completion(0.0);
+        assert_eq!(z.p50_wait_hours(), 0.0);
+        assert_eq!(MetricsRegistry::default().p99_wait_hours(), 0.0);
+    }
+
+    #[test]
+    fn metrics_snapshot_serde_round_trip() {
+        let snap = MetricsSnapshot {
+            t_hours: 1.5,
+            arrivals_total: 10,
+            completions_total: 7,
+            queue_depth: 3,
+            running_tasks: 4,
+            utilization_gpu: 0.75,
+            p50_wait_hours: 0.25,
+            p99_wait_hours: 2.0,
+            event_queue_len: 12,
+            event_queue_peak: 40,
+            live_job_slots: 3,
+            rounds: 9,
+        };
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(snap, back);
     }
 
     #[test]

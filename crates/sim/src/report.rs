@@ -1,7 +1,7 @@
 //! Report assembly: folds a finished [`ClusterSim`] into a [`SimReport`],
 //! and splices shard reports back into whole-trace reports.
 
-use eva_types::{InstanceId, SimTime};
+use eva_types::{InstanceId, JobId, SimTime};
 use eva_workloads::ShardMeta;
 use serde::{Deserialize, Serialize};
 
@@ -21,44 +21,54 @@ pub(crate) fn finalize(mut sim: ClusterSim) -> SimReport {
         let _ = sim.cloud.terminate(id, now);
     }
 
-    let end = sim
-        .cloud
-        .instances()
-        .filter_map(|i| i.terminated_at)
-        .max()
-        .unwrap_or(now)
-        .max(now);
+    let end = sim.cloud.max_terminated_at().unwrap_or(now).max(now);
 
-    // Completed job slots ascend in JobId order, matching the former
-    // map iteration, so each metric folds in the identical sequence.
-    let completed: Vec<u32> = (0..sim.world.jobs.ids.len() as u32)
-        .filter(|&s| sim.world.jobs.is_done(s))
-        .collect();
-    let n = completed.len().max(1) as f64;
-    let avg_jct_hours = completed
-        .iter()
-        .filter_map(|&s| {
-            sim.world.jobs.completed_at[s as usize]
-                .map(|t| t.duration_since(sim.job_spec(s).arrival).as_hours_f64())
-        })
-        .sum::<f64>()
-        / n;
-    let avg_idle_hours = completed
-        .iter()
-        .map(|&s| sim.world.jobs.idle_hours[s as usize])
-        .sum::<f64>()
-        / n;
-    let avg_norm_tput = completed
-        .iter()
-        .map(|&s| sim.world.jobs.mean_tput(s))
-        .sum::<f64>()
-        / n;
-    let jobs_completed = completed.len();
+    // Completed jobs fold in ascending JobId order, matching the former
+    // map iteration. Retired jobs contribute from the completed log
+    // (values frozen at completion with the identical float operations
+    // this pass applies to still-held slots); the rest come from the
+    // slot scan. Without retirement the log is empty and slot order is
+    // ID order, so the sort is a stable no-op and every metric folds in
+    // the identical sequence as before. The log's already-folded prefix
+    // (ids below every entry here — see `CompletedLog`) seeds the sums,
+    // and the loop continues the identical left-to-right additions.
+    let mut completed: Vec<(JobId, f64, f64, f64)> = sim.completed.pending_rows().collect();
+    for s in 0..sim.world.jobs.ids.len() as u32 {
+        if sim.world.jobs.released[s as usize] || !sim.world.jobs.is_done(s) {
+            continue;
+        }
+        let jct = sim.world.jobs.completed_at[s as usize]
+            .map(|t| t.duration_since(sim.job_spec(s).arrival).as_hours_f64())
+            .unwrap_or(0.0);
+        completed.push((
+            sim.world.jobs.ids[s as usize],
+            jct,
+            sim.world.jobs.idle_hours[s as usize],
+            sim.world.jobs.mean_tput(s),
+        ));
+    }
+    completed.sort_by_key(|e| e.0);
+    let (folded_n, mut jct_sum, mut idle_sum, mut tput_sum) = sim.completed.folded();
+    for e in &completed {
+        jct_sum += e.1;
+    }
+    for e in &completed {
+        idle_sum += e.2;
+    }
+    for e in &completed {
+        tput_sum += e.3;
+    }
+    let jobs_completed = folded_n + completed.len();
+    let n = jobs_completed.max(1) as f64;
+    let avg_jct_hours = jct_sum / n;
+    let avg_idle_hours = idle_sum / n;
+    let avg_norm_tput = tput_sum / n;
 
     let uptimes: Vec<f64> = sim
         .cloud
-        .instances()
-        .map(|i| i.uptime(end).as_hours_f64())
+        .uptime_rows(end)
+        .into_iter()
+        .map(|(_, u)| u)
         .collect();
     let billed_hours: f64 = uptimes.iter().sum();
 
@@ -70,12 +80,11 @@ pub(crate) fn finalize(mut sim: ClusterSim) -> SimReport {
         }
     };
 
+    // Streaming worlds have an empty trace; the first ingested job's
+    // arrival anchors the makespan instead.
     let first_arrival = sim
-        .cfg
-        .trace
-        .jobs()
-        .first()
-        .map(|j| j.arrival)
+        .first_arrival_seen
+        .or_else(|| sim.cfg.trace.jobs().first().map(|j| j.arrival))
         .unwrap_or(SimTime::ZERO);
 
     SimReport {

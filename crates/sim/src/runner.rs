@@ -137,6 +137,14 @@ pub struct SimConfig {
     /// exists so that equivalence stays testable. Not a sweep axis —
     /// cache fingerprints ignore it.
     pub reference_full_scan: bool,
+    /// Release each completed job's arena slots back to a free list
+    /// after folding its report contribution into the completed-job
+    /// log, so live state tracks the in-flight window instead of every
+    /// job ever ingested (streaming service mode; `eva serve` turns it
+    /// on). Reports are byte-identical either way — the retirement
+    /// lockstep test holds the two in lockstep per event. Not a sweep
+    /// axis — cache fingerprints ignore it.
+    pub retire_completed: bool,
 }
 
 impl SimConfig {
@@ -153,6 +161,7 @@ impl SimConfig {
             migration_delay_scale: 1.0,
             faults: crate::FaultSpec::none(),
             reference_full_scan: false,
+            retire_completed: false,
         }
     }
 }

@@ -328,6 +328,7 @@ impl SweepGrid {
             migration_delay_scale: cell.migration_delay_scale,
             faults: cell.faults,
             reference_full_scan: false,
+            retire_completed: false,
         }
     }
 

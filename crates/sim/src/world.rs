@@ -25,13 +25,13 @@ use eva_baselines::{
 };
 use eva_cloud::{Catalog, CloudProvider, DelayModel};
 use eva_core::{EvaScheduler, Scheduler};
-use eva_types::{InstanceId, JobSpec, SimDuration, SimTime, TaskSpec, WorkloadKind};
-use eva_workloads::{InterferenceModel, Trace, TraceHandle, WorkloadCatalog};
+use eva_types::{InstanceId, JobId, JobSpec, SimDuration, SimTime, TaskSpec, WorkloadKind};
+use eva_workloads::{InterferenceModel, JobSource, Trace, TraceHandle, WorkloadCatalog};
 
 use crate::arena::{WorldArena, NO_SLOT};
 use crate::engine::{CancelToken, EventEngine, RngStreams, SimEvent, DELAY_STREAM};
 use crate::faults::{FaultAction, FaultPlan};
-use crate::metrics::SimReport;
+use crate::metrics::{MetricsRegistry, MetricsSnapshot, SimReport};
 use crate::runner::{InterferenceSpec, SchedulerKind, SimConfig};
 use crate::script::{ExecAction, ExecActionKind, ExecScript};
 use crate::state::TaskState;
@@ -48,6 +48,9 @@ pub(crate) enum Event {
     Fault(usize),
     /// A windowed fault (capacity shock, straggler) lifting.
     FaultExpire(usize),
+    /// The pending streamed job's arrival instant (streaming worlds
+    /// pull one job ahead; the handler interns it and primes the next).
+    Ingest,
 }
 
 impl SimEvent for Event {
@@ -59,7 +62,9 @@ impl SimEvent for Event {
             Event::Fault(_) | Event::FaultExpire(_) => 0,
             Event::TaskReady { .. } => 0,
             Event::JobDone { .. } => 1,
-            Event::Arrival(_) => 2,
+            // An ingest *is* an arrival: same-time completions resolve
+            // first, the round that schedules the newcomer fires after.
+            Event::Arrival(_) | Event::Ingest => 2,
             Event::Round => 3,
         }
     }
@@ -68,6 +73,142 @@ impl SimEvent for Event {
 /// Fraction of a job's completed work destroyed by one sim-side
 /// checkpoint drop (the job's latest checkpoint is its recent work).
 pub(crate) const CKPT_DROP_LOSS: f64 = 0.25;
+
+/// A retired job's report contribution, folded out of the arena when
+/// its slots are released (see [`SimConfig::retire_completed`]). Each
+/// value is computed at the completion instant with the exact float
+/// operations `report::finalize` would have applied to the frozen
+/// lanes, so retirement never changes a report byte.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct CompletedJob {
+    pub id: JobId,
+    pub jct_hours: f64,
+    pub idle_hours: f64,
+    pub mean_tput: f64,
+}
+
+/// The retired jobs' report contributions, folded incrementally.
+///
+/// `finalize` consumes completed jobs in ascending-id order (three
+/// left-to-right float sums), so a naive log must hold every
+/// [`CompletedJob`] until the end — the last O(total jobs) structure in
+/// a streaming world. Instead the log folds its *closed prefix* as the
+/// run progresses: once every id that can still complete is known to
+/// exceed a pending entry's, that entry joins the running sums with the
+/// identical addition `finalize` would have performed, and the entry is
+/// dropped. Service-mode memory then tracks the in-flight window.
+///
+/// Folding is sound only while ids are strictly increasing in
+/// ingestion order (otherwise a later, smaller id would have to fold
+/// *before* already-folded entries). Batch worlds verify this over the
+/// whole trace at construction; streaming worlds additionally require
+/// the source's [`JobSource::ids_monotone`] promise, and a violation
+/// (a lying source) stops further folding.
+#[derive(Debug, Default)]
+pub(crate) struct CompletedLog {
+    /// Ids promised monotone and no violation observed.
+    fold_ok: bool,
+    /// Whether completed jobs' slots are being released (live-id
+    /// tracking is only paid for when folding can actually happen).
+    retire: bool,
+    /// Largest id interned so far — the monotonicity detector.
+    max_seen: Option<JobId>,
+    /// Ids interned and not yet completed: the fold barrier.
+    live: BTreeSet<JobId>,
+    /// Completed entries awaiting a smaller live id to finish.
+    pending: BTreeMap<JobId, CompletedJob>,
+    /// Count and ascending-id left-fold sums of dropped entries.
+    folded_count: usize,
+    folded_jct: f64,
+    folded_idle: f64,
+    folded_tput: f64,
+}
+
+impl CompletedLog {
+    pub(crate) fn new(retire: bool) -> Self {
+        CompletedLog {
+            fold_ok: true,
+            retire,
+            ..CompletedLog::default()
+        }
+    }
+
+    /// Withdraws the folding permission (non-monotone batch trace, or
+    /// a source that cannot promise monotone ids). Pending entries are
+    /// then held until the end of the run.
+    pub(crate) fn forbid_fold(&mut self) {
+        self.fold_ok = false;
+    }
+
+    pub(crate) fn fold_ok(&self) -> bool {
+        self.fold_ok
+    }
+
+    /// Notes a job entering the world. Detects id-order violations; in
+    /// retire mode the id also joins the fold barrier.
+    pub(crate) fn intern(&mut self, id: JobId) {
+        if self.max_seen.is_some_and(|m| id <= m) {
+            self.fold_ok = false;
+        } else {
+            self.max_seen = Some(id);
+        }
+        if self.retire {
+            self.live.insert(id);
+        }
+    }
+
+    /// Logs a retired job's frozen contribution, then folds every
+    /// pending entry no live id can precede.
+    pub(crate) fn complete(&mut self, c: CompletedJob) {
+        self.live.remove(&c.id);
+        self.pending.insert(c.id, c);
+        if !self.fold_ok {
+            return;
+        }
+        while let Some(entry) = self.pending.first_entry() {
+            // A pending id never equals a live id (completion removed it).
+            if self.live.first().is_some_and(|&min| *entry.key() > min) {
+                break;
+            }
+            let c = entry.remove();
+            self.folded_count += 1;
+            self.folded_jct += c.jct_hours;
+            self.folded_idle += c.idle_hours;
+            self.folded_tput += c.mean_tput;
+        }
+    }
+
+    /// Retired jobs logged so far, folded prefix included.
+    pub(crate) fn len(&self) -> usize {
+        self.folded_count + self.pending.len()
+    }
+
+    /// The folded prefix: `(count, jct sum, idle sum, tput sum)`.
+    pub(crate) fn folded(&self) -> (usize, f64, f64, f64) {
+        (
+            self.folded_count,
+            self.folded_jct,
+            self.folded_idle,
+            self.folded_tput,
+        )
+    }
+
+    /// Entries not yet folded, in ascending id order.
+    pub(crate) fn pending_rows(&self) -> impl Iterator<Item = (JobId, f64, f64, f64)> + '_ {
+        self.pending
+            .values()
+            .map(|c| (c.id, c.jct_hours, c.idle_hours, c.mean_tput))
+    }
+}
+
+/// A streaming world's connection to its [`JobSource`]: one job pulled
+/// ahead (`pending`), scheduled as an [`Event::Ingest`] at its arrival
+/// instant. Pulling ahead keeps the event heap's time horizon honest —
+/// the engine always knows when the next external arrival lands.
+pub(crate) struct StreamState {
+    source: Box<dyn JobSource>,
+    pending: Option<JobSpec>,
+}
 
 /// One instance's slice of the incremental integral rates, indexed by
 /// `InstanceId` (provider IDs are sequential and never reused). All
@@ -105,6 +246,16 @@ pub struct ClusterSim {
     pub(crate) arrivals_remaining: usize,
     pub(crate) recorder: Option<ExecScript>,
 
+    // Streaming service state (batch worlds: `stream` is `None`, the
+    // log stays empty unless retirement is on, and `first_arrival_seen`
+    // stays `None` so reports keep reading the trace).
+    pub(crate) stream: Option<StreamState>,
+    pub(crate) retire_completed: bool,
+    pub(crate) completed: CompletedLog,
+    pub(crate) first_arrival_seen: Option<SimTime>,
+    pub(crate) ingested_jobs: u64,
+    pub(crate) metrics: MetricsRegistry,
+
     // Adversarial fault state.
     pub(crate) fault_plan: FaultPlan,
     pub(crate) fault_tokens: Vec<CancelToken>,
@@ -139,6 +290,7 @@ pub struct ClusterSim {
     // Reusable hot-path scratch (per-event, allocation-free steady state).
     tput_buf: RefCell<Vec<WorkloadKind>>,
     term_scratch: Vec<InstanceId>,
+    dirty_scratch: Vec<u32>,
 }
 
 impl ClusterSim {
@@ -219,6 +371,12 @@ impl ClusterSim {
             round_pending: false,
             arrivals_remaining: cfg.trace.len(),
             recorder: None,
+            stream: None,
+            retire_completed: cfg.retire_completed,
+            completed: CompletedLog::new(cfg.retire_completed),
+            first_arrival_seen: None,
+            ingested_jobs: 0,
+            metrics: MetricsRegistry::default(),
             fault_plan,
             fault_tokens: Vec::new(),
             active_stragglers: BTreeMap::new(),
@@ -240,8 +398,14 @@ impl ClusterSim {
             full_scan: cfg.reference_full_scan,
             tput_buf: RefCell::new(Vec::new()),
             term_scratch: Vec::new(),
+            dirty_scratch: Vec::new(),
             cfg,
         };
+        // Batch worlds know every id up front, so one pass both decides
+        // fold legality (monotone ids) and seeds the fold barrier.
+        for job in sim.cfg.trace.jobs() {
+            sim.completed.intern(job.id);
+        }
         for (idx, job) in sim.cfg.trace.jobs().iter().enumerate() {
             sim.engine.schedule(job.arrival, Event::Arrival(idx));
         }
@@ -281,6 +445,86 @@ impl ClusterSim {
         sim
     }
 
+    /// Builds a streaming world fed by `source` instead of a trace.
+    ///
+    /// Arrivals are pulled lazily, one ahead of the clock, through
+    /// `Event::Ingest` — the world never holds more than the in-flight
+    /// window (plus, with [`SimConfig::retire_completed`] off, retired
+    /// lanes). `cfg.trace` is ignored; fault plans compile over the
+    /// empty-trace horizon, so streaming fault coverage comes from the
+    /// batch-mode lockstep tests.
+    pub fn from_source(cfg: &SimConfig, source: Box<dyn JobSource>) -> Self {
+        let empty = SimConfig {
+            trace: TraceHandle::new(Trace::new(Vec::new())),
+            ..cfg.clone()
+        };
+        let mut sim = ClusterSim::new(&empty);
+        sim.world.enable_streaming();
+        // Streamed ids are unknown ahead of time: folding needs the
+        // source's explicit promise, not just observed monotonicity.
+        if !source.ids_monotone() {
+            sim.completed.forbid_fold();
+        }
+        sim.stream = Some(StreamState {
+            source,
+            pending: None,
+        });
+        sim.prime_ingest();
+        sim
+    }
+
+    /// Pulls the next feasible job off the stream and schedules its
+    /// ingest. Infeasible jobs are dropped with the same warning as the
+    /// batch constructor's trace filter.
+    fn prime_ingest(&mut self) {
+        let Some(mut stream) = self.stream.take() else {
+            return;
+        };
+        debug_assert!(stream.pending.is_none(), "priming over a pending job");
+        while let Some(job) = stream.source.next_job() {
+            let feasible = job
+                .tasks
+                .iter()
+                .all(|t| self.catalog.cheapest_fit(&t.demand).is_some());
+            if !feasible {
+                eprintln!("warning: dropping unschedulable {}", job.id);
+                continue;
+            }
+            // A source that lags the clock still arrives causally.
+            let at = job.arrival.max(self.now());
+            stream.pending = Some(job);
+            self.stream = Some(stream);
+            self.push(at, Event::Ingest);
+            return;
+        }
+        self.stream = Some(stream);
+    }
+
+    /// Interns the pending streamed job at its arrival instant, then
+    /// pulls the next one.
+    fn handle_ingest(&mut self) {
+        let Some(job) = self.stream.as_mut().and_then(|s| s.pending.take()) else {
+            return;
+        };
+        self.ingested_jobs += 1;
+        self.total_tasks += job.num_tasks();
+        if self.first_arrival_seen.is_none() {
+            self.first_arrival_seen = Some(job.arrival);
+        }
+        self.metrics.record_arrival();
+        self.completed.intern(job.id);
+        let slot = self.world.intern_job(job);
+        self.world.jobs.activate(slot);
+        self.schedule_round(self.now());
+        self.prime_ingest();
+    }
+
+    /// True when no streamed job is waiting to be ingested (batch
+    /// worlds: always).
+    pub(crate) fn stream_drained(&self) -> bool {
+        self.stream.as_ref().is_none_or(|s| s.pending.is_none())
+    }
+
     /// The current simulated instant.
     pub fn now(&self) -> SimTime {
         self.engine.now()
@@ -309,9 +553,14 @@ impl ClusterSim {
         }
     }
 
-    /// The spec of the job in `jslot` (slots index the shared trace).
+    /// The spec of the job in `jslot`: slot-owned for streamed jobs,
+    /// an index into the shared trace otherwise.
     pub(crate) fn job_spec(&self, jslot: u32) -> &JobSpec {
-        &self.cfg.trace.jobs()[self.world.jobs.spec_idx[jslot as usize] as usize]
+        let s = jslot as usize;
+        if let Some(spec) = self.world.jobs.owned.get(s).and_then(|o| o.as_deref()) {
+            return spec;
+        }
+        &self.cfg.trace.jobs()[self.world.jobs.spec_idx[s] as usize]
     }
 
     /// The spec of the task in `tslot`.
@@ -367,10 +616,12 @@ impl ClusterSim {
         match event {
             Event::Arrival(idx) => {
                 self.arrivals_remaining -= 1;
+                self.metrics.record_arrival();
                 let slot = self.world.slot_of_spec[idx];
                 self.world.jobs.activate(slot);
                 self.schedule_round(self.now());
             }
+            Event::Ingest => self.handle_ingest(),
             Event::TaskReady { slot, generation } => {
                 let s = slot as usize;
                 let matches = matches!(
@@ -714,6 +965,157 @@ impl ClusterSim {
         out
     }
 
+    /// Jobs ingested from a stream so far (0 for batch worlds).
+    pub fn jobs_ingested(&self) -> u64 {
+        self.ingested_jobs
+    }
+
+    /// Jobs currently arrived and not done.
+    pub fn active_jobs(&self) -> usize {
+        self.world.jobs.active.len()
+    }
+
+    /// Arena job rows currently holding a live (unreleased) job — the
+    /// bounded-memory observable: with retirement on this tracks the
+    /// in-flight window, not total jobs ingested.
+    pub fn live_job_slots(&self) -> usize {
+        self.world.jobs.ids.len() - self.world.jobs.free.len()
+    }
+
+    /// Total job rows the arena has ever grown to (live + recycled).
+    /// Bounded-memory streaming keeps this near the in-flight peak.
+    pub fn job_arena_rows(&self) -> usize {
+        self.world.jobs.ids.len()
+    }
+
+    /// Element counts of every growable structure, for memory
+    /// diagnosis of long streaming runs.
+    #[doc(hidden)]
+    pub fn arena_dims(&self) -> String {
+        format!(
+            "{} completed_folded={} completed_pending={} engine_len={}",
+            self.world.dims(),
+            self.completed.folded().0,
+            self.completed.len() - self.completed.folded().0,
+            self.engine.len(),
+        )
+    }
+
+    /// The rolling service-mode metrics snapshot at the current instant.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            t_hours: self.now().as_hours_f64(),
+            arrivals_total: self.metrics.arrivals_total,
+            completions_total: self.metrics.completions_total,
+            queue_depth: self.world.jobs.active.len(),
+            running_tasks: self.running_rate,
+            utilization_gpu: if self.cap_rate[0] > 0.0 {
+                self.alloc_rate[0] / self.cap_rate[0]
+            } else {
+                0.0
+            },
+            p50_wait_hours: self.metrics.p50_wait_hours(),
+            p99_wait_hours: self.metrics.p99_wait_hours(),
+            event_queue_len: self.engine.len(),
+            event_queue_peak: self.engine.peak_len(),
+            live_job_slots: self.live_job_slots(),
+            rounds: self.rounds,
+        }
+    }
+
+    /// Debug digest of every observable job retirement must preserve:
+    /// live jobs by ID with their settled progress lanes, completed
+    /// jobs by ID with their report contributions (from the completed
+    /// log or a slot scan — wherever retirement left them), and the
+    /// global integrals. Retirement on and off must produce identical
+    /// strings after every event. Test-only; not part of the stable API.
+    #[doc(hidden)]
+    pub fn stream_digest(&mut self) -> String {
+        use std::fmt::Write as _;
+        for i in 0..self.world.jobs.active.len() {
+            let slot = self.world.jobs.active[i];
+            self.world.jobs.settle(slot);
+        }
+        let mut out = String::new();
+        for i in 0..self.world.jobs.active.len() {
+            let slot = self.world.jobs.active[i];
+            let s = slot as usize;
+            let jobs = &self.world.jobs;
+            let _ = writeln!(
+                out,
+                "live {}: rem={:?} exec={:?} idle={:?} tput_int={:?} rate={:?} sched={:?}",
+                jobs.ids[s],
+                jobs.remaining_hours[s],
+                jobs.executing_hours[s],
+                jobs.idle_hours[s],
+                jobs.tput_integral[s],
+                jobs.rate[s],
+                jobs.scheduled_done_at[s],
+            );
+        }
+        let mut done: Vec<(JobId, f64, f64, f64)> = self.completed.pending_rows().collect();
+        for slot in 0..self.world.jobs.ids.len() as u32 {
+            let s = slot as usize;
+            if self.world.jobs.released[s] || !self.world.jobs.is_done(slot) {
+                continue;
+            }
+            let jct = self.world.jobs.completed_at[s]
+                .unwrap()
+                .duration_since(self.job_spec(slot).arrival)
+                .as_hours_f64();
+            done.push((
+                self.world.jobs.ids[s],
+                jct,
+                self.world.jobs.idle_hours[s],
+                self.world.jobs.mean_tput(slot),
+            ));
+        }
+        done.sort_by_key(|e| e.0);
+        // Entries below the fold watermark — the smallest id that can
+        // still complete, recomputed from the arena so both retirement
+        // modes derive it identically — render as one running
+        // left-fold; retirement may have folded them out of existence.
+        // Everything at or above it renders per job.
+        let watermark: Option<JobId> = (0..self.world.jobs.ids.len() as u32)
+            .filter(|&slot| {
+                !self.world.jobs.released[slot as usize] && !self.world.jobs.is_done(slot)
+            })
+            .map(|slot| self.world.jobs.ids[slot as usize])
+            .min();
+        let (mut n, mut jct_sum, mut idle_sum, mut tput_sum) = self.completed.folded();
+        let mut split = 0;
+        if self.completed.fold_ok() {
+            while split < done.len() && watermark.is_none_or(|w| done[split].0 < w) {
+                n += 1;
+                jct_sum += done[split].1;
+                idle_sum += done[split].2;
+                tput_sum += done[split].3;
+                split += 1;
+            }
+        }
+        let _ = writeln!(
+            out,
+            "done folded n={n} jct_sum={jct_sum:?} idle_sum={idle_sum:?} tput_sum={tput_sum:?}"
+        );
+        for &(id, jct, idle, tput) in &done[split..] {
+            let _ = writeln!(out, "done {id}: jct={jct:?} idle={idle:?} tput={tput:?}");
+        }
+        let _ = writeln!(
+            out,
+            "integrals alloc={:?} cap={:?} run_hours={:?} \
+             rates alloc={:?} cap={:?} running={} counters arr={} done={}",
+            self.alloc_integral,
+            self.capacity_integral,
+            self.task_running_hours,
+            self.alloc_rate,
+            self.cap_rate,
+            self.running_rate,
+            self.metrics.arrivals_total,
+            self.metrics.completions_total,
+        );
+        out
+    }
+
     fn handle_job_done(&mut self, slot: u32, generation: u64) {
         let s = slot as usize;
         let valid = self.world.jobs.arrived[s]
@@ -749,6 +1151,27 @@ impl ClusterSim {
                     self.account_running(id, -1);
                 }
             }
+        }
+        self.metrics
+            .record_completion(self.world.jobs.idle_hours[s]);
+        if self.retire_completed {
+            // Fold the frozen lanes into the completed-job log with the
+            // identical float operations `finalize` would apply, then
+            // hand the slots back. The job cannot be dirty here:
+            // `completed_at` was set before the task loop and
+            // `mark_dirty` skips done jobs, and no completion event can
+            // outlive the generation that just validated.
+            let now = self.engine.now();
+            let jct_hours = now
+                .duration_since(self.job_spec(slot).arrival)
+                .as_hours_f64();
+            self.completed.complete(CompletedJob {
+                id: job,
+                jct_hours,
+                idle_hours: self.world.jobs.idle_hours[s],
+                mean_tput: self.world.jobs.mean_tput(slot),
+            });
+            self.world.release_job(slot);
         }
         self.try_terminations();
         self.recompute_completions();
@@ -874,6 +1297,12 @@ impl ClusterSim {
             }
             self.cap_pending.pop_first();
             self.uncount_instance(id);
+            // A service world also drops the provider record: its bill
+            // and uptime froze at termination, and nothing reads a
+            // past-terminated instance again.
+            if self.retire_completed {
+                self.cloud.retire_instance(id);
+            }
         }
     }
 
@@ -892,7 +1321,12 @@ impl ClusterSim {
         if self.world.jobs.dirty_list.is_empty() {
             return;
         }
-        let mut dirty = std::mem::take(&mut self.world.jobs.dirty_list);
+        // Drain into reusable scratch (the `term_scratch` pattern) so
+        // the steady-state drain allocates nothing; the arena's list
+        // keeps its own capacity for the next marking burst.
+        let mut dirty = std::mem::take(&mut self.dirty_scratch);
+        dirty.clear();
+        dirty.append(&mut self.world.jobs.dirty_list);
         // Ascending slot order: dirty jobs reschedule in the relative
         // order the eager full sweep pushed them.
         dirty.sort_unstable();
@@ -921,7 +1355,7 @@ impl ClusterSim {
             }
         }
         dirty.clear();
-        self.world.jobs.dirty_list = dirty;
+        self.dirty_scratch = dirty;
     }
 
     /// Terminates drained instances whose departures have finished.
@@ -1050,6 +1484,9 @@ impl ClusterSim {
         if t <= self.engine.now() {
             self.cap_pending.remove(&(t, id));
             self.uncount_instance(id);
+            if self.retire_completed {
+                self.cloud.retire_instance(id);
+            }
         } else {
             self.cap_pending.insert((t, id));
         }

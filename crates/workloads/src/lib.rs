@@ -22,6 +22,7 @@ pub mod duration;
 pub mod handle;
 pub mod modifiers;
 pub mod planner;
+pub mod source;
 pub mod synthetic;
 pub mod trace;
 
@@ -32,5 +33,6 @@ pub use duration::{AlibabaDurations, DurationSampler, GavelDurations, UniformHou
 pub use handle::{ShardMeta, ShardPolicy, TraceHandle, TraceWindow};
 pub use modifiers::{MultiGpuMix, MultiTaskMix};
 pub use planner::{ShardPlanner, DEFAULT_AUTO_MAX_WINDOWS, DEFAULT_AUTO_TARGET_JOBS};
+pub use source::{BoundedSource, JobSource, JsonLinesSource, SyntheticSource, TraceSource};
 pub use synthetic::SyntheticTraceConfig;
 pub use trace::{Trace, TraceStats};

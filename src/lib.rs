@@ -37,11 +37,13 @@ pub mod prelude {
     pub use eva_cloud::{Catalog, CloudProvider, DelayModel, FidelityMode};
     pub use eva_core::{EvaConfig, EvaScheduler, Plan, Scheduler, SchedulerContext, TaskSnapshot};
     pub use eva_sim::{
-        claim_stale_deadline, join_workers, run_recorded, run_simulation, worker_role,
+        claim_stale_deadline, join_workers, run_recorded, run_simulation, serve, worker_role,
         BackendKind, CacheStats, CellPool, ClaimStride, ClusterSim, ExecBackend, Experiment,
         FaultPlan,
-        FaultRegime, FaultSpec, Federation, LiveBackend, LiveOutcome, MergeReport, PartitionAudit,
-        PoolStats, PruneReport, ReportCache, SchedulerKind, SimBackend, SimConfig, SimReport,
+        FaultRegime, FaultSpec, Federation, LiveBackend, LiveOutcome, MergeReport,
+        MetricsRegistry, MetricsSnapshot, PartitionAudit,
+        PoolStats, PruneReport, ReportCache, SchedulerKind, ServeConfig, ServeOutcome,
+        SimBackend, SimConfig, SimReport,
         SplicedOutcome, SplicedResult, SweepArtifact, SweepGrid, SweepResult, SweepRunner,
         VerifyReport, SCHEMA_VERSION,
     };
@@ -50,7 +52,8 @@ pub mod prelude {
         TaskSpec, WorkloadKind,
     };
     pub use eva_workloads::{
-        AlibabaTraceConfig, DurationModelChoice, InterferenceModel, ShardMeta, ShardPlanner,
-        ShardPolicy, SyntheticTraceConfig, Trace, TraceHandle, WorkloadCatalog,
+        AlibabaTraceConfig, BoundedSource, DurationModelChoice, InterferenceModel, JobSource,
+        JsonLinesSource, ShardMeta, ShardPlanner, ShardPolicy, SyntheticSource,
+        SyntheticTraceConfig, Trace, TraceHandle, TraceSource, WorkloadCatalog,
     };
 }

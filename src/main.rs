@@ -12,6 +12,9 @@
 //!              [--faults REGIME[:INTENSITY]]
 //!              [--shard N|auto[:JOBS]] [--cache] [--no-cache]
 //!              [--cache-dir DIR] [--period MINS] [--json FILE]
+//! eva serve    --source synthetic:RATE|trace:PATH|stdin
+//!              [--scheduler NAME] [--seed N] [--period MINS]
+//!              [--duration HOURS] [--metrics-every SECS] [--max-jobs N]
 //! eva cache    stats|verify [--cache-dir DIR]
 //! eva cache    prune [--max-age DAYS] [--keep-retired] [--cache-dir DIR]
 //! eva cache    import|merge SRC [--cache-dir DIR]
@@ -39,6 +42,7 @@ enum Command {
     Simulate(SimArgs),
     Compare(SimArgs),
     Sweep(SweepArgs),
+    Serve(ServeArgs),
     Cache(CacheArgs),
     Workloads,
     Catalog,
@@ -120,6 +124,77 @@ impl Default for SweepArgs {
     }
 }
 
+/// Where `eva serve` pulls its job stream from.
+#[derive(Debug, Clone, PartialEq)]
+enum ServeSource {
+    /// Seeded open-loop Poisson generator at a mean arrival rate.
+    Synthetic { rate_per_hour: f64 },
+    /// Replay a serialized trace file in arrival order.
+    Trace { path: String },
+    /// Line-delimited `JobSpec` JSON from standard input (a pipe or
+    /// socket-forwarded feed).
+    Stdin,
+}
+
+impl ServeSource {
+    fn parse(spec: &str) -> Result<Self, String> {
+        if spec == "stdin" {
+            return Ok(ServeSource::Stdin);
+        }
+        if let Some(rate) = spec.strip_prefix("synthetic:") {
+            let rate_per_hour: f64 = rate
+                .parse()
+                .map_err(|e| format!("--source synthetic: {e}"))?;
+            if !(rate_per_hour.is_finite() && rate_per_hour > 0.0) {
+                return Err("--source synthetic: rate must be a positive jobs/hour".into());
+            }
+            return Ok(ServeSource::Synthetic { rate_per_hour });
+        }
+        if let Some(path) = spec.strip_prefix("trace:") {
+            if path.is_empty() {
+                return Err("--source trace: needs a file path".into());
+            }
+            return Ok(ServeSource::Trace {
+                path: path.to_string(),
+            });
+        }
+        Err(format!(
+            "unknown source `{spec}` (synthetic:RATE, trace:PATH, or stdin)"
+        ))
+    }
+}
+
+/// Arguments of the `serve` subcommand: a job source plus the service
+/// loop's horizon and metrics cadence (both in *simulated* time).
+#[derive(Debug, Clone, PartialEq)]
+struct ServeArgs {
+    source: ServeSource,
+    scheduler: String,
+    seed: u64,
+    period_mins: f64,
+    /// Stop ingesting jobs arriving past this horizon; in-flight jobs
+    /// still drain. `None` runs until the source is exhausted.
+    duration_hours: Option<f64>,
+    /// Rolling metrics emission interval (simulated seconds).
+    metrics_every_secs: f64,
+    /// Safety cap on synthetic-source pulls.
+    max_jobs: usize,
+}
+
+impl Default for ServeArgs {
+    fn default() -> Self {
+        ServeArgs {
+            source: ServeSource::Synthetic { rate_per_hour: 3.0 },
+            scheduler: "eva".into(),
+            seed: 42,
+            period_mins: 5.0,
+            duration_hours: None,
+            metrics_every_secs: 3600.0,
+            max_jobs: 1_000_000,
+        }
+    }
+}
+
 /// Arguments of the `cache` subcommand: a lifecycle action over a cache
 /// directory.
 #[derive(Debug, Clone, PartialEq)]
@@ -155,6 +230,7 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
         Some("simulate") => Command::Simulate(parse_sim_args(it, false)?.sim),
         Some("compare") => Command::Compare(parse_sim_args(it, false)?.sim),
         Some("sweep") => Command::Sweep(parse_sim_args(it, true)?),
+        Some("serve") => Command::Serve(parse_serve_args(it)?),
         Some("cache") => Command::Cache(parse_cache_args(it)?),
         Some("workloads") => Command::Workloads,
         Some("catalog") => Command::Catalog,
@@ -250,6 +326,52 @@ fn parse_sim_args<'a>(
     Ok(args)
 }
 
+fn parse_serve_args<'a>(mut it: impl Iterator<Item = &'a String>) -> Result<ServeArgs, String> {
+    let mut args = ServeArgs::default();
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("flag {flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--source" => args.source = ServeSource::parse(&value()?)?,
+            "--scheduler" => args.scheduler = value()?,
+            "--seed" => args.seed = value()?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--period" => {
+                args.period_mins = value()?.parse().map_err(|e| format!("--period: {e}"))?;
+                if !(args.period_mins.is_finite() && args.period_mins > 0.0) {
+                    return Err("--period: must be a positive number of minutes".into());
+                }
+            }
+            "--duration" => {
+                let hours: f64 = value()?.parse().map_err(|e| format!("--duration: {e}"))?;
+                if !(hours.is_finite() && hours > 0.0) {
+                    return Err("--duration: must be a positive number of hours".into());
+                }
+                args.duration_hours = Some(hours);
+            }
+            "--metrics-every" => {
+                args.metrics_every_secs = value()?
+                    .parse()
+                    .map_err(|e| format!("--metrics-every: {e}"))?;
+                if !(args.metrics_every_secs.is_finite() && args.metrics_every_secs > 0.0) {
+                    return Err("--metrics-every: must be a positive number of seconds".into());
+                }
+            }
+            "--max-jobs" => {
+                args.max_jobs = value()?.parse().map_err(|e| format!("--max-jobs: {e}"))?;
+                if args.max_jobs == 0 {
+                    return Err("--max-jobs: must be at least 1".into());
+                }
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    SchedulerKind::from_name(&args.scheduler)?;
+    Ok(args)
+}
+
 fn parse_cache_args<'a>(mut it: impl Iterator<Item = &'a String>) -> Result<CacheArgs, String> {
     let action = it
         .next()
@@ -342,6 +464,7 @@ fn run(cli: Cli) -> Result<(), String> {
                  USAGE:\n  eva simulate [--jobs N] [--rate J/HR] [--scheduler NAME] [--durations alibaba|gavel] [--seed N] [--period MINS] [--faults REGIME[:INT]] [--threads N] [--json FILE]\n  \
                  eva compare  [--jobs N] [--rate J/HR] [--durations ...] [--seed N] [--period MINS] [--faults REGIME[:INT]] [--threads N]\n  \
                  eva sweep    [--jobs N] [--rate J/HR] [--durations ...] [--schedulers A,B,..] [--seeds S1,S2,..] [--backend sim|live|sim,live] [--faults REGIME[:INT]] [--threads N] [--procs N] [--shard N|auto[:JOBS]] [--cache] [--no-cache] [--cache-dir DIR] [--period MINS] [--json FILE]\n  \
+                 eva serve    --source synthetic:RATE|trace:PATH|stdin [--scheduler NAME] [--seed N] [--period MINS] [--duration HOURS] [--metrics-every SECS] [--max-jobs N]\n  \
                  eva cache    stats|verify|prune [--max-age DAYS] [--keep-retired] [--cache-dir DIR]\n  \
                  eva cache    import|merge SRC | export DEST [--cache-dir DIR]\n  \
                  eva workloads\n  eva catalog\n\n\
@@ -549,8 +672,74 @@ fn run(cli: Cli) -> Result<(), String> {
             }
             join_workers();
         }
+        Command::Serve(args) => run_serve(args)?,
         Command::Cache(args) => run_cache(args)?,
     }
+    Ok(())
+}
+
+/// The `eva serve` service loop: builds the requested job source, runs a
+/// streaming world with job retirement on, and emits rolling
+/// [`MetricsSnapshot`] JSON lines on stdout (human commentary goes to
+/// stderr so the stdout stream stays machine-parseable).
+fn run_serve(args: ServeArgs) -> Result<(), String> {
+    let kind = SchedulerKind::from_name(&args.scheduler)?;
+    let kind_label = kind.label();
+    let mut cfg = SimConfig::new(TraceHandle::new(Trace::new(Vec::new())), kind);
+    cfg.seed = args.seed;
+    cfg.round_period = SimDuration::from_hours_f64(args.period_mins / 60.0);
+    // Service mode is long-lived by design: completed jobs retire their
+    // arena slots so memory tracks the in-flight window.
+    cfg.retire_completed = true;
+    let (source, label): (Box<dyn JobSource>, String) = match &args.source {
+        ServeSource::Synthetic { rate_per_hour } => (
+            Box::new(SyntheticSource::open_loop(
+                *rate_per_hour,
+                args.max_jobs,
+                args.seed,
+            )),
+            format!("synthetic open-loop at {rate_per_hour} jobs/h"),
+        ),
+        ServeSource::Trace { path } => {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+            let trace = Trace::from_json(&text).map_err(|e| format!("parse {path}: {e}"))?;
+            let label = format!("trace {path} ({} jobs)", trace.len());
+            (
+                Box::new(TraceSource::new(TraceHandle::new(trace))),
+                label,
+            )
+        }
+        ServeSource::Stdin => (
+            Box::new(JsonLinesSource::new(std::io::BufReader::new(
+                std::io::stdin(),
+            ))),
+            "line-delimited JSON on stdin".to_string(),
+        ),
+    };
+    let opts = ServeConfig {
+        metrics_every: SimDuration::from_hours_f64(args.metrics_every_secs / 3600.0),
+        duration: args.duration_hours.map(SimDuration::from_hours_f64),
+    };
+    eprintln!(
+        "serving {} under {} (seed {}, metrics every {}s{})",
+        label,
+        kind_label,
+        args.seed,
+        args.metrics_every_secs,
+        match args.duration_hours {
+            Some(h) => format!(", ingest horizon {h}h"),
+            None => ", until the source drains".to_string(),
+        }
+    );
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    let outcome = serve(&cfg, source, &opts, &mut out).map_err(|e| format!("serve: {e}"))?;
+    eprintln!(
+        "drained: {} jobs ingested, {} rolling metrics line(s), peak {} arena job rows",
+        outcome.jobs_ingested, outcome.metrics_lines, outcome.peak_job_rows
+    );
+    eprintln!("{}", outcome.report.table_row(None));
     Ok(())
 }
 
@@ -700,6 +889,73 @@ mod tests {
         assert_eq!(args.seeds, vec![1, 2, 3]);
         assert_eq!(args.sim.threads, 4);
         assert_eq!(args.sim.jobs, 50);
+    }
+
+    #[test]
+    fn parses_serve_flags() {
+        let cli = parse(&argv(
+            "serve --source synthetic:6.5 --scheduler stratus --seed 3 --period 10 \
+             --duration 48 --metrics-every 120 --max-jobs 500",
+        ))
+        .unwrap();
+        let Command::Serve(args) = cli.command else {
+            panic!()
+        };
+        assert_eq!(
+            args.source,
+            ServeSource::Synthetic { rate_per_hour: 6.5 }
+        );
+        assert_eq!(args.scheduler, "stratus");
+        assert_eq!(args.seed, 3);
+        assert_eq!(args.period_mins, 10.0);
+        assert_eq!(args.duration_hours, Some(48.0));
+        assert_eq!(args.metrics_every_secs, 120.0);
+        assert_eq!(args.max_jobs, 500);
+    }
+
+    #[test]
+    fn parses_serve_source_kinds() {
+        let cli = parse(&argv("serve --source trace:/tmp/t.json")).unwrap();
+        let Command::Serve(args) = cli.command else {
+            panic!()
+        };
+        assert_eq!(
+            args.source,
+            ServeSource::Trace {
+                path: "/tmp/t.json".to_string()
+            }
+        );
+        let cli = parse(&argv("serve --source stdin")).unwrap();
+        let Command::Serve(args) = cli.command else {
+            panic!()
+        };
+        assert_eq!(args.source, ServeSource::Stdin);
+        // Defaults: synthetic open loop, eva scheduler, no horizon.
+        let cli = parse(&argv("serve")).unwrap();
+        let Command::Serve(args) = cli.command else {
+            panic!()
+        };
+        assert_eq!(
+            args.source,
+            ServeSource::Synthetic { rate_per_hour: 3.0 }
+        );
+        assert_eq!(args.duration_hours, None);
+    }
+
+    #[test]
+    fn rejects_bad_serve_specs() {
+        for bad in [
+            "serve --source synthetic:0",
+            "serve --source synthetic:-2",
+            "serve --source synthetic:abc",
+            "serve --source trace:",
+            "serve --source carrier-pigeon",
+            "serve --metrics-every 0",
+            "serve --duration -1",
+            "serve --max-jobs 0",
+        ] {
+            assert!(parse(&argv(bad)).is_err(), "should reject: {bad}");
+        }
     }
 
     #[test]
